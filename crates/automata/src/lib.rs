@@ -1,0 +1,52 @@
+//! Finite automata over access-path alphabets.
+//!
+//! Grafter (Sakka et al., PLDI 2019) summarises the memory locations a
+//! statement or a traversal call may touch as a finite automaton over
+//! *access paths*: sequences of member accesses starting either at the
+//! traversed node (`this`) or at an off-tree root such as a global. The
+//! original implementation used OpenFST; this crate provides the subset of
+//! automata machinery Grafter actually needs, built from scratch:
+//!
+//! - nondeterministic finite automata with epsilon transitions ([`Nfa`]),
+//! - primitive automata for single access paths ([`Nfa::from_path`]),
+//! - union ([`Nfa::union`]) and language intersection tests
+//!   ([`Nfa::intersects`], [`Nfa::intersection`]) that are aware of the
+//!   wildcard "any member" symbol used for opaque objects and for `new` /
+//!   `delete` tree mutations,
+//! - subset construction ([`Nfa::determinize`]) and Moore minimisation
+//!   ([`Nfa::minimize`]) used when rendering automata (the paper's Fig. 5c
+//!   "minimize" step),
+//! - Graphviz rendering for debugging ([`Nfa::to_dot`]).
+//!
+//! The alphabet is generic over the [`Symbol`] trait so the automata can be
+//! tested independently of the compiler; the compiler instantiates it with
+//! [`PathSym`].
+//!
+//! # Example
+//!
+//! ```
+//! use grafter_automata::{Nfa, PathSym};
+//!
+//! // reads of `this->Next.Width` (every non-empty prefix is also read)
+//! let read = Nfa::from_path(
+//!     &[PathSym::Root, PathSym::Field(0), PathSym::Field(7)],
+//!     true,
+//! );
+//! // write of `this->Next.Width`
+//! let write = Nfa::from_path(
+//!     &[PathSym::Root, PathSym::Field(0), PathSym::Field(7)],
+//!     false,
+//! );
+//! assert!(read.intersects(&write));
+//! let other = Nfa::from_path(&[PathSym::Root, PathSym::Field(3)], false);
+//! assert!(!read.intersects(&other));
+//! ```
+
+mod nfa;
+mod sym;
+
+pub use nfa::{Dfa, Nfa, StateId};
+pub use sym::{PathSym, Symbol};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,130 @@
+//! Criterion wall-clock benchmarks: fused vs unfused interpreter runs for
+//! all four case studies. These complement the deterministic cycle-model
+//! numbers printed by the figure/table binaries with real elapsed time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grafter::{fuse, FuseOptions, FusedProgram};
+use grafter_frontend::Program;
+use grafter_runtime::{Heap, Interp, NodeId, Value};
+use grafter_workloads::{ast, fmm, kdtree, render};
+
+struct Prepared {
+    program: Program,
+    fused: FusedProgram,
+    unfused: FusedProgram,
+    heap: Heap,
+    root: NodeId,
+    args: Vec<Vec<Value>>,
+}
+
+fn prepare(
+    program: Program,
+    root_class: &str,
+    passes: &[&str],
+    args: Vec<Vec<Value>>,
+    build: impl Fn(&mut Heap) -> NodeId,
+) -> Prepared {
+    let fused = fuse(&program, root_class, passes, &FuseOptions::default()).unwrap();
+    let unfused = fuse(&program, root_class, passes, &FuseOptions::unfused()).unwrap();
+    let mut heap = Heap::new(&program);
+    let root = build(&mut heap);
+    Prepared {
+        program,
+        fused,
+        unfused,
+        heap,
+        root,
+        args,
+    }
+}
+
+fn bench_pair(c: &mut Criterion, group: &str, p: &Prepared) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (name, fp) in [("fused", &p.fused), ("unfused", &p.unfused)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), fp, |b, fp| {
+            b.iter_batched(
+                || p.heap.clone(),
+                |mut heap| {
+                    let mut interp = Interp::new(fp);
+                    interp.run(&mut heap, p.root, &p.args).unwrap();
+                    interp.metrics.visits
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+    let _ = &p.program;
+}
+
+fn bench_render(c: &mut Criterion) {
+    let p = prepare(
+        render::program(),
+        render::ROOT_CLASS,
+        &render::PASSES,
+        vec![],
+        |heap| render::build_document(heap, 300, 42),
+    );
+    bench_pair(c, "render_300_pages", &p);
+}
+
+fn bench_ast(c: &mut Criterion) {
+    let p = prepare(
+        ast::program(),
+        ast::ROOT_CLASS,
+        &ast::PASSES,
+        vec![],
+        |heap| ast::build_program(heap, 100, 42),
+    );
+    bench_pair(c, "ast_100_functions", &p);
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let schedules = kdtree::equation_schedules();
+    let (_, schedule) = &schedules[0];
+    let args = schedule.iter().map(|op| op.args()).collect();
+    let passes: Vec<&str> = schedule.iter().map(|op| op.pass()).collect();
+    let p = prepare(kdtree::program(), kdtree::ROOT_CLASS, &passes, args, |heap| {
+        kdtree::build_balanced(heap, 12, 42)
+    });
+    bench_pair(c, "kdtree_eq1_depth12", &p);
+}
+
+fn bench_fmm(c: &mut Criterion) {
+    let p = prepare(
+        fmm::program(),
+        fmm::ROOT_CLASS,
+        &fmm::PASSES,
+        vec![],
+        |heap| fmm::build_tree(heap, 20_000, 42),
+    );
+    bench_pair(c, "fmm_20k_points", &p);
+}
+
+fn bench_compile(c: &mut Criterion) {
+    // Compiler-side cost: fusing the render tree's five passes.
+    let program = render::program();
+    c.bench_function("fuse_render_pipeline", |b| {
+        b.iter(|| {
+            fuse(
+                &program,
+                render::ROOT_CLASS,
+                &render::PASSES,
+                &FuseOptions::default(),
+            )
+            .unwrap()
+            .n_functions()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_render,
+    bench_ast,
+    bench_kdtree,
+    bench_fmm,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation of the §4 fusion cutoffs: how the maximum fused-sequence
+//! length and the per-function occurrence bound trade compile-time
+//! artefact size against fusion quality (node visits).
+//!
+//! The paper motivates the cutoffs as the termination mechanism when
+//! traversals multiply on a child (each level of the tree exposes more
+//! active traversals); this sweep quantifies the choice on the AST
+//! workload, whose `propagateConstants` spawns an extra `replaceVarRefs`
+//! per statement-list level.
+
+use grafter::FuseOptions;
+use grafter_workloads::ast;
+use grafter_workloads::harness::Experiment;
+
+fn main() {
+    println!("== Ablation: fusion cutoffs (AST workload, 100 functions) ==");
+    println!(
+        "{:<28} {:>10} {:>8} {:>12} {:>9}",
+        "cutoffs", "functions", "visits", "instructions", "runtime"
+    );
+    for (group, occ) in [(2, 1), (4, 2), (8, 3), (8, 5), (12, 8), (16, 12)] {
+        let opts = FuseOptions {
+            max_group_size: group,
+            max_occurrences: occ,
+            grouping: true,
+        };
+        let exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, |heap| {
+            ast::build_program(heap, 100, 42)
+        });
+        let generated = exp.fuse_with(&opts).n_functions();
+        let cmp = exp.compare_with(opts);
+        let n = cmp.normalized();
+        println!(
+            "{:<28} {:>10} {:>8.3} {:>12.3} {:>9.3}",
+            format!("len<={group} occ<={occ}"),
+            generated,
+            n.visits,
+            n.instructions,
+            n.runtime
+        );
+    }
+    println!("(functions = generated fused functions; metric columns fused/unfused)");
+}

@@ -1,0 +1,22 @@
+//! Figure 11: AST passes, fused vs unfused, across program sizes
+//! (#functions). `--large` extends the sweep.
+
+use grafter_bench::{has_flag, print_table, Row};
+use grafter_workloads::ast;
+use grafter_workloads::harness::Experiment;
+
+fn main() {
+    let mut sizes = vec![10usize, 100, 1_000];
+    if has_flag("--large") {
+        sizes.push(10_000);
+    }
+    let mut rows = Vec::new();
+    for &funcs in &sizes {
+        let exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, move |heap| {
+            ast::build_program(heap, funcs, 42)
+        });
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(format!("{funcs} functions"), &cmp));
+    }
+    print_table("Figure 11: AST optimisation passes", "functions", &rows);
+}

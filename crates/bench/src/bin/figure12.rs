@@ -1,0 +1,27 @@
+//! Figure 12: kd-tree piecewise-function traversals (equation 1 of Table
+//! 6), fused vs unfused, across tree depths. The paper sweeps depths 4..28;
+//! a depth-d tree has 2^(d+1) nodes, so the default sweep stops at 18
+//! (~0.5M nodes). `--large` extends to 20.
+
+use grafter_bench::{has_flag, print_table, Row};
+use grafter_workloads::kdtree;
+
+fn main() {
+    let mut depths = vec![4usize, 8, 12, 16, 18];
+    if has_flag("--large") {
+        depths.push(20);
+    }
+    let schedules = kdtree::equation_schedules();
+    let (_, schedule) = &schedules[0];
+    let mut rows = Vec::new();
+    for &depth in &depths {
+        let exp = kdtree::experiment(schedule, depth, 42);
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(format!("depth {depth}"), &cmp));
+    }
+    print_table(
+        "Figure 12: kd-tree traversals for x^4 (f''(x))^2 + sum x^i",
+        "depth",
+        &rows,
+    );
+}

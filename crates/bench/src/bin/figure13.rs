@@ -1,0 +1,20 @@
+//! Figure 13: FMM passes, fused vs unfused, across point counts. The paper
+//! sweeps 10^5..10^8 points on native hardware; the interpreter sweep runs
+//! 10^3..10^6 (`--large` adds 10^6; shapes are size-stable).
+
+use grafter_bench::{has_flag, print_table, Row};
+use grafter_workloads::fmm;
+
+fn main() {
+    let mut sizes = vec![1_000usize, 10_000, 100_000];
+    if has_flag("--large") {
+        sizes.push(1_000_000);
+    }
+    let mut rows = Vec::new();
+    for &points in &sizes {
+        let exp = fmm::experiment(points, 42);
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(format!("{points} points"), &cmp));
+    }
+    print_table("Figure 13: fast multipole method", "points", &rows);
+}

@@ -1,0 +1,63 @@
+//! Figure 9: render-tree passes, fused vs unfused, across document sizes.
+//!
+//! `--mode grafter` (default) reproduces Fig. 9a using the heterogeneous
+//! render tree; `--mode treefuser` reproduces Fig. 9b using the collapsed
+//! single-type implementation, normalised to its own (slower) baseline.
+//! `--large` extends the sweep (slow). The paper sweeps 1..10^6 pages; the
+//! interpreter substrate is slower than native code, so the default sweep
+//! stops at 10^4 pages.
+
+use grafter_bench::{arg_value, has_flag, print_table, Row};
+use grafter_runtime::Heap;
+use grafter_workloads::harness::Experiment;
+use grafter_workloads::render;
+
+fn main() {
+    let mode = arg_value("--mode").unwrap_or_else(|| "grafter".into());
+    let mut sizes = vec![1usize, 10, 100, 1_000, 10_000];
+    if has_flag("--large") {
+        sizes.push(100_000);
+    }
+
+    let mut rows = Vec::new();
+    for &pages in &sizes {
+        let cmp = match mode.as_str() {
+            "grafter" => {
+                let exp = Experiment::new(
+                    render::program(),
+                    render::ROOT_CLASS,
+                    &render::PASSES,
+                    move |heap| render::build_document(heap, pages, 42),
+                );
+                exp.compare()
+            }
+            "treefuser" => {
+                let exp = Experiment::new(
+                    grafter_treefuser::program(),
+                    grafter_treefuser::ROOT_CLASS,
+                    &grafter_treefuser::PASSES,
+                    move |heap| {
+                        // Build the heterogeneous document, then mirror it
+                        // into the homogenised representation so both modes
+                        // measure identical documents.
+                        let het = render::program();
+                        let mut src = Heap::new(&het);
+                        let root = render::build_document(&mut src, pages, 42);
+                        grafter_treefuser::convert_document(&src, root, heap)
+                    },
+                );
+                exp.compare()
+            }
+            other => {
+                eprintln!("unknown --mode `{other}` (use grafter|treefuser)");
+                std::process::exit(2);
+            }
+        };
+        rows.push(Row::from_comparison(format!("{pages} pages"), &cmp));
+    }
+    let title = match mode.as_str() {
+        "grafter" => "Figure 9a: render tree, Grafter fused vs unfused",
+        _ => "Figure 9b: render tree, TreeFuser fused vs unfused",
+    };
+    print_table(title, "pages", &rows);
+}

@@ -1,0 +1,43 @@
+//! Table 3: fused/unfused render-tree performance for three document
+//! configurations (Doc1: many simple pages; Doc2: one dense page;
+//! Doc3: mixed-size pages). `--large` uses paper-scale node counts.
+
+use grafter_bench::{has_flag, print_table, Row};
+use grafter_workloads::harness::Experiment;
+use grafter_workloads::render;
+
+fn main() {
+    let scale = if has_flag("--large") { 10 } else { 1 };
+    let configs: Vec<(&str, Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>)> = vec![
+        (
+            "Doc1 (simple pages)",
+            Box::new(move |heap: &mut grafter_runtime::Heap| {
+                render::build_document(heap, 10_000 * scale, 1)
+            }),
+        ),
+        (
+            "Doc2 (1 dense page)",
+            Box::new(move |heap: &mut grafter_runtime::Heap| {
+                render::build_dense_page(heap, 6 + scale.min(3), 4, 2)
+            }),
+        ),
+        (
+            "Doc3 (mixed pages)",
+            Box::new(move |heap: &mut grafter_runtime::Heap| {
+                render::build_mixed_document(heap, 150 * scale, 3)
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, build) in configs {
+        let mut exp = Experiment::new(render::program(), render::ROOT_CLASS, &render::PASSES, |h| {
+            let _ = h;
+            unreachable!()
+        });
+        exp.build = build;
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(name, &cmp));
+    }
+    print_table("Table 3: render-tree document configurations", "config", &rows);
+}

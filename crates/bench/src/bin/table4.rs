@@ -1,0 +1,38 @@
+//! Table 4: fused/unfused AST performance for three program shapes
+//! (Prog1: many small functions; Prog2: one large function; Prog3: long
+//! live ranges).
+
+use grafter_bench::{has_flag, print_table, Row};
+use grafter_workloads::ast;
+use grafter_workloads::harness::Experiment;
+
+fn main() {
+    let scale = if has_flag("--large") { 8 } else { 1 };
+    let configs: Vec<(&str, Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>)> = vec![
+        (
+            "Prog1 (small fns)",
+            Box::new(move |h: &mut grafter_runtime::Heap| ast::build_prog1(h, 800 * scale, 1)),
+        ),
+        (
+            "Prog2 (one large fn)",
+            Box::new(move |h: &mut grafter_runtime::Heap| ast::build_prog2(h, 9_000 * scale, 2)),
+        ),
+        (
+            "Prog3 (long ranges)",
+            Box::new(move |h: &mut grafter_runtime::Heap| {
+                ast::build_prog3(h, 60 * scale, 150, 3)
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, build) in configs {
+        let mut exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, |h| {
+            let _ = h;
+            unreachable!()
+        });
+        exp.build = build;
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(name, &cmp));
+    }
+    print_table("Table 4: AST program configurations", "config", &rows);
+}

@@ -1,0 +1,22 @@
+//! Table 6: fused/unfused performance of the three piecewise-function
+//! equations on a balanced kd-tree (paper: depth 20; default here: 14).
+
+use grafter_bench::{arg_value, print_table, Row};
+use grafter_workloads::kdtree;
+
+fn main() {
+    let depth: usize = arg_value("--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let mut rows = Vec::new();
+    for (name, schedule) in kdtree::equation_schedules() {
+        let exp = kdtree::experiment(&schedule, depth, 42);
+        let cmp = exp.compare();
+        rows.push(Row::from_comparison(name, &cmp));
+    }
+    print_table(
+        &format!("Table 6: piecewise-function equations (depth {depth})"),
+        "equation",
+        &rows,
+    );
+}

@@ -1,0 +1,674 @@
+//! Access-path extraction and access automata (paper §3.2).
+//!
+//! Every top-level statement of a traversal gets an [`AccessSummary`]: six
+//! automata over [`PathSym`] describing the tree and global locations the
+//! statement may read or write (relative to the node the enclosing function
+//! is invoked on), plus flat sets for locals and a may-return flag.
+//!
+//! Simple statements produce unions of primitive path automata. Traversing
+//! calls are summarised by Algorithm 1: a labelled call graph over all
+//! *concrete* functions transitively reachable under dynamic dispatch, with
+//! one automaton state per function and a back edge whenever a function is
+//! revisited (so unbounded recursion appears as loops).
+
+use std::collections::HashMap;
+
+use grafter_automata::{Nfa, PathSym, StateId};
+use grafter_frontend::{
+    ClassId, DataAccess, Expr, FieldId, GlobalId, LocalId, MethodId, NodePath, Program, Stmt,
+    TraverseStmt,
+};
+
+/// The automata alphabet symbol of a field.
+pub fn field_sym(field: FieldId) -> PathSym {
+    PathSym::Field(field.0)
+}
+
+/// The automata alphabet symbol of a global variable.
+///
+/// Globals live in a disjoint symbol range above all fields.
+pub fn global_sym(program: &Program, global: GlobalId) -> PathSym {
+    PathSym::Field(program.n_fields() as u32 + global.0)
+}
+
+/// Summary of the locations one top-level statement may touch.
+#[derive(Clone, Debug)]
+pub struct AccessSummary {
+    /// On-tree reads, rooted at the traversed-node transition.
+    pub tree_reads: Nfa<PathSym>,
+    /// On-tree writes.
+    pub tree_writes: Nfa<PathSym>,
+    /// Off-tree (global) reads.
+    pub global_reads: Nfa<PathSym>,
+    /// Off-tree (global) writes.
+    pub global_writes: Nfa<PathSym>,
+    /// Locals read (conflated per variable — sound, locals are scalar or
+    /// small structs).
+    pub local_reads: Vec<LocalId>,
+    /// Locals written.
+    pub local_writes: Vec<LocalId>,
+    /// Whether executing the statement may terminate the traversal.
+    pub may_return: bool,
+}
+
+impl AccessSummary {
+    fn empty() -> Self {
+        AccessSummary {
+            tree_reads: Nfa::new(),
+            tree_writes: Nfa::new(),
+            global_reads: Nfa::new(),
+            global_writes: Nfa::new(),
+            local_reads: Vec::new(),
+            local_writes: Vec::new(),
+            may_return: false,
+        }
+    }
+
+    /// Whether this statement may conflict with `other` when both execute
+    /// with the same `this` binding.
+    ///
+    /// `same_frame` enables local-variable conflicts; it is true only for
+    /// statements originating from the same traversal copy in a merged
+    /// function (inlined copies have disjoint frames).
+    pub fn conflicts_with(&self, other: &AccessSummary, same_frame: bool) -> bool {
+        if self.tree_writes.intersects(&other.tree_reads)
+            || self.tree_writes.intersects(&other.tree_writes)
+            || self.tree_reads.intersects(&other.tree_writes)
+        {
+            return true;
+        }
+        if self.global_writes.intersects(&other.global_reads)
+            || self.global_writes.intersects(&other.global_writes)
+            || self.global_reads.intersects(&other.global_writes)
+        {
+            return true;
+        }
+        if same_frame {
+            let hit = |a: &[LocalId], b: &[LocalId]| a.iter().any(|x| b.contains(x));
+            if hit(&self.local_writes, &other.local_reads)
+                || hit(&self.local_writes, &other.local_writes)
+                || hit(&self.local_reads, &other.local_writes)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Cached per-statement access summaries for a whole program.
+///
+/// Call summaries depend on the *static receiver context* (the class whose
+/// method contains the call), so the cache key is `(method, stmt index)`.
+pub struct ProgramAccesses<'p> {
+    program: &'p Program,
+    cache: HashMap<(MethodId, usize), AccessSummary>,
+}
+
+impl<'p> ProgramAccesses<'p> {
+    /// Creates an empty cache over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        ProgramAccesses {
+            program,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Summary for top-level statement `index` of `method`.
+    pub fn summary(&mut self, method: MethodId, index: usize) -> &AccessSummary {
+        if !self.cache.contains_key(&(method, index)) {
+            let stmt = self.program.methods[method.index()].body[index].clone();
+            let class = self.program.methods[method.index()].class;
+            let summary = self.stmt_summary(&stmt, class);
+            self.cache.insert((method, index), summary);
+        }
+        &self.cache[&(method, index)]
+    }
+
+    /// Builds the summary of one top-level statement in the context of a
+    /// method of `class`.
+    pub fn stmt_summary(&self, stmt: &Stmt, class: ClassId) -> AccessSummary {
+        let mut s = AccessSummary::empty();
+        self.collect_stmt(stmt, class, &mut s);
+        s
+    }
+
+    fn collect_stmt(&self, stmt: &Stmt, class: ClassId, s: &mut AccessSummary) {
+        match stmt {
+            Stmt::Traverse(call) => self.collect_call(call, class, s),
+            Stmt::Assign { target, value } => {
+                self.collect_expr(value, s);
+                self.collect_access(target, true, s);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.collect_expr(cond, s);
+                for st in then_branch.iter().chain(else_branch) {
+                    self.collect_stmt(st, class, s);
+                }
+            }
+            Stmt::LocalDef { local, init } => {
+                if let Some(init) = init {
+                    self.collect_expr(init, s);
+                }
+                push_unique(&mut s.local_writes, *local);
+            }
+            Stmt::New { target, class: _ } | Stmt::Delete { target } => {
+                // A topology mutation writes the node location and any
+                // possible sub-field of the (old or new) subtree, and reads
+                // the path prefix leading there.
+                let path = on_tree_syms(target, &[]);
+                let mut w = Nfa::from_path(&path, false);
+                let last = w.len() - 1;
+                w.add_transition(last, PathSym::Any, last);
+                // Every state on the loop accepts: the node and all
+                // descendants are clobbered.
+                s.tree_writes.union_in_place(&w);
+                if path.len() > 1 {
+                    s.tree_reads
+                        .union_in_place(&Nfa::from_path(&path[..path.len() - 1], true));
+                }
+            }
+            Stmt::Return => s.may_return = true,
+            Stmt::PureStmt { args, .. } => {
+                for a in args {
+                    self.collect_expr(a, s);
+                }
+            }
+        }
+    }
+
+    fn collect_expr(&self, expr: &Expr, s: &mut AccessSummary) {
+        match expr {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) => {}
+            Expr::Read(access) => self.collect_access(access, false, s),
+            Expr::Unary(_, e) => self.collect_expr(e, s),
+            Expr::Binary(_, l, r) => {
+                self.collect_expr(l, s);
+                self.collect_expr(r, s);
+            }
+            Expr::PureCall(_, args) => {
+                for a in args {
+                    self.collect_expr(a, s);
+                }
+            }
+        }
+    }
+
+    fn collect_access(&self, access: &DataAccess, is_write: bool, s: &mut AccessSummary) {
+        match access {
+            DataAccess::OnTree { path, data } => {
+                let syms = on_tree_syms(path, data);
+                if is_write {
+                    s.tree_writes.union_in_place(&Nfa::from_path(&syms, false));
+                    if syms.len() > 1 {
+                        s.tree_reads
+                            .union_in_place(&Nfa::from_path(&syms[..syms.len() - 1], true));
+                    }
+                } else {
+                    s.tree_reads.union_in_place(&Nfa::from_path(&syms, true));
+                }
+            }
+            DataAccess::Local { local, .. } => {
+                if is_write {
+                    push_unique(&mut s.local_writes, *local);
+                } else {
+                    push_unique(&mut s.local_reads, *local);
+                }
+            }
+            DataAccess::Global { global, members } => {
+                let mut syms = vec![global_sym(self.program, *global)];
+                syms.extend(members.iter().map(|&f| field_sym(f)));
+                // An off-tree access ending at a non-primitive (struct)
+                // value touches any member within it; `members` resolves to
+                // a primitive here, so no wildcard suffix is needed unless
+                // the access names the struct itself (writes to whole
+                // struct are rejected by sema).
+                if is_write {
+                    s.global_writes
+                        .union_in_place(&Nfa::from_path(&syms, false));
+                    if syms.len() > 1 {
+                        s.global_reads
+                            .union_in_place(&Nfa::from_path(&syms[..syms.len() - 1], true));
+                    }
+                } else {
+                    s.global_reads.union_in_place(&Nfa::from_path(&syms, true));
+                }
+            }
+        }
+    }
+
+    // ---- Algorithm 1: call automata ---------------------------------------
+
+    /// Summarises a traversing call in the context of a method of `class`.
+    ///
+    /// Builds the labelled call graph over all concrete functions reachable
+    /// from the call (under dynamic dispatch), attaches every reachable
+    /// statement's automata at the state of its function, and prefixes the
+    /// receiver path. Argument expressions are evaluated in the caller's
+    /// frame and contribute caller-level accesses.
+    fn collect_call(&self, call: &TraverseStmt, class: ClassId, s: &mut AccessSummary) {
+        for a in &call.args {
+            self.collect_expr(a, s);
+        }
+
+        let mut builder = CallAutomataBuilder {
+            program: self.program,
+            accesses: self,
+            reads: Nfa::new(),
+            writes: Nfa::new(),
+            global_reads: Nfa::new(),
+            global_writes: Nfa::new(),
+            fn_state: HashMap::new(),
+        };
+
+        // Root transition, then the receiver path.
+        let r0 = builder.reads.add_state();
+        builder.reads.add_transition(0, PathSym::Root, r0);
+        let w0 = builder.writes.add_state();
+        builder.writes.add_transition(0, PathSym::Root, w0);
+        let mut state = (r0, w0);
+        for step in &call.receiver.steps {
+            let rn = builder.reads.add_state();
+            builder
+                .reads
+                .add_transition(state.0, field_sym(step.field), rn);
+            // Dispatching through a child pointer reads that pointer.
+            builder.reads.set_accepting(rn, true);
+            let wn = builder.writes.add_state();
+            builder
+                .writes
+                .add_transition(state.1, field_sym(step.field), wn);
+            state = (rn, wn);
+        }
+
+        let Some(static_ty) = self.program.path_target_type(class, &call.receiver) else {
+            return;
+        };
+        builder.append_dispatch(call.slot, static_ty, state);
+
+        s.tree_reads.union_in_place(&builder.reads);
+        s.tree_writes.union_in_place(&builder.writes);
+        s.global_reads.union_in_place(&builder.global_reads);
+        s.global_writes.union_in_place(&builder.global_writes);
+    }
+}
+
+struct CallAutomataBuilder<'a, 'p> {
+    program: &'p Program,
+    accesses: &'a ProgramAccesses<'p>,
+    reads: Nfa<PathSym>,
+    writes: Nfa<PathSym>,
+    global_reads: Nfa<PathSym>,
+    global_writes: Nfa<PathSym>,
+    /// Memo: one (reads, writes) state pair per concrete function — the
+    /// paper's `FunctionToState`, guaranteeing termination and representing
+    /// recursion as automaton loops.
+    fn_state: HashMap<MethodId, (StateId, StateId)>,
+}
+
+impl CallAutomataBuilder<'_, '_> {
+    /// Expands a virtual dispatch of `slot` on a node whose static type is
+    /// `static_ty`, linking from `from` (a (reads, writes) state pair).
+    fn append_dispatch(&mut self, slot: MethodId, static_ty: ClassId, from: (StateId, StateId)) {
+        for concrete in self.program.concrete_subtypes(static_ty) {
+            let Some(target) = self.program.resolve_virtual(concrete, slot) else {
+                continue;
+            };
+            let state = self.append_function(target);
+            // Dispatch consumes no member access: link with epsilon.
+            self.reads.add_epsilon(from.0, state.0);
+            self.writes.add_epsilon(from.1, state.1);
+        }
+    }
+
+    /// Returns the state pair of a concrete function, creating and filling
+    /// it on first encounter.
+    fn append_function(&mut self, method: MethodId) -> (StateId, StateId) {
+        if let Some(&st) = self.fn_state.get(&method) {
+            return st;
+        }
+        let st = (self.reads.add_state(), self.writes.add_state());
+        self.fn_state.insert(method, st);
+        let body = self.program.methods[method.index()].body.clone();
+        let class = self.program.methods[method.index()].class;
+        for stmt in &body {
+            self.append_stmt(stmt, class, st);
+        }
+        st
+    }
+
+    fn append_stmt(&mut self, stmt: &Stmt, class: ClassId, at: (StateId, StateId)) {
+        if let Stmt::Traverse(call) = stmt {
+            // Argument accesses happen in the callee's caller frame (this
+            // function); attach their tree parts at `at`.
+            let mut args = AccessSummary::empty();
+            for a in &call.args {
+                self.accesses.collect_expr(a, &mut args);
+            }
+            attach_at(&mut self.reads, &args.tree_reads, at.0);
+            attach_at(&mut self.writes, &args.tree_writes, at.1);
+            self.global_reads.union_in_place(&args.global_reads);
+            self.global_writes.union_in_place(&args.global_writes);
+
+            // Walk the receiver path, then dispatch.
+            let mut state = at;
+            for step in &call.receiver.steps {
+                let rn = self.reads.add_state();
+                self.reads
+                    .add_transition(state.0, field_sym(step.field), rn);
+                self.reads.set_accepting(rn, true);
+                let wn = self.writes.add_state();
+                self.writes
+                    .add_transition(state.1, field_sym(step.field), wn);
+                state = (rn, wn);
+            }
+            if let Some(static_ty) = self.program.path_target_type(class, &call.receiver) {
+                self.append_dispatch(call.slot, static_ty, state);
+            }
+        } else {
+            let summary = self.accesses.stmt_summary(stmt, class);
+            attach_at(&mut self.reads, &summary.tree_reads, at.0);
+            attach_at(&mut self.writes, &summary.tree_writes, at.1);
+            self.global_reads.union_in_place(&summary.global_reads);
+            self.global_writes.union_in_place(&summary.global_writes);
+        }
+    }
+}
+
+/// Attaches a statement-level on-tree automaton (whose paths begin with the
+/// traversed-node transition) into `target`, rebasing it at `state`: the
+/// `Root` edge is replaced by an epsilon from `state`, so the attached
+/// accesses become relative to the function the statement belongs to.
+fn attach_at(target: &mut Nfa<PathSym>, stmt_automaton: &Nfa<PathSym>, state: StateId) {
+    if stmt_automaton.is_empty() {
+        return;
+    }
+    let offset = target.len();
+    // Absorb by re-adding states and transitions with an offset.
+    for st in 0..stmt_automaton.len() {
+        let ns = target.add_state();
+        debug_assert_eq!(ns, offset + st);
+        target.set_accepting(ns, stmt_automaton.is_accepting(st));
+    }
+    for st in 0..stmt_automaton.len() {
+        for (sym, to) in stmt_automaton.transitions_from(st) {
+            if *sym == PathSym::Root {
+                // The traversed-node transition marks the start of an
+                // on-tree path; in a statement automaton it can only occur
+                // at a path head. Entering via `state` replaces it.
+                target.add_epsilon(state, to + offset);
+            } else {
+                target.add_transition(st + offset, *sym, to + offset);
+            }
+        }
+        for to in stmt_automaton.epsilons_from(st) {
+            target.add_epsilon(st + offset, to + offset);
+        }
+    }
+}
+
+/// The symbol path of an on-tree access: `Root`, the child steps, then the
+/// data member steps.
+fn on_tree_syms(path: &NodePath, data: &[FieldId]) -> Vec<PathSym> {
+    let mut syms = vec![PathSym::Root];
+    syms.extend(path.fields().map(field_sym));
+    syms.extend(data.iter().map(|&f| field_sym(f)));
+    syms
+}
+
+fn push_unique(v: &mut Vec<LocalId>, x: LocalId) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafter_frontend::compile;
+
+    fn fig2() -> Program {
+        compile(
+            r#"
+            global int CHAR_WIDTH = 8;
+            struct String { int Length; }
+            struct BorderInfo { int Size; }
+            tree class Element {
+                child Element* Next;
+                int Height = 0; int Width = 0;
+                int MaxHeight = 0; int TotalWidth = 0;
+                virtual traversal computeWidth() {}
+                virtual traversal computeHeight() {}
+            }
+            tree class TextBox : public Element {
+                String Text;
+                traversal computeWidth() {
+                    Next->computeWidth();
+                    Width = Text.Length;
+                    TotalWidth = Next.Width + Width;
+                }
+                traversal computeHeight() {
+                    Next->computeHeight();
+                    Height = Text.Length * (Width / CHAR_WIDTH) + 1;
+                    MaxHeight = Height;
+                    if (Next.Height > Height) { MaxHeight = Next.Height; }
+                }
+            }
+            tree class Group : public Element {
+                child Element* Content;
+                BorderInfo Border;
+                traversal computeWidth() {
+                    Content->computeWidth();
+                    Next->computeWidth();
+                    Width = Content.Width + Border.Size * 2;
+                    TotalWidth = Width + Next.Width;
+                }
+                traversal computeHeight() {
+                    Content->computeHeight();
+                    Next->computeHeight();
+                    Height = Content.MaxHeight + Border.Size * 2;
+                    MaxHeight = Height;
+                    if (Next.Height > Height) { MaxHeight = Next.Height; }
+                }
+            }
+            tree class End : public Element { }
+            "#,
+        )
+        .expect("fig2 compiles")
+    }
+
+    #[test]
+    fn simple_statement_reads_and_writes() {
+        let p = fig2();
+        let mut acc = ProgramAccesses::new(&p);
+        let tb = p.class_by_name("TextBox").unwrap();
+        let m = p.method_on_class(tb, "computeWidth").unwrap();
+        // statement 1: `Width = Text.Length;`
+        let s = acc.summary(m, 1).clone();
+        let width = p.field_on_class(tb, "Width").unwrap();
+        let text = p.field_on_class(tb, "Text").unwrap();
+        let length = p
+            .field_on_struct(p.struct_by_name("String").unwrap(), "Length")
+            .unwrap();
+        assert!(s
+            .tree_writes
+            .accepts(&[PathSym::Root, field_sym(width)]));
+        assert!(s
+            .tree_reads
+            .accepts(&[PathSym::Root, field_sym(text), field_sym(length)]));
+        assert!(!s
+            .tree_reads
+            .accepts(&[PathSym::Root, field_sym(width)]));
+        assert!(!s.may_return);
+    }
+
+    #[test]
+    fn global_reads_are_off_tree() {
+        let p = fig2();
+        let mut acc = ProgramAccesses::new(&p);
+        let tb = p.class_by_name("TextBox").unwrap();
+        let m = p.method_on_class(tb, "computeHeight").unwrap();
+        // statement 1 reads CHAR_WIDTH.
+        let s = acc.summary(m, 1).clone();
+        let g = p.global_by_name("CHAR_WIDTH").unwrap();
+        assert!(s.global_reads.accepts(&[global_sym(&p, g)]));
+        assert!(s.global_writes.is_empty_language());
+    }
+
+    #[test]
+    fn call_automata_cover_recursive_accesses() {
+        let p = fig2();
+        let mut acc = ProgramAccesses::new(&p);
+        let group = p.class_by_name("Group").unwrap();
+        let m = p.method_on_class(group, "computeWidth").unwrap();
+        // statement 0: `Content->computeWidth();`
+        let s = acc.summary(m, 0).clone();
+        let content = p.field_on_class(group, "Content").unwrap();
+        let next = p.field_on_class(group, "Next").unwrap();
+        let width = p.field_on_class(group, "Width").unwrap();
+
+        // The call writes Content.Width, Content.Next.Width (TextBox body
+        // reached through dispatch), and arbitrarily deep Next chains.
+        let w = |path: &[PathSym]| s.tree_writes.accepts(path);
+        assert!(w(&[PathSym::Root, field_sym(content), field_sym(width)]));
+        assert!(w(&[
+            PathSym::Root,
+            field_sym(content),
+            field_sym(next),
+            field_sym(width)
+        ]));
+        assert!(w(&[
+            PathSym::Root,
+            field_sym(content),
+            field_sym(next),
+            field_sym(next),
+            field_sym(width)
+        ]));
+        // Nested Group content too (mutual recursion through the hierarchy).
+        assert!(w(&[
+            PathSym::Root,
+            field_sym(content),
+            field_sym(content),
+            field_sym(width)
+        ]));
+        // But never writes anything outside the Content subtree.
+        assert!(!w(&[PathSym::Root, field_sym(width)]));
+        assert!(!w(&[PathSym::Root, field_sym(next), field_sym(width)]));
+    }
+
+    #[test]
+    fn call_automata_include_global_reads_of_callees() {
+        let p = fig2();
+        let mut acc = ProgramAccesses::new(&p);
+        let group = p.class_by_name("Group").unwrap();
+        let m = p.method_on_class(group, "computeHeight").unwrap();
+        // statement 0: `Content->computeHeight();` — TextBox::computeHeight
+        // reads CHAR_WIDTH, so the call summary must include it.
+        let s = acc.summary(m, 0).clone();
+        let g = p.global_by_name("CHAR_WIDTH").unwrap();
+        assert!(s.global_reads.accepts(&[global_sym(&p, g)]));
+    }
+
+    #[test]
+    fn dependent_statements_conflict() {
+        let p = fig2();
+        let mut acc = ProgramAccesses::new(&p);
+        let tb = p.class_by_name("TextBox").unwrap();
+        let m = p.method_on_class(tb, "computeWidth").unwrap();
+        let s1 = acc.summary(m, 1).clone(); // Width = Text.Length
+        let s2 = acc.summary(m, 2).clone(); // TotalWidth = Next.Width + Width
+        assert!(s1.conflicts_with(&s2, true), "s2 reads Width written by s1");
+        assert!(s2.conflicts_with(&s1, true), "conflict is symmetric");
+    }
+
+    #[test]
+    fn independent_traversals_do_not_conflict() {
+        // incA touches only `a`, incB only `b` — no conflicts anywhere.
+        let p = compile(
+            r#"
+            tree class Node {
+                child Node* next;
+                int a = 0; int b = 0;
+                virtual traversal incA() {}
+                virtual traversal incB() {}
+            }
+            tree class Cons : Node {
+                traversal incA() { a = a + 1; this->next->incA(); }
+                traversal incB() { b = b + 1; this->next->incB(); }
+            }
+            tree class End : Node { }
+            "#,
+        )
+        .unwrap();
+        let mut acc = ProgramAccesses::new(&p);
+        let cons = p.class_by_name("Cons").unwrap();
+        let ma = p.method_on_class(cons, "incA").unwrap();
+        let mb = p.method_on_class(cons, "incB").unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let sa = acc.summary(ma, i).clone();
+                let sb = acc.summary(mb, j).clone();
+                assert!(
+                    !sa.conflicts_with(&sb, false),
+                    "incA[{i}] vs incB[{j}] must be independent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_mutation_conflicts_with_subtree_access() {
+        let p = compile(
+            r#"
+            tree class E { virtual traversal f() {} virtual traversal g() {} }
+            tree class N : E {
+                child E* kid;
+                int x = 0;
+                traversal f() { delete this->kid; this->kid = new E(); }
+                traversal g() { x = static_cast<N*>(this->kid).x; }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut acc = ProgramAccesses::new(&p);
+        let n = p.class_by_name("N").unwrap();
+        let mf = p.method_on_class(n, "f").unwrap();
+        let mg = p.method_on_class(n, "g").unwrap();
+        let del = acc.summary(mf, 0).clone();
+        let read = acc.summary(mg, 0).clone();
+        assert!(del.conflicts_with(&read, false));
+        let new = acc.summary(mf, 1).clone();
+        assert!(new.conflicts_with(&read, false));
+    }
+
+    #[test]
+    fn return_sets_may_return() {
+        let p = compile(
+            r#"
+            tree class A {
+                bool stop = false;
+                int x = 0;
+                traversal f() {
+                    if (stop) { return; }
+                    x = 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut acc = ProgramAccesses::new(&p);
+        let a = p.class_by_name("A").unwrap();
+        let m = p.method_on_class(a, "f").unwrap();
+        assert!(acc.summary(m, 0).may_return);
+        assert!(!acc.summary(m, 1).may_return);
+    }
+}

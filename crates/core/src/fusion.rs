@@ -1,0 +1,577 @@
+//! The fusion algorithm (paper §3.3) with type-specific partial fusion and
+//! the termination cutoffs of §4.
+//!
+//! Fusion operates on *sequences of concrete functions* invoked on the same
+//! tree node. For each new sequence `L`:
+//!
+//! 1. **outline + inline** — the bodies are concatenated into a merged
+//!    statement list (each statement remembers which traversal copy it
+//!    belongs to);
+//! 2. **analyse** — a [`DepGraph`] is built from the access automata;
+//! 3. **group** — traversing calls on the same child are greedily grouped,
+//!    subject to dependence legality (condensation must stay acyclic) and
+//!    the cutoffs (max group size, max occurrences of one function);
+//! 4. **reorder** — a dependence-respecting schedule is produced in which
+//!    grouped calls are adjacent (implicit code motion);
+//! 5. **recurse** — every group becomes a dispatch *stub*: for each possible
+//!    concrete type of the child, the group's virtual slots resolve to a
+//!    concrete sequence which is fused in turn. Sequences are memoised, so
+//!    re-encountering one (including the sequence currently being built)
+//!    produces a (possibly recursive) call to the existing fused function —
+//!    the step that makes fusion profitable and keeps it terminating.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use grafter_frontend::{ClassId, Expr, MethodId, NodePath, Program, Stmt};
+
+use crate::access::ProgramAccesses;
+use crate::depgraph::{DepGraph, MergedStmt};
+
+/// Index of a fused function within a [`FusedProgram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FusedFnId(pub u32);
+
+/// Index of a dispatch stub within a [`FusedProgram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StubId(pub u32);
+
+/// Tuning knobs of the fusion engine (paper §4).
+#[derive(Clone, Debug)]
+pub struct FuseOptions {
+    /// Maximum number of traversal functions fused into one sequence
+    /// ("limiting the length of a sequence of functions to fuse").
+    pub max_group_size: usize,
+    /// Maximum number of times one static function may appear in a group
+    /// ("limiting the number of times any one static function can appear").
+    pub max_occurrences: usize,
+    /// When `false`, no call grouping is performed: the output is the
+    /// unfused baseline expressed in the same runtime representation.
+    pub grouping: bool,
+}
+
+impl Default for FuseOptions {
+    fn default() -> Self {
+        FuseOptions {
+            max_group_size: 8,
+            max_occurrences: 5,
+            grouping: true,
+        }
+    }
+}
+
+impl FuseOptions {
+    /// Options producing the unfused baseline.
+    pub fn unfused() -> Self {
+        FuseOptions {
+            grouping: false,
+            ..FuseOptions::default()
+        }
+    }
+}
+
+/// One member of a grouped traversing call.
+#[derive(Clone, Debug)]
+pub struct CallPart {
+    /// Which traversal copy of the enclosing fused function the call
+    /// belongs to (its active flag index).
+    pub traversal: usize,
+    /// The dispatch slot being invoked.
+    pub slot: MethodId,
+    /// Argument expressions, evaluated in the caller's frame for
+    /// `traversal`.
+    pub args: Vec<Expr>,
+}
+
+/// An element of a fused function's scheduled body.
+#[derive(Clone, Debug)]
+pub enum ScheduledItem {
+    /// A simple statement, guarded by its traversal's active flag.
+    Stmt {
+        /// Flag index of the traversal copy the statement came from.
+        traversal: usize,
+        /// The statement (locals refer to the frame of `traversal`).
+        stmt: Stmt,
+    },
+    /// A grouped traversing call, lowered to a dispatch through `stub`.
+    Call {
+        /// The common receiver path of the grouped calls.
+        receiver: NodePath,
+        /// The stub dispatching to the fused child sequence.
+        stub: StubId,
+        /// The grouped calls in execution order; part `i` drives child
+        /// flag `i`.
+        parts: Vec<CallPart>,
+    },
+}
+
+/// A fused function: the fusion of one sequence of concrete functions.
+#[derive(Clone, Debug)]
+pub struct FusedFn {
+    /// The concrete functions fused, in order; element `i` is traversal
+    /// copy `i`.
+    pub seq: Vec<MethodId>,
+    /// Static type of the traversed-node parameter (least common ancestor
+    /// of the sequence's receiver classes).
+    pub receiver_class: ClassId,
+    /// The scheduled body.
+    pub body: Vec<ScheduledItem>,
+    /// Generated name, e.g. `_fuse__F3F4`.
+    pub name: String,
+}
+
+/// A dispatch stub: maps each possible concrete receiver type to the fused
+/// function for the correspondingly resolved sequence (the paper's
+/// `__stubN` virtual methods).
+#[derive(Clone, Debug)]
+pub struct Stub {
+    /// Static type the stub dispatches on.
+    pub receiver_static: ClassId,
+    /// The virtual slots of the grouped sequence.
+    pub slots: Vec<MethodId>,
+    /// Concrete type → fused function.
+    pub targets: Vec<(ClassId, FusedFnId)>,
+    /// Generated name, e.g. `__stub1`.
+    pub name: String,
+}
+
+impl Stub {
+    /// The fused function for a concrete receiver class, if resolvable.
+    pub fn target_for(&self, class: ClassId) -> Option<FusedFnId> {
+        self.targets
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, f)| f)
+    }
+}
+
+/// The output of fusion: a set of mutually recursive fused functions plus
+/// the dispatch stubs connecting them, with a designated entry stub.
+#[derive(Clone, Debug)]
+pub struct FusedProgram {
+    /// The source program (class/field/method tables are shared with the
+    /// fused code).
+    pub program: Program,
+    /// All generated fused functions.
+    pub functions: Vec<FusedFn>,
+    /// All generated dispatch stubs.
+    pub stubs: Vec<Stub>,
+    /// The stubs to invoke on the tree root, in order. Fused output has a
+    /// single entry covering the whole sequence; the unfused baseline has
+    /// one entry per traversal (separate passes).
+    pub entries: Vec<StubId>,
+    /// The entry sequence's dispatch slots.
+    pub entry_slots: Vec<MethodId>,
+}
+
+impl FusedProgram {
+    /// The fused function table entry.
+    pub fn function(&self, id: FusedFnId) -> &FusedFn {
+        &self.functions[id.0 as usize]
+    }
+
+    /// The stub table entry.
+    pub fn stub(&self, id: StubId) -> &Stub {
+        &self.stubs[id.0 as usize]
+    }
+
+    /// Whether fusion achieved a single visit per child everywhere: the
+    /// whole entry sequence starts as one pass and no fused function's body
+    /// contains two grouped calls with the same receiver path.
+    pub fn fully_fused(&self) -> bool {
+        self.entries.len() == 1
+            && self.functions.iter().all(|f| {
+            let receivers: Vec<Vec<_>> = f
+                .body
+                .iter()
+                .filter_map(|item| match item {
+                    ScheduledItem::Call { receiver, .. } => {
+                        Some(receiver.fields().collect())
+                    }
+                    ScheduledItem::Stmt { .. } => None,
+                })
+                .collect();
+                let mut uniq = receivers.clone();
+                uniq.sort();
+                uniq.dedup();
+                uniq.len() == receivers.len()
+            })
+    }
+
+    /// Total number of generated fused functions.
+    pub fn n_functions(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+/// An error reported by the fusion driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuseError {
+    /// The requested root class does not exist.
+    UnknownClass(String),
+    /// A requested traversal does not exist on the root class.
+    UnknownTraversal(String, String),
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::UnknownClass(c) => write!(f, "unknown tree class `{c}`"),
+            FuseError::UnknownTraversal(c, t) => {
+                write!(f, "no traversal `{t}` on class `{c}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuseError {}
+
+/// Fuses the traversal sequence `traversals`, invoked back-to-back on a
+/// root of static type `root_class`.
+///
+/// This is the top-level driver corresponding to the paper's treatment of
+/// consecutive traversal calls in `main` (Fig. 2, lines 51–52).
+///
+/// # Errors
+///
+/// Returns [`FuseError`] if the class or a traversal name does not resolve.
+pub fn fuse(
+    program: &Program,
+    root_class: &str,
+    traversals: &[&str],
+    opts: &FuseOptions,
+) -> Result<FusedProgram, FuseError> {
+    let class = program
+        .class_by_name(root_class)
+        .ok_or_else(|| FuseError::UnknownClass(root_class.to_string()))?;
+    let mut slots = Vec::new();
+    for t in traversals {
+        let m = program.method_on_class(class, t).ok_or_else(|| {
+            FuseError::UnknownTraversal(root_class.to_string(), t.to_string())
+        })?;
+        slots.push(program.methods[m.index()].slot);
+    }
+    Ok(fuse_slots(program, class, &slots, opts))
+}
+
+/// Fuses a sequence of dispatch slots on a root of static type `class`.
+///
+/// Like [`fuse`] but with resolved ids; useful when driving the compiler
+/// programmatically.
+pub fn fuse_slots(
+    program: &Program,
+    class: ClassId,
+    slots: &[MethodId],
+    opts: &FuseOptions,
+) -> FusedProgram {
+    let mut fuser = Fuser {
+        program,
+        accesses: ProgramAccesses::new(program),
+        opts: opts.clone(),
+        functions: Vec::new(),
+        fn_keys: HashMap::new(),
+        stubs: Vec::new(),
+        stub_keys: HashMap::new(),
+    };
+    let entries = if opts.grouping {
+        vec![fuser.stub_for(class, slots.to_vec())]
+    } else {
+        // Unfused baseline: each traversal is dispatched separately, so the
+        // tree is walked once per traversal just like the original program.
+        slots
+            .iter()
+            .map(|&slot| fuser.stub_for(class, vec![slot]))
+            .collect()
+    };
+    FusedProgram {
+        program: program.clone(),
+        functions: fuser.functions,
+        stubs: fuser.stubs,
+        entries,
+        entry_slots: slots.to_vec(),
+    }
+}
+
+struct Fuser<'p> {
+    program: &'p Program,
+    accesses: ProgramAccesses<'p>,
+    opts: FuseOptions,
+    functions: Vec<FusedFn>,
+    fn_keys: HashMap<Vec<MethodId>, FusedFnId>,
+    stubs: Vec<Stub>,
+    stub_keys: HashMap<(ClassId, Vec<MethodId>), StubId>,
+}
+
+impl Fuser<'_> {
+    /// Returns the stub dispatching `slots` on static type `class`,
+    /// creating it (and every fused function it needs) on first use.
+    fn stub_for(&mut self, class: ClassId, slots: Vec<MethodId>) -> StubId {
+        let key = (class, slots.clone());
+        if let Some(&id) = self.stub_keys.get(&key) {
+            return id;
+        }
+        let id = StubId(self.stubs.len() as u32);
+        self.stubs.push(Stub {
+            receiver_static: class,
+            slots: slots.clone(),
+            targets: Vec::new(),
+            name: format!("__stub{}", self.stubs.len()),
+        });
+        self.stub_keys.insert(key, id);
+        for concrete in self.program.concrete_subtypes(class) {
+            let mut seq = Vec::with_capacity(slots.len());
+            let mut ok = true;
+            for &slot in &slots {
+                match self.program.resolve_virtual(concrete, slot) {
+                    Some(m) => seq.push(m),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let fid = self.fused_for(seq);
+            self.stubs[id.0 as usize].targets.push((concrete, fid));
+        }
+        id
+    }
+
+    /// Returns the fused function for a sequence of concrete functions,
+    /// generating it on first encounter. Re-entrant: a sequence that
+    /// reaches itself recursively gets a recursive call through its own
+    /// stub (the id is registered before the body is built).
+    fn fused_for(&mut self, seq: Vec<MethodId>) -> FusedFnId {
+        if let Some(&id) = self.fn_keys.get(&seq) {
+            return id;
+        }
+        let id = FusedFnId(self.functions.len() as u32);
+        let receiver_class = self
+            .program
+            .least_common_ancestor(
+                &seq.iter()
+                    .map(|m| self.program.methods[m.index()].class)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap_or(self.program.methods[seq[0].index()].class);
+        let name = format!(
+            "_fuse_{}",
+            seq.iter().map(|m| format!("_F{}", m.0)).collect::<String>()
+        );
+        self.functions.push(FusedFn {
+            seq: seq.clone(),
+            receiver_class,
+            body: Vec::new(),
+            name,
+        });
+        self.fn_keys.insert(seq.clone(), id);
+
+        let merged = DepGraph::merge_bodies(self.program, &seq);
+        let graph = DepGraph::build(&mut self.accesses, &seq, &merged);
+        let (group_of, n_groups) = self.group_calls(&seq, &merged, &graph);
+        let order = graph.schedule(&group_of, n_groups);
+        debug_assert!(graph.order_is_valid(&order));
+
+        let body = self.emit_body(&seq, &merged, &group_of, &order);
+        self.functions[id.0 as usize].body = body;
+        id
+    }
+
+    /// Greedy call grouping (paper §4): pick an ungrouped call, accumulate
+    /// other ungrouped calls on the same child while the condensed graph
+    /// stays acyclic and the cutoffs hold.
+    fn group_calls(
+        &mut self,
+        seq: &[MethodId],
+        merged: &[MergedStmt],
+        graph: &DepGraph,
+    ) -> (Vec<usize>, usize) {
+        let n = merged.len();
+        // Initially every vertex is its own group.
+        let mut group_of: Vec<usize> = (0..n).collect();
+        if !self.opts.grouping {
+            return (group_of, n);
+        }
+
+        let call_vertices: Vec<usize> = (0..n)
+            .filter(|&v| matches!(merged[v].stmt, Stmt::Traverse(_)))
+            .collect();
+        let receiver_key = |v: usize| -> Vec<u32> {
+            let Stmt::Traverse(call) = &merged[v].stmt else {
+                unreachable!("call vertices are traverses");
+            };
+            call.receiver.fields().map(|f| f.0).collect()
+        };
+        let slot_of = |v: usize| -> MethodId {
+            let Stmt::Traverse(call) = &merged[v].stmt else {
+                unreachable!("call vertices are traverses");
+            };
+            call.slot
+        };
+        let static_target = |fuser: &Self, v: usize| -> Option<ClassId> {
+            let Stmt::Traverse(call) = &merged[v].stmt else {
+                unreachable!("call vertices are traverses");
+            };
+            let owner = fuser.program.methods[seq[merged[v].traversal].index()].class;
+            fuser.program.path_target_type(owner, &call.receiver)
+        };
+
+        let mut grouped = vec![false; n];
+        for &u in &call_vertices {
+            if grouped[u] {
+                continue;
+            }
+            grouped[u] = true;
+            let mut members = vec![u];
+            let key = receiver_key(u);
+            let mut types = vec![static_target(self, u).unwrap_or(ClassId(0))];
+            for &v in &call_vertices {
+                if grouped[v] || receiver_key(v) != key {
+                    continue;
+                }
+                if members.len() + 1 > self.opts.max_group_size {
+                    break;
+                }
+                let occurrences = members.iter().filter(|&&m| slot_of(m) == slot_of(v)).count();
+                if occurrences + 1 > self.opts.max_occurrences {
+                    continue;
+                }
+                // The grouped calls need a common supertype to dispatch on.
+                let Some(vt) = static_target(self, v) else {
+                    continue;
+                };
+                let mut tentative_types = types.clone();
+                tentative_types.push(vt);
+                if self
+                    .program
+                    .least_common_ancestor(&tentative_types)
+                    .is_none()
+                {
+                    continue;
+                }
+                // Tentatively merge and keep only if the condensation stays
+                // acyclic.
+                let saved = group_of[v];
+                group_of[v] = group_of[u];
+                if condensation_acyclic(graph, &group_of) {
+                    grouped[v] = true;
+                    members.push(v);
+                    types = tentative_types;
+                } else {
+                    group_of[v] = saved;
+                }
+            }
+        }
+
+        // Re-number groups densely.
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for g in group_of.iter_mut() {
+            let next = remap.len();
+            *g = *remap.entry(*g).or_insert(next);
+        }
+        let n_groups = remap.len();
+        (group_of, n_groups)
+    }
+
+    /// Emits the scheduled body, turning each call group into a stub
+    /// dispatch (recursing into `stub_for` / `fused_for`).
+    fn emit_body(
+        &mut self,
+        seq: &[MethodId],
+        merged: &[MergedStmt],
+        group_of: &[usize],
+        order: &[usize],
+    ) -> Vec<ScheduledItem> {
+        let mut emitted_groups: Vec<bool> = vec![false; merged.len() + 1];
+        let mut body = Vec::new();
+        for &v in order {
+            match &merged[v].stmt {
+                Stmt::Traverse(_) => {
+                    let g = group_of[v];
+                    if emitted_groups[g] {
+                        continue;
+                    }
+                    emitted_groups[g] = true;
+                    // Collect members of the group in merged order.
+                    let members: Vec<usize> = (0..merged.len())
+                        .filter(|&w| group_of[w] == g)
+                        .collect();
+                    let mut parts = Vec::new();
+                    let mut types = Vec::new();
+                    let mut receiver = NodePath::this();
+                    for &w in &members {
+                        let Stmt::Traverse(call) = &merged[w].stmt else {
+                            unreachable!("group members are traverses");
+                        };
+                        receiver = call.receiver.clone();
+                        let owner =
+                            self.program.methods[seq[merged[w].traversal].index()].class;
+                        if let Some(t) =
+                            self.program.path_target_type(owner, &call.receiver)
+                        {
+                            types.push(t);
+                        }
+                        parts.push(CallPart {
+                            traversal: merged[w].traversal,
+                            slot: call.slot,
+                            args: call.args.clone(),
+                        });
+                    }
+                    let static_ty = self
+                        .program
+                        .least_common_ancestor(&types)
+                        .expect("grouping guarantees a common supertype");
+                    let slots: Vec<MethodId> = parts.iter().map(|p| p.slot).collect();
+                    let stub = self.stub_for(static_ty, slots);
+                    body.push(ScheduledItem::Call {
+                        receiver,
+                        stub,
+                        parts,
+                    });
+                }
+                stmt => body.push(ScheduledItem::Stmt {
+                    traversal: merged[v].traversal,
+                    stmt: stmt.clone(),
+                }),
+            }
+        }
+        body
+    }
+}
+
+/// Whether condensing `group_of` over `graph` yields an acyclic graph.
+fn condensation_acyclic(graph: &DepGraph, group_of: &[usize]) -> bool {
+    let n = group_of.len();
+    // Dense renumbering of group ids.
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    for &g in group_of {
+        let next = remap.len();
+        remap.entry(g).or_insert(next);
+    }
+    let k = remap.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut indeg = vec![0usize; k];
+    for u in 0..n {
+        for &v in graph.succs(u) {
+            let (gu, gv) = (remap[&group_of[u]], remap[&group_of[v]]);
+            if gu != gv && !succs[gu].contains(&gv) {
+                succs[gu].push(gv);
+                indeg[gv] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..k).filter(|&g| indeg[g] == 0).collect();
+    let mut seen = 0;
+    while let Some(g) = ready.pop() {
+        seen += 1;
+        for &s in &succs[g] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    seen == k
+}

@@ -1,0 +1,392 @@
+//! Integration tests for the fusion engine.
+
+use grafter::{cpp, fuse, FuseOptions, ScheduledItem};
+use grafter_frontend::compile;
+
+const FIG2: &str = r#"
+    global int CHAR_WIDTH = 8;
+    struct String { int Length; }
+    struct BorderInfo { int Size; }
+    tree class Element {
+        child Element* Next;
+        int Height = 0; int Width = 0;
+        int MaxHeight = 0; int TotalWidth = 0;
+        virtual traversal computeWidth() {}
+        virtual traversal computeHeight() {}
+    }
+    tree class TextBox : public Element {
+        String Text;
+        traversal computeWidth() {
+            Next->computeWidth();
+            Width = Text.Length;
+            TotalWidth = Next.Width + Width;
+        }
+        traversal computeHeight() {
+            Next->computeHeight();
+            Height = Text.Length * (Width / CHAR_WIDTH) + 1;
+            MaxHeight = Height;
+            if (Next.Height > Height) { MaxHeight = Next.Height; }
+        }
+    }
+    tree class Group : public Element {
+        child Element* Content;
+        BorderInfo Border;
+        traversal computeWidth() {
+            Content->computeWidth();
+            Next->computeWidth();
+            Width = Content.Width + Border.Size * 2;
+            TotalWidth = Width + Next.Width;
+        }
+        traversal computeHeight() {
+            Content->computeHeight();
+            Next->computeHeight();
+            Height = Content.MaxHeight + Border.Size * 2;
+            MaxHeight = Height;
+            if (Next.Height > Height) { MaxHeight = Next.Height; }
+        }
+    }
+    tree class End : public Element { }
+"#;
+
+#[test]
+fn fuses_figure2_completely() {
+    let p = compile(FIG2).unwrap();
+    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
+        .unwrap();
+    // computeHeight depends on computeWidth at each node (Height reads
+    // Width), but the traversals still fuse into single passes: statements
+    // reorder so both traversals' calls group per child.
+    assert!(fp.fully_fused(), "{}", cpp::emit(&fp));
+    // The entry stub covers all four concrete types.
+    assert_eq!(fp.stub(fp.entries[0]).targets.len(), 4);
+}
+
+#[test]
+fn unfused_baseline_keeps_separate_visits() {
+    let p = compile(FIG2).unwrap();
+    let fp = fuse(
+        &p,
+        "Element",
+        &["computeWidth", "computeHeight"],
+        &FuseOptions::unfused(),
+    )
+    .unwrap();
+    assert!(!fp.fully_fused());
+    // Every fused function is a singleton original traversal.
+    for f in &fp.functions {
+        assert_eq!(f.seq.len(), 1);
+    }
+}
+
+#[test]
+fn fusion_is_blocked_by_true_dependences() {
+    // f pulls `x` up post-order (reads kid.x after its call); g pushes `x`
+    // down pre-order (writes kid.x before its call, which reads kid.x at
+    // the next level). The chain f.call -> f.store -> g.store -> g.call
+    // passes through statements outside any group, so the two calls can
+    // never be adjacent: grouping is illegal and fusion must keep two
+    // visits of `kid`.
+    let src = r#"
+        tree class N {
+            child N* kid;
+            int x = 0;
+            virtual traversal f() {}
+            virtual traversal g() {}
+        }
+        tree class C : N {
+            traversal f() {
+                this->kid->f();
+                x = this->kid.x;
+            }
+            traversal g() {
+                this->kid.x = x + 1;
+                this->kid->g();
+            }
+        }
+        tree class E : N { }
+    "#;
+    let p = compile(src).unwrap();
+    let fp = fuse(&p, "N", &["f", "g"], &FuseOptions::default()).unwrap();
+    let c = p.class_by_name("C").unwrap();
+    let cf = p.method_on_class(c, "f").unwrap();
+    let cg = p.method_on_class(c, "g").unwrap();
+    let pair = fp
+        .functions
+        .iter()
+        .find(|f| f.seq == vec![cf, cg])
+        .expect("pair function exists");
+    let n_calls = pair
+        .body
+        .iter()
+        .filter(|i| matches!(i, ScheduledItem::Call { .. }))
+        .count();
+    assert_eq!(n_calls, 2, "{}", cpp::emit(&fp));
+    assert!(!fp.fully_fused());
+}
+
+#[test]
+fn type_specific_partial_fusion() {
+    // On type A the two traversals conflict (fusion blocked at the call
+    // level); on type B they are independent and fuse. Type-specific
+    // fusion handles each concrete type separately.
+    let src = r#"
+        tree class N {
+            child N* kid;
+            int x = 0;
+            int y = 0;
+            virtual traversal f() {}
+            virtual traversal g() {}
+        }
+        tree class A : N {
+            traversal f() {
+                this->kid->f();
+                x = this->kid.x;
+            }
+            traversal g() {
+                this->kid.x = x + 1;
+                this->kid->g();
+            }
+        }
+        tree class B : N {
+            traversal f() { x = x + 1; this->kid->f(); }
+            traversal g() { y = y + 1; this->kid->g(); }
+        }
+        tree class E : N { }
+    "#;
+    let p = compile(src).unwrap();
+    let fp = fuse(&p, "N", &["f", "g"], &FuseOptions::default()).unwrap();
+    let a = p.class_by_name("A").unwrap();
+    let b = p.class_by_name("B").unwrap();
+    let af = p.method_on_class(a, "f").unwrap();
+    let ag = p.method_on_class(a, "g").unwrap();
+    let bf = p.method_on_class(b, "f").unwrap();
+    let bg = p.method_on_class(b, "g").unwrap();
+
+    let a_pair = fp.functions.iter().find(|f| f.seq == vec![af, ag]).unwrap();
+    let b_pair = fp.functions.iter().find(|f| f.seq == vec![bf, bg]).unwrap();
+    let calls = |f: &grafter::FusedFn| {
+        f.body
+            .iter()
+            .filter(|i| matches!(i, ScheduledItem::Call { .. }))
+            .count()
+    };
+    assert_eq!(calls(a_pair), 2, "A cannot fuse: {}", cpp::emit(&fp));
+    assert_eq!(calls(b_pair), 1, "B fuses: {}", cpp::emit(&fp));
+}
+
+#[test]
+fn recursive_sequences_reuse_existing_functions() {
+    let p = compile(FIG2).unwrap();
+    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
+        .unwrap();
+    // The TextBox pair calls Next->(width+height) which is the same slot
+    // sequence as the entry: the same stub must be reused, not duplicated.
+    let mut stub_keys: Vec<_> = fp
+        .stubs
+        .iter()
+        .map(|s| (s.receiver_static, s.slots.clone()))
+        .collect();
+    let before = stub_keys.len();
+    stub_keys.sort();
+    stub_keys.dedup();
+    assert_eq!(stub_keys.len(), before, "stubs are memoised");
+    // Fusion terminated with a small number of functions (4 types x 1
+    // pair + singletons at most).
+    assert!(fp.n_functions() <= 12, "got {}", fp.n_functions());
+}
+
+#[test]
+fn multiple_calls_on_same_child_respect_occurrence_cutoff() {
+    // Each traversal calls `go` twice on the same child; fusing the pair
+    // would want a group of 4 copies of `go` — the occurrence cutoff (3)
+    // must split it.
+    let src = r#"
+        tree class N {
+            child N* kid;
+            int x = 0;
+            virtual traversal go() {}
+        }
+        tree class C : N {
+            traversal go() {
+                this->kid->go();
+                this->kid->go();
+                x = x + 1;
+            }
+        }
+        tree class E : N { }
+    "#;
+    let p = compile(src).unwrap();
+    let opts = FuseOptions {
+        max_occurrences: 3,
+        ..FuseOptions::default()
+    };
+    let fp = fuse(&p, "N", &["go", "go"], &opts).unwrap();
+    // Groups never contain more than 3 copies of C::go.
+    for f in &fp.functions {
+        for item in &f.body {
+            if let ScheduledItem::Call { parts, .. } = item {
+                assert!(parts.len() <= 3, "group of {} exceeds cutoff", parts.len());
+            }
+        }
+    }
+    // And fusion terminated.
+    assert!(fp.n_functions() < 40);
+}
+
+#[test]
+fn group_size_cutoff_bounds_sequences() {
+    let src = r#"
+        tree class N {
+            child N* kid;
+            int x = 0;
+            virtual traversal go() {}
+        }
+        tree class C : N {
+            traversal go() {
+                this->kid->go();
+                this->kid->go();
+                x = x + 1;
+            }
+        }
+        tree class E : N { }
+    "#;
+    let p = compile(src).unwrap();
+    let opts = FuseOptions {
+        max_group_size: 2,
+        max_occurrences: 8,
+        ..FuseOptions::default()
+    };
+    let fp = fuse(&p, "N", &["go", "go"], &opts).unwrap();
+    for f in &fp.functions {
+        assert!(f.seq.len() <= 2);
+        for item in &f.body {
+            if let ScheduledItem::Call { parts, .. } = item {
+                assert!(parts.len() <= 2);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutation_traversals_fuse_when_safe() {
+    // A desugaring-style pass that rewrites subtrees, followed by a
+    // counting pass. The counter reads fields the rewriter writes, so
+    // order is preserved; both traverse the same child and can group.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int kind = 0;
+            int count = 0;
+            virtual traversal desugar() {}
+            virtual traversal tally() {}
+        }
+        tree class Cons : Node {
+            child Leaf* payload;
+            traversal desugar() {
+                if (kind == 1) {
+                    delete this->payload;
+                    this->payload = new Leaf();
+                    kind = 2;
+                }
+                this->next->desugar();
+            }
+            traversal tally() {
+                count = kind;
+                this->next->tally();
+            }
+        }
+        tree class Leaf : Node { int v = 0; }
+        tree class End : Node { }
+    "#;
+    let p = compile(src).unwrap();
+    let fp = fuse(&p, "Node", &["desugar", "tally"], &FuseOptions::default()).unwrap();
+    let cons = p.class_by_name("Cons").unwrap();
+    let d = p.method_on_class(cons, "desugar").unwrap();
+    let t = p.method_on_class(cons, "tally").unwrap();
+    let pair = fp.functions.iter().find(|f| f.seq == vec![d, t]).unwrap();
+    let n_calls = pair
+        .body
+        .iter()
+        .filter(|i| matches!(i, ScheduledItem::Call { .. }))
+        .count();
+    assert_eq!(n_calls, 1, "next-calls group: {}", cpp::emit(&fp));
+}
+
+#[test]
+fn cpp_emitter_produces_figure6_shape() {
+    let p = compile(FIG2).unwrap();
+    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
+        .unwrap();
+    let code = cpp::emit(&fp);
+    assert!(code.contains("active_flags"), "{code}");
+    assert!(code.contains("call_flags"), "{code}");
+    assert!(code.contains("__stub"), "{code}");
+    assert!(code.contains("_fuse_"), "{code}");
+    // Per-traversal receiver aliases.
+    assert!(code.contains("_r_f0"), "{code}");
+    assert!(code.contains("_r_f1"), "{code}");
+    // Stub bodies appear for every concrete class.
+    for class in ["Element", "TextBox", "Group", "End"] {
+        assert!(code.contains(&format!("void {class}::__stub")), "{code}");
+    }
+}
+
+#[test]
+fn schedule_never_violates_dependences() {
+    // Differential check on many small programs: build the fused program
+    // and validate every function's schedule against a freshly built
+    // dependence graph.
+    use grafter::{DepGraph, ProgramAccesses};
+    let p = compile(FIG2).unwrap();
+    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
+        .unwrap();
+    for f in &fp.functions {
+        let merged = DepGraph::merge_bodies(&p, &f.seq);
+        let mut acc = ProgramAccesses::new(&p);
+        let graph = DepGraph::build(&mut acc, &f.seq, &merged);
+        // Recover the emitted order of merged statements from the body.
+        let mut order = Vec::new();
+        for item in &f.body {
+            match item {
+                ScheduledItem::Stmt { traversal, stmt } => {
+                    let pos = merged
+                        .iter()
+                        .position(|ms| {
+                            ms.traversal == *traversal
+                                && !order.contains(&merged.iter().position(|x| std::ptr::eq(x, ms)).unwrap())
+                                && &ms.stmt == stmt
+                        })
+                        .unwrap();
+                    order.push(pos);
+                }
+                ScheduledItem::Call { parts, receiver, .. } => {
+                    for part in parts {
+                        let pos = (0..merged.len())
+                            .find(|&i| {
+                                if order.contains(&i) || merged[i].traversal != part.traversal {
+                                    return false;
+                                }
+                                match &merged[i].stmt {
+                                    grafter_frontend::Stmt::Traverse(c) => {
+                                        c.slot == part.slot && &c.receiver == receiver
+                                    }
+                                    _ => false,
+                                }
+                            })
+                            .unwrap();
+                        order.push(pos);
+                    }
+                }
+            }
+        }
+        assert_eq!(order.len(), merged.len());
+        assert!(graph.order_is_valid(&order), "function {}", f.name);
+    }
+}
+
+#[test]
+fn fuse_reports_unknown_names() {
+    let p = compile(FIG2).unwrap();
+    assert!(fuse(&p, "Nope", &["computeWidth"], &FuseOptions::default()).is_err());
+    assert!(fuse(&p, "Element", &["nope"], &FuseOptions::default()).is_err());
+}

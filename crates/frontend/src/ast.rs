@@ -1,0 +1,240 @@
+//! Surface abstract syntax tree produced by the parser.
+//!
+//! Names are unresolved strings; [`crate::sema`] resolves them into the
+//! [`crate::hir`] representation. The shapes mirror the paper's Fig. 3
+//! grammar.
+
+use crate::diag::Span;
+
+/// A whole source file.
+#[derive(Clone, Debug, Default)]
+pub struct SurfaceProgram {
+    pub classes: Vec<TreeClass>,
+    pub structs: Vec<StructDef>,
+    pub pures: Vec<PureDecl>,
+    pub globals: Vec<GlobalDef>,
+}
+
+/// `tree class Name : Super { members }`.
+#[derive(Clone, Debug)]
+pub struct TreeClass {
+    pub name: String,
+    pub supers: Vec<String>,
+    pub members: Vec<Member>,
+    pub span: Span,
+}
+
+/// A member of a tree class.
+#[derive(Clone, Debug)]
+pub enum Member {
+    /// `child T* name;`
+    Child {
+        class: String,
+        name: String,
+        span: Span,
+    },
+    /// `ty name = literal;`
+    Data {
+        ty: TypeName,
+        name: String,
+        default: Option<Literal>,
+        span: Span,
+    },
+    /// `[virtual] traversal name(params) { body }`
+    Traversal(TraversalDef),
+}
+
+/// A traversal method definition.
+#[derive(Clone, Debug)]
+pub struct TraversalDef {
+    pub name: String,
+    pub is_virtual: bool,
+    pub params: Vec<(TypeName, String)>,
+    pub body: Vec<SurfaceStmt>,
+    pub span: Span,
+}
+
+/// `struct Name { ty member; ... }`.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub members: Vec<(TypeName, String)>,
+    pub span: Span,
+}
+
+/// `pure ty name(params);` — body is opaque (registered natively at runtime).
+#[derive(Clone, Debug)]
+pub struct PureDecl {
+    pub name: String,
+    pub return_type: TypeName,
+    pub params: Vec<(TypeName, String)>,
+    pub span: Span,
+}
+
+/// `global ty name = literal;`.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    pub ty: TypeName,
+    pub name: String,
+    pub default: Option<Literal>,
+    pub span: Span,
+}
+
+/// An unresolved type name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeName {
+    Int,
+    Float,
+    Bool,
+    /// A struct (or, where allowed, tree class) name.
+    Named(String),
+}
+
+/// A literal constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+/// A statement as parsed.
+#[derive(Clone, Debug)]
+pub enum SurfaceStmt {
+    /// `path->method(args);` — a traversing call.
+    Traverse {
+        receiver: SurfacePath,
+        method: String,
+        args: Vec<SurfaceExpr>,
+        span: Span,
+    },
+    /// `access = expr;`
+    Assign {
+        target: SurfacePath,
+        value: SurfaceExpr,
+        span: Span,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        cond: SurfaceExpr,
+        then_branch: Vec<SurfaceStmt>,
+        else_branch: Vec<SurfaceStmt>,
+        span: Span,
+    },
+    /// `ty name = expr;` — a primitive/struct local definition.
+    LocalDef {
+        ty: TypeName,
+        name: String,
+        init: Option<SurfaceExpr>,
+        span: Span,
+    },
+    /// `T* const name = path;` — a tree-node alias.
+    AliasDef {
+        class: String,
+        name: String,
+        path: SurfacePath,
+        span: Span,
+    },
+    /// `path = new T();`
+    New {
+        target: SurfacePath,
+        class: String,
+        span: Span,
+    },
+    /// `delete path;`
+    Delete { target: SurfacePath, span: Span },
+    /// `return;`
+    Return { span: Span },
+    /// `pureFn(args);`
+    PureCall {
+        name: String,
+        args: Vec<SurfaceExpr>,
+        span: Span,
+    },
+}
+
+impl SurfaceStmt {
+    /// Source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            SurfaceStmt::Traverse { span, .. }
+            | SurfaceStmt::Assign { span, .. }
+            | SurfaceStmt::If { span, .. }
+            | SurfaceStmt::LocalDef { span, .. }
+            | SurfaceStmt::AliasDef { span, .. }
+            | SurfaceStmt::New { span, .. }
+            | SurfaceStmt::Delete { span, .. }
+            | SurfaceStmt::Return { span }
+            | SurfaceStmt::PureCall { span, .. } => *span,
+        }
+    }
+}
+
+/// The base of a surface path.
+#[derive(Clone, Debug)]
+pub enum PathBase {
+    /// `this`
+    This,
+    /// A plain identifier: alias, local, parameter or global (resolved later).
+    Ident(String),
+    /// `static_cast<T*>(path)`
+    Cast { class: String, inner: Box<SurfacePath> },
+}
+
+/// A chain of `->child` and `.member` accesses from a base.
+///
+/// The grammar only permits all `->` steps (tree navigation) followed by all
+/// `.` steps (data member accesses); the parser enforces this shape.
+#[derive(Clone, Debug)]
+pub struct SurfacePath {
+    pub base: PathBase,
+    /// `->name` steps (child-pointer dereferences, or a cast boundary).
+    pub arrows: Vec<ArrowStep>,
+    /// `.name` steps (data member accesses).
+    pub dots: Vec<String>,
+    pub span: Span,
+}
+
+/// One `->name` step, possibly followed by a cast of the intermediate node.
+#[derive(Clone, Debug)]
+pub struct ArrowStep {
+    pub name: String,
+}
+
+/// An expression as parsed.
+#[derive(Clone, Debug)]
+pub enum SurfaceExpr {
+    Literal(Literal, Span),
+    /// A path read (data access); also covers bare locals/params/globals.
+    Path(SurfacePath),
+    Unary {
+        op: crate::hir::UnOp,
+        expr: Box<SurfaceExpr>,
+        span: Span,
+    },
+    Binary {
+        op: crate::hir::BinOp,
+        lhs: Box<SurfaceExpr>,
+        rhs: Box<SurfaceExpr>,
+        span: Span,
+    },
+    /// `pureFn(args)`
+    Call {
+        name: String,
+        args: Vec<SurfaceExpr>,
+        span: Span,
+    },
+}
+
+impl SurfaceExpr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            SurfaceExpr::Literal(_, span) => *span,
+            SurfaceExpr::Path(p) => p.span,
+            SurfaceExpr::Unary { span, .. }
+            | SurfaceExpr::Binary { span, .. }
+            | SurfaceExpr::Call { span, .. } => *span,
+        }
+    }
+}

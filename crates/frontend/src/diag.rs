@@ -1,0 +1,90 @@
+//! Diagnostics and source locations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Computes 1-based `(line, column)` of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// A compiler diagnostic (always an error; Grafter either fuses a valid
+/// program or rejects it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Source range the message refers to, when known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic attached to a source span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a diagnostic with no particular location.
+    pub fn global(message: impl Into<String>) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Renders the diagnostic with `line:col` resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        match self.span {
+            Some(span) => {
+                let (line, col) = span.line_col(src);
+                format!("{line}:{col}: error: {}", self.message)
+            }
+            None => format!("error: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.message)
+    }
+}
+
+impl Error for Diagnostic {}

@@ -1,0 +1,373 @@
+//! Tokenizer for the Grafter traversal language.
+
+use crate::diag::{Diagnostic, Span};
+
+/// The kind of a lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Arrow,
+    Star,
+    Assign,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    AndAnd,
+    OrOr,
+    Bang,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("`{name}`"),
+            TokenKind::Int(v) => format!("`{v}`"),
+            TokenKind::Float(v) => format!("`{v}`"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a diagnostic for unterminated block comments, malformed numbers
+/// and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut errors = Vec::new();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut closed = false;
+                let mut j = i + 2;
+                while j + 1 < bytes.len() {
+                    if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        closed = true;
+                        j += 2;
+                        break;
+                    }
+                    j += 1;
+                }
+                if !closed {
+                    errors.push(Diagnostic::new(
+                        "unterminated block comment",
+                        Span::new(start, bytes.len()),
+                    ));
+                    break;
+                }
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && matches!(bytes[j] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    j += 1;
+                }
+                let name = &src[i..j];
+                tokens.push(Token {
+                    kind: TokenKind::Ident(name.to_string()),
+                    span: Span::new(i, j),
+                });
+                i = j;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[i..j];
+                let span = Span::new(i, j);
+                if is_float {
+                    match text.parse::<f64>() {
+                        Ok(v) => tokens.push(Token {
+                            kind: TokenKind::Float(v),
+                            span,
+                        }),
+                        Err(_) => errors
+                            .push(Diagnostic::new(format!("invalid float literal `{text}`"), span)),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens.push(Token {
+                            kind: TokenKind::Int(v),
+                            span,
+                        }),
+                        Err(_) => errors.push(Diagnostic::new(
+                            format!("integer literal `{text}` out of range"),
+                            span,
+                        )),
+                    }
+                }
+                i = j;
+            }
+            _ => {
+                // Multi-byte UTF-8 is never part of a valid token; slice
+                // defensively so bad input yields a diagnostic, not a panic.
+                let two = src.get(i..i + 2).unwrap_or("");
+                let (kind, len) = match two {
+                    "->" => (Some(TokenKind::Arrow), 2),
+                    "==" => (Some(TokenKind::EqEq), 2),
+                    "!=" => (Some(TokenKind::NotEq), 2),
+                    "<=" => (Some(TokenKind::Le), 2),
+                    ">=" => (Some(TokenKind::Ge), 2),
+                    "&&" => (Some(TokenKind::AndAnd), 2),
+                    "||" => (Some(TokenKind::OrOr), 2),
+                    _ => {
+                        let kind = match c {
+                            '{' => Some(TokenKind::LBrace),
+                            '}' => Some(TokenKind::RBrace),
+                            '(' => Some(TokenKind::LParen),
+                            ')' => Some(TokenKind::RParen),
+                            ';' => Some(TokenKind::Semi),
+                            ',' => Some(TokenKind::Comma),
+                            ':' => Some(TokenKind::Colon),
+                            '.' => Some(TokenKind::Dot),
+                            '*' => Some(TokenKind::Star),
+                            '=' => Some(TokenKind::Assign),
+                            '<' => Some(TokenKind::Lt),
+                            '>' => Some(TokenKind::Gt),
+                            '+' => Some(TokenKind::Plus),
+                            '-' => Some(TokenKind::Minus),
+                            '/' => Some(TokenKind::Slash),
+                            '%' => Some(TokenKind::Percent),
+                            '!' => Some(TokenKind::Bang),
+                            _ => None,
+                        };
+                        (kind, 1)
+                    }
+                };
+                match kind {
+                    Some(kind) => {
+                        tokens.push(Token {
+                            kind,
+                            span: Span::new(i, i + len),
+                        });
+                        i += len;
+                    }
+                    None => {
+                        let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+                        let width = ch.len_utf8();
+                        errors.push(Diagnostic::new(
+                            format!("unexpected character `{ch}`"),
+                            Span::new(i, i + width),
+                        ));
+                        i += width;
+                    }
+                }
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    if errors.is_empty() {
+        Ok(tokens)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        let ks = kinds("this->next.x = 1;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("this".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("next".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_scientific() {
+        assert_eq!(
+            kinds("1.5 2e3 7"),
+            vec![
+                TokenKind::Float(1.5),
+                TokenKind::Float(2e3),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_member_dot_from_float_dot() {
+        // `x.5` is not a float; `.` only glues digits on both sides... the
+        // lexer treats `1.x` as int, dot, ident.
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a // line\n /* block \n still */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        let errs = lex("a /* nope").unwrap_err();
+        assert!(errs[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        let errs = lex("a # b").unwrap_err();
+        assert!(errs[0].message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || ->"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,899 @@
+//! Recursive-descent parser for the Grafter traversal language.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::hir::{BinOp, UnOp};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses source text into a surface AST.
+///
+/// # Errors
+///
+/// Returns all lexer diagnostics, or the first parse error encountered.
+pub fn parse(src: &str) -> Result<SurfaceProgram, Vec<Diagnostic>> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program().map_err(|d| vec![d])
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(message, self.span())
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Span> {
+        if *self.peek() == kind {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(name) if name == kw)
+    }
+
+    fn is_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_at(n), TokenKind::Ident(name) if name == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<Span> {
+        if self.is_kw(kw) {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(self.error(format!("expected `{kw}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---- items -----------------------------------------------------------
+
+    fn program(&mut self) -> PResult<SurfaceProgram> {
+        let mut program = SurfaceProgram::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "tree" => program.classes.push(self.tree_class()?),
+                    "struct" => program.structs.push(self.struct_def()?),
+                    "pure" => program.pures.push(self.pure_decl()?),
+                    "global" => program.globals.push(self.global_def()?),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected `tree`, `struct`, `pure` or `global` at top level, found `{other}`"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.error(format!(
+                        "expected a top-level item, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn tree_class(&mut self) -> PResult<TreeClass> {
+        let start = self.expect_kw("tree")?;
+        self.expect_kw("class")?;
+        let (name, _) = self.ident()?;
+        let mut supers = Vec::new();
+        if self.eat(TokenKind::Colon) {
+            loop {
+                // Accept and ignore an optional C++-style `public`.
+                self.eat_kw("public");
+                let (sup, _) = self.ident()?;
+                supers.push(sup);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            members.push(self.member()?);
+        }
+        Ok(TreeClass {
+            name,
+            supers,
+            members,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn member(&mut self) -> PResult<Member> {
+        if self.is_kw("child") {
+            let start = self.span();
+            self.bump();
+            let (class, _) = self.ident()?;
+            self.expect(TokenKind::Star)?;
+            let (name, _) = self.ident()?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Member::Child {
+                class,
+                name,
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.is_kw("traversal") || (self.is_kw("virtual") && self.is_kw_at(1, "traversal")) {
+            return Ok(Member::Traversal(self.traversal_def()?));
+        }
+        // Data field: `ty name [= literal];`
+        let start = self.span();
+        let ty = self.type_name()?;
+        let (name, _) = self.ident()?;
+        let default = if self.eat(TokenKind::Assign) {
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(Member::Data {
+            ty,
+            name,
+            default,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn traversal_def(&mut self) -> PResult<TraversalDef> {
+        let start = self.span();
+        let is_virtual = self.eat_kw("virtual");
+        self.expect_kw("traversal")?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(TokenKind::RParen) {
+            loop {
+                let ty = self.type_name()?;
+                let (pname, _) = self.ident()?;
+                params.push((ty, pname));
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(TraversalDef {
+            name,
+            is_virtual,
+            params,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn struct_def(&mut self) -> PResult<StructDef> {
+        let start = self.expect_kw("struct")?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            let ty = self.type_name()?;
+            let (mname, _) = self.ident()?;
+            self.expect(TokenKind::Semi)?;
+            members.push((ty, mname));
+        }
+        Ok(StructDef {
+            name,
+            members,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn pure_decl(&mut self) -> PResult<PureDecl> {
+        let start = self.expect_kw("pure")?;
+        let return_type = self.type_name()?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(TokenKind::RParen) {
+            loop {
+                let ty = self.type_name()?;
+                let (pname, _) = self.ident()?;
+                params.push((ty, pname));
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(PureDecl {
+            name,
+            return_type,
+            params,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn global_def(&mut self) -> PResult<GlobalDef> {
+        let start = self.expect_kw("global")?;
+        let ty = self.type_name()?;
+        let (name, _) = self.ident()?;
+        let default = if self.eat(TokenKind::Assign) {
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalDef {
+            ty,
+            name,
+            default,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn type_name(&mut self) -> PResult<TypeName> {
+        let (name, _) = self.ident()?;
+        Ok(match name.as_str() {
+            "int" => TypeName::Int,
+            "float" | "double" => TypeName::Float,
+            "bool" => TypeName::Bool,
+            _ => TypeName::Named(name),
+        })
+    }
+
+    fn literal(&mut self) -> PResult<Literal> {
+        let negative = self.eat(TokenKind::Minus);
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Literal::Int(if negative { -v } else { v }))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Literal::Float(if negative { -v } else { v }))
+            }
+            TokenKind::Ident(name) if name == "true" => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(name) if name == "false" => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            other => Err(self.error(format!("expected literal, found {}", other.describe()))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self) -> PResult<SurfaceStmt> {
+        let start = self.span();
+        if self.is_kw("if") {
+            return self.if_stmt();
+        }
+        if self.eat_kw("return") {
+            self.expect(TokenKind::Semi)?;
+            return Ok(SurfaceStmt::Return {
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.eat_kw("delete") {
+            let target = self.path()?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(SurfaceStmt::Delete {
+                target,
+                span: start.to(self.prev_span()),
+            });
+        }
+        // Local definition: `int|float|bool name ...` or `Struct name ...`.
+        if matches!(self.peek(), TokenKind::Ident(k) if k == "int" || k == "float" || k == "double" || k == "bool")
+        {
+            return self.local_def();
+        }
+        // Alias: `Class * const name = path;`
+        if matches!(self.peek(), TokenKind::Ident(_))
+            && *self.peek_at(1) == TokenKind::Star
+            && self.is_kw_at(2, "const")
+        {
+            let (class, _) = self.ident()?;
+            self.bump(); // *
+            self.bump(); // const
+            let (name, _) = self.ident()?;
+            self.expect(TokenKind::Assign)?;
+            let path = self.path()?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(SurfaceStmt::AliasDef {
+                class,
+                name,
+                path,
+                span: start.to(self.prev_span()),
+            });
+        }
+        // Struct-typed local: `Struct name ;` / `Struct name = expr ;`
+        if matches!(self.peek(), TokenKind::Ident(k) if k != "this" && k != "static_cast")
+            && matches!(self.peek_at(1), TokenKind::Ident(_))
+        {
+            return self.local_def();
+        }
+        // Pure call statement: `name(args);` (ident immediately followed by `(`).
+        if matches!(self.peek(), TokenKind::Ident(k) if k != "this" && k != "static_cast")
+            && *self.peek_at(1) == TokenKind::LParen
+        {
+            let (name, _) = self.ident()?;
+            let args = self.call_args()?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(SurfaceStmt::PureCall {
+                name,
+                args,
+                span: start.to(self.prev_span()),
+            });
+        }
+        // Otherwise: a path followed by `(` (traverse), `=` (assign/new).
+        let path = self.path()?;
+        if *self.peek() == TokenKind::LParen {
+            // Traversing call: last arrow step is the method name.
+            let mut receiver = path;
+            if receiver.dots.is_empty() {
+                let Some(last) = receiver.arrows.pop() else {
+                    return Err(self.error("traversal call requires `->method(...)`"));
+                };
+                let args = self.call_args()?;
+                self.expect(TokenKind::Semi)?;
+                return Ok(SurfaceStmt::Traverse {
+                    receiver,
+                    method: last.name,
+                    args,
+                    span: start.to(self.prev_span()),
+                });
+            }
+            return Err(self.error("method calls cannot follow `.` member accesses"));
+        }
+        self.expect(TokenKind::Assign)?;
+        if self.is_kw("new") {
+            self.bump();
+            let (class, _) = self.ident()?;
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(SurfaceStmt::New {
+                target: path,
+                class,
+                span: start.to(self.prev_span()),
+            });
+        }
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(SurfaceStmt::Assign {
+            target: path,
+            value,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn local_def(&mut self) -> PResult<SurfaceStmt> {
+        let start = self.span();
+        let ty = self.type_name()?;
+        let (name, _) = self.ident()?;
+        let init = if self.eat(TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(SurfaceStmt::LocalDef {
+            ty,
+            name,
+            init,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn if_stmt(&mut self) -> PResult<SurfaceStmt> {
+        let start = self.expect_kw("if")?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut then_branch = Vec::new();
+        while !self.eat(TokenKind::RBrace) {
+            then_branch.push(self.stmt()?);
+        }
+        let mut else_branch = Vec::new();
+        if self.eat_kw("else") {
+            self.expect(TokenKind::LBrace)?;
+            while !self.eat(TokenKind::RBrace) {
+                else_branch.push(self.stmt()?);
+            }
+        }
+        Ok(SurfaceStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<SurfaceExpr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(args)
+    }
+
+    // ---- paths -----------------------------------------------------------
+
+    fn path(&mut self) -> PResult<SurfacePath> {
+        let start = self.span();
+        let base = if self.is_kw("this") {
+            self.bump();
+            PathBase::This
+        } else if self.is_kw("static_cast") {
+            self.bump();
+            self.expect(TokenKind::Lt)?;
+            let (class, _) = self.ident()?;
+            self.expect(TokenKind::Star)?;
+            self.expect(TokenKind::Gt)?;
+            self.expect(TokenKind::LParen)?;
+            let inner = self.path()?;
+            self.expect(TokenKind::RParen)?;
+            PathBase::Cast {
+                class,
+                inner: Box::new(inner),
+            }
+        } else {
+            let (name, _) = self.ident()?;
+            PathBase::Ident(name)
+        };
+        let mut arrows = Vec::new();
+        while *self.peek() == TokenKind::Arrow {
+            self.bump();
+            let (name, _) = self.ident()?;
+            arrows.push(ArrowStep { name });
+        }
+        let mut dots = Vec::new();
+        while *self.peek() == TokenKind::Dot {
+            self.bump();
+            let (name, _) = self.ident()?;
+            dots.push(name);
+        }
+        Ok(SurfacePath {
+            base,
+            arrows,
+            dots,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> PResult<SurfaceExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat(TokenKind::AndAnd) {
+            let rhs = self.equality_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> PResult<SurfaceExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = SurfaceExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<SurfaceExpr> {
+        let start = self.span();
+        if self.eat(TokenKind::Minus) {
+            let expr = self.unary_expr()?;
+            let span = start.to(expr.span());
+            return Ok(SurfaceExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        if self.eat(TokenKind::Bang) {
+            let expr = self.unary_expr()?;
+            let span = start.to(expr.span());
+            return Ok(SurfaceExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> PResult<SurfaceExpr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(SurfaceExpr::Literal(Literal::Int(v), start))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(SurfaceExpr::Literal(Literal::Float(v), start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                if name == "true" || name == "false" {
+                    self.bump();
+                    return Ok(SurfaceExpr::Literal(Literal::Bool(name == "true"), start));
+                }
+                // Pure call in expression position: `name(args)`.
+                if name != "this"
+                    && name != "static_cast"
+                    && *self.peek_at(1) == TokenKind::LParen
+                {
+                    self.bump();
+                    let args = self.call_args()?;
+                    return Ok(SurfaceExpr::Call {
+                        name,
+                        args,
+                        span: start.to(self.prev_span()),
+                    });
+                }
+                let path = self.path()?;
+                Ok(SurfaceExpr::Path(path))
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> SurfaceProgram {
+        match parse(src) {
+            Ok(p) => p,
+            Err(errs) => panic!("parse failed: {}", errs[0].render(src)),
+        }
+    }
+
+    #[test]
+    fn parses_figure2_style_program() {
+        let src = r#"
+            global int CHAR_WIDTH = 8;
+            struct String { int Length; }
+            tree class Element {
+                child Element* Next;
+                int Height = 0; int Width = 0;
+                int MaxHeight = 0; int TotalWidth = 0;
+                virtual traversal computeWidth() {}
+                virtual traversal computeHeight() {}
+            }
+            tree class TextBox : public Element {
+                String Text;
+                traversal computeWidth() {
+                    this->Next->computeWidth();
+                    this.Width = this.Text.Length;
+                    this.TotalWidth = this->Next.Width + this.Width;
+                }
+                traversal computeHeight() {
+                    this->Next->computeHeight();
+                    this.Height = this.Text.Length * (this.Width / CHAR_WIDTH) + 1;
+                    this.MaxHeight = this.Height;
+                    if (this->Next.Height > this.Height) {
+                        this.MaxHeight = this->Next.Height;
+                    }
+                }
+            }
+            tree class End : public Element { }
+        "#;
+        let p = parse_ok(src);
+        assert_eq!(p.classes.len(), 3);
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.classes[0].members.len(), 7);
+        assert_eq!(p.classes[1].supers, vec!["Element".to_string()]);
+    }
+
+    #[test]
+    fn parses_alias_new_delete() {
+        let src = r#"
+            tree class N {
+                child N* left;
+                child N* right;
+                int v = 0;
+                traversal go() {
+                    N* const l = this->left;
+                    l->right->go();
+                    this->left = new N();
+                    delete this->right;
+                }
+            }
+        "#;
+        let p = parse_ok(src);
+        let Member::Traversal(t) = &p.classes[0].members[3] else {
+            panic!("expected traversal");
+        };
+        assert_eq!(t.body.len(), 4);
+        assert!(matches!(t.body[0], SurfaceStmt::AliasDef { .. }));
+        assert!(matches!(t.body[1], SurfaceStmt::Traverse { .. }));
+        assert!(matches!(t.body[2], SurfaceStmt::New { .. }));
+        assert!(matches!(t.body[3], SurfaceStmt::Delete { .. }));
+    }
+
+    #[test]
+    fn parses_static_cast_path() {
+        let src = r#"
+            tree class A {
+                child A* c;
+                int x = 0;
+                traversal f() {
+                    this.x = static_cast<A*>(this->c).x;
+                }
+            }
+        "#;
+        let p = parse_ok(src);
+        let Member::Traversal(t) = &p.classes[0].members[2] else {
+            panic!("expected traversal");
+        };
+        let SurfaceStmt::Assign { value, .. } = &t.body[0] else {
+            panic!("expected assignment");
+        };
+        let SurfaceExpr::Path(path) = value else {
+            panic!("expected path read");
+        };
+        assert!(matches!(path.base, PathBase::Cast { .. }));
+    }
+
+    #[test]
+    fn parses_pure_calls_and_locals() {
+        let src = r#"
+            pure float sqrtf(float x);
+            tree class A {
+                int x = 0;
+                traversal f(int p) {
+                    float t = sqrtf(3.5);
+                    int u = p + 1;
+                    this.x = u * 2;
+                    logIt(t);
+                }
+            }
+            pure bool logIt(float v);
+        "#;
+        let p = parse_ok(src);
+        assert_eq!(p.pures.len(), 2);
+        let Member::Traversal(t) = &p.classes[0].members[1] else {
+            panic!("expected traversal");
+        };
+        assert_eq!(t.params.len(), 1);
+        assert!(matches!(t.body[3], SurfaceStmt::PureCall { .. }));
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let src = r#"
+            tree class A {
+                int x = 0;
+                bool b = false;
+                traversal f() {
+                    this.b = 1 + 2 * 3 == 7 && !(4 > 5);
+                }
+            }
+        "#;
+        let p = parse_ok(src);
+        let Member::Traversal(t) = &p.classes[0].members[2] else {
+            panic!();
+        };
+        let SurfaceStmt::Assign { value, .. } = &t.body[0] else {
+            panic!();
+        };
+        let SurfaceExpr::Binary { op: BinOp::And, .. } = value else {
+            panic!("expected && at top: {value:?}");
+        };
+    }
+
+    #[test]
+    fn rejects_call_after_dot() {
+        let err = parse(
+            "tree class A { int x = 0; traversal f() { this.x(); } }",
+        )
+        .unwrap_err();
+        assert!(err[0].message.contains("member accesses"), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_unknown_top_level() {
+        let err = parse("fn whatever() {}").unwrap_err();
+        assert!(err[0].message.contains("top level"));
+    }
+
+    #[test]
+    fn empty_traversal_body_allowed() {
+        let p = parse_ok("tree class A { virtual traversal f() {} }");
+        assert_eq!(p.classes.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Robustness: the frontend must reject arbitrary input with diagnostics,
+//! never panic.
+
+use grafter_frontend::compile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compile_never_panics_on_arbitrary_input(src in "\\PC*") {
+        let _ = compile(&src);
+    }
+
+    #[test]
+    fn compile_never_panics_on_tokenish_input(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("tree"), Just("class"), Just("child"), Just("traversal"),
+                Just("virtual"), Just("if"), Just("return"), Just("new"),
+                Just("delete"), Just("this"), Just("int"), Just("{"), Just("}"),
+                Just("("), Just(")"), Just(";"), Just("->"), Just("."),
+                Just("="), Just("*"), Just("x"), Just("N"), Just("1"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = compile(&src);
+    }
+
+    #[test]
+    fn valid_skeletons_always_compile(
+        n_fields in 1usize..5,
+        n_traversals in 1usize..4,
+    ) {
+        let mut src = String::from("tree class T {\n  child T* next;\n");
+        for i in 0..n_fields {
+            src.push_str(&format!("  int f{i} = {i};\n"));
+        }
+        for i in 0..n_traversals {
+            src.push_str(&format!(
+                "  virtual traversal t{i}() {{ f0 = f0 + 1; this->next->t{i}(); }}\n"
+            ));
+        }
+        src.push_str("}\n");
+        let program = compile(&src).expect("skeleton compiles");
+        prop_assert_eq!(program.methods.len(), n_traversals);
+    }
+}

@@ -1,0 +1,387 @@
+//! Integration tests for semantic analysis and the resolved HIR.
+
+use grafter_frontend::{compile, DataAccess, Expr, FieldKind, Stmt, Ty};
+
+/// The paper's Fig. 2 render-list example, transliterated to the DSL.
+const FIG2: &str = r#"
+    global int CHAR_WIDTH = 8;
+    struct String { int Length; }
+    struct BorderInfo { int Size; }
+    tree class Element {
+        child Element* Next;
+        int Height = 0; int Width = 0;
+        int MaxHeight = 0; int TotalWidth = 0;
+        virtual traversal computeWidth() {}
+        virtual traversal computeHeight() {}
+    }
+    tree class TextBox : public Element {
+        String Text;
+        traversal computeWidth() {
+            Next->computeWidth();
+            Width = Text.Length;
+            TotalWidth = Next.Width + Width;
+        }
+        traversal computeHeight() {
+            Next->computeHeight();
+            Height = Text.Length * (Width / CHAR_WIDTH) + 1;
+            MaxHeight = Height;
+            if (Next.Height > Height) {
+                MaxHeight = Next.Height;
+            }
+        }
+    }
+    tree class Group : public Element {
+        child Element* Content;
+        BorderInfo Border;
+        traversal computeWidth() {
+            Content->computeWidth();
+            Next->computeWidth();
+            Width = Content.Width + Border.Size * 2;
+            TotalWidth = Width + Next.Width;
+        }
+        traversal computeHeight() {
+            Content->computeHeight();
+            Next->computeHeight();
+            Height = Content.MaxHeight + Border.Size * 2;
+            MaxHeight = Height;
+            if (Next.Height > Height) {
+                MaxHeight = Next.Height;
+            }
+        }
+    }
+    tree class End : public Element { }
+"#;
+
+#[test]
+fn compiles_figure2() {
+    let p = compile(FIG2).expect("figure 2 compiles");
+    assert_eq!(p.classes.len(), 4);
+    assert_eq!(p.methods.len(), 6);
+    let element = p.class_by_name("Element").unwrap();
+    let subs = p.concrete_subtypes(element);
+    assert_eq!(subs.len(), 4);
+}
+
+#[test]
+fn virtual_slots_link_overrides() {
+    let p = compile(FIG2).unwrap();
+    let element = p.class_by_name("Element").unwrap();
+    let textbox = p.class_by_name("TextBox").unwrap();
+    let end = p.class_by_name("End").unwrap();
+    let base = p.method_on_class(element, "computeWidth").unwrap();
+    let slot = p.methods[base.index()].slot;
+    assert_eq!(slot, base, "root declaration is its own slot");
+
+    let tb = p.resolve_virtual(textbox, slot).unwrap();
+    assert_ne!(tb, base, "TextBox overrides computeWidth");
+    assert_eq!(p.methods[tb.index()].class, textbox);
+
+    let e = p.resolve_virtual(end, slot).unwrap();
+    assert_eq!(e, base, "End inherits the default empty body");
+}
+
+#[test]
+fn unqualified_members_resolve_to_this() {
+    let p = compile(FIG2).unwrap();
+    let textbox = p.class_by_name("TextBox").unwrap();
+    let m = p.method_on_class(textbox, "computeWidth").unwrap();
+    let body = &p.methods[m.index()].body;
+    // `Width = Text.Length;`
+    let Stmt::Assign { target, value } = &body[1] else {
+        panic!("expected assignment, got {:?}", body[1]);
+    };
+    let DataAccess::OnTree { path, data } = target else {
+        panic!("expected on-tree access");
+    };
+    assert!(path.is_this());
+    assert_eq!(data.len(), 1);
+    assert_eq!(p.fields[data[0].index()].name, "Width");
+    // value reads Text.Length — a two-step data chain from this.
+    let Expr::Read(DataAccess::OnTree { path, data }) = value else {
+        panic!("expected read");
+    };
+    assert!(path.is_this());
+    assert_eq!(data.len(), 2);
+    assert_eq!(p.fields[data[1].index()].name, "Length");
+}
+
+#[test]
+fn traverse_receiver_paths_inline_children() {
+    let p = compile(FIG2).unwrap();
+    let group = p.class_by_name("Group").unwrap();
+    let m = p.method_on_class(group, "computeWidth").unwrap();
+    let body = &p.methods[m.index()].body;
+    let Stmt::Traverse(t) = &body[0] else {
+        panic!("expected traverse");
+    };
+    assert_eq!(t.receiver.steps.len(), 1);
+    assert_eq!(p.fields[t.receiver.steps[0].field.index()].name, "Content");
+}
+
+#[test]
+fn aliases_are_inlined() {
+    let src = r#"
+        tree class N {
+            child N* left;
+            child N* right;
+            int v = 0;
+            traversal go() {
+                N* const lr = this->left;
+                lr->right->go();
+                v = lr->right.v;
+            }
+        }
+    "#;
+    let p = compile(src).unwrap();
+    let n = p.class_by_name("N").unwrap();
+    let m = p.method_on_class(n, "go").unwrap();
+    let body = &p.methods[m.index()].body;
+    assert_eq!(body.len(), 2, "alias def disappears");
+    let Stmt::Traverse(t) = &body[0] else { panic!() };
+    let names: Vec<_> = t
+        .receiver
+        .fields()
+        .map(|f| p.fields[f.index()].name.clone())
+        .collect();
+    assert_eq!(names, vec!["left", "right"]);
+}
+
+#[test]
+fn least_common_ancestor_of_siblings() {
+    let p = compile(FIG2).unwrap();
+    let tb = p.class_by_name("TextBox").unwrap();
+    let g = p.class_by_name("Group").unwrap();
+    let el = p.class_by_name("Element").unwrap();
+    assert_eq!(p.least_common_ancestor(&[tb, g]), Some(el));
+    assert_eq!(p.least_common_ancestor(&[tb, tb]), Some(tb));
+}
+
+#[test]
+fn path_target_type_follows_casts() {
+    let p = compile(FIG2).unwrap();
+    let g = p.class_by_name("Group").unwrap();
+    let el = p.class_by_name("Element").unwrap();
+    let m = p.method_on_class(g, "computeWidth").unwrap();
+    let Stmt::Traverse(t) = &p.methods[m.index()].body[0] else {
+        panic!()
+    };
+    assert_eq!(p.path_target_type(g, &t.receiver), Some(el));
+}
+
+#[test]
+fn new_and_delete_resolve() {
+    let src = r#"
+        tree class Expr { virtual traversal simplify() {} }
+        tree class Add : Expr {
+            child Expr* lhs;
+            child Expr* rhs;
+            traversal simplify() {
+                this->lhs->simplify();
+                delete this->rhs;
+                this->rhs = new Lit();
+                static_cast<Lit*>(this->rhs).v = 0;
+            }
+        }
+        tree class Lit : Expr { int v = 0; }
+    "#;
+    let p = compile(src).unwrap();
+    let add = p.class_by_name("Add").unwrap();
+    let m = p.method_on_class(add, "simplify").unwrap();
+    let body = &p.methods[m.index()].body;
+    assert!(matches!(body[1], Stmt::Delete { .. }));
+    let Stmt::New { class, .. } = &body[2] else { panic!() };
+    assert_eq!(*class, p.class_by_name("Lit").unwrap());
+}
+
+// ---- rejection tests -------------------------------------------------------
+
+fn errors_of(src: &str) -> String {
+    compile(src)
+        .unwrap_err()
+        .iter()
+        .map(|d| d.message.clone())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn rejects_traverse_inside_if() {
+    let msg = errors_of(
+        r#"
+        tree class N {
+            child N* next;
+            bool go = false;
+            traversal f() {
+                if (go) { this->next->f(); }
+            }
+        }
+        "#,
+    );
+    assert!(msg.contains("top level"), "{msg}");
+}
+
+#[test]
+fn rejects_assignment_to_tree_node() {
+    let msg = errors_of(
+        r#"
+        tree class N {
+            child N* next;
+            traversal f() { this->next = this->next; }
+        }
+        "#,
+    );
+    // `this->next = <path>` parses as assignment whose value mentions a node.
+    assert!(
+        msg.contains("data fields") || msg.contains("tree node"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn rejects_override_of_nonvirtual() {
+    let msg = errors_of(
+        r#"
+        tree class A { traversal f() {} }
+        tree class B : A { traversal f() {} }
+        "#,
+    );
+    assert!(msg.contains("non-virtual"), "{msg}");
+}
+
+#[test]
+fn rejects_super_declared_after_use() {
+    let msg = errors_of(
+        r#"
+        tree class B : A { }
+        tree class A { }
+        "#,
+    );
+    assert!(msg.contains("declared before"), "{msg}");
+}
+
+#[test]
+fn rejects_unknown_method() {
+    let msg = errors_of(
+        r#"
+        tree class N {
+            child N* next;
+            traversal f() { this->next->nope(); }
+        }
+        "#,
+    );
+    assert!(msg.contains("no traversal"), "{msg}");
+}
+
+#[test]
+fn rejects_bad_new_type() {
+    let msg = errors_of(
+        r#"
+        tree class A { child B* c; traversal f() { this->c = new A(); } }
+        tree class B : A { }
+        "#,
+    );
+    // A is not a subtype of B.
+    assert!(msg.contains("subtype"), "{msg}");
+}
+
+#[test]
+fn rejects_type_mismatches() {
+    let msg = errors_of(
+        r#"
+        tree class A {
+            int x = 0;
+            bool b = false;
+            traversal f() { x = b; }
+        }
+        "#,
+    );
+    assert!(msg.contains("type mismatch"), "{msg}");
+}
+
+#[test]
+fn rejects_non_bool_condition() {
+    let msg = errors_of(
+        r#"
+        tree class A {
+            int x = 0;
+            traversal f() { if (x + 1) { x = 2; } }
+        }
+        "#,
+    );
+    assert!(msg.contains("bool"), "{msg}");
+}
+
+#[test]
+fn rejects_duplicate_definitions() {
+    let msg = errors_of("tree class A { } tree class A { }");
+    assert!(msg.contains("duplicate"), "{msg}");
+}
+
+#[test]
+fn rejects_alias_to_this() {
+    let msg = errors_of(
+        r#"
+        tree class A {
+            traversal f() { A* const me = this; }
+        }
+        "#,
+    );
+    assert!(msg.contains("descendant"), "{msg}");
+}
+
+#[test]
+fn rejects_pure_arity_mismatch() {
+    let msg = errors_of(
+        r#"
+        pure int inc(int x);
+        tree class A {
+            int x = 0;
+            traversal f() { x = inc(1, 2); }
+        }
+        "#,
+    );
+    assert!(msg.contains("argument"), "{msg}");
+}
+
+#[test]
+fn rejects_shadowing() {
+    let msg = errors_of(
+        r#"
+        tree class A {
+            int x = 0;
+            traversal f(int p) { int p = 3; x = p; }
+        }
+        "#,
+    );
+    assert!(msg.contains("shadows"), "{msg}");
+}
+
+#[test]
+fn rejects_unrelated_cast() {
+    let msg = errors_of(
+        r#"
+        tree class A { child A* c; traversal f() { A* const q = static_cast<B*>(this->c); } }
+        tree class B { }
+        "#,
+    );
+    assert!(msg.contains("unrelated"), "{msg}");
+}
+
+#[test]
+fn rejects_node_valued_expression() {
+    let msg = errors_of(
+        r#"
+        tree class A {
+            child A* c;
+            int x = 0;
+            traversal f() { x = 1 + 2 * 3 - 4 % 5 / 6; x = x; }
+        }
+        tree class Bad {
+            child Bad* c;
+            int x = 0;
+            traversal f() { x = this->c; }
+        }
+        "#,
+    );
+    assert!(msg.contains("cannot be used as values"), "{msg}");
+}

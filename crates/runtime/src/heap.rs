@@ -1,0 +1,492 @@
+//! Node heap, class layouts and tree construction helpers.
+
+use std::collections::HashMap;
+
+use grafter_frontend::{ast::Literal, ClassId, FieldId, FieldKind, Program, Ty};
+
+use crate::Value;
+
+/// Index of a node in a [`Heap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Byte size of the per-node header (holds the dynamic type, like a vtable
+/// pointer).
+pub const NODE_HEADER_BYTES: u64 = 8;
+/// Byte size of one slot (all values are machine-word sized).
+pub const SLOT_BYTES: u64 = 8;
+
+/// Flattened field layouts of every class in a program.
+///
+/// Each class lays out its inherited fields first (base-class subobject),
+/// then its own; struct-typed data fields are flattened into one slot per
+/// member, mirroring the C++ object layout Grafter's generated code runs
+/// against.
+#[derive(Clone, Debug)]
+pub struct Layouts {
+    /// `(class, field)` → first slot of the field.
+    offsets: HashMap<(ClassId, FieldId), usize>,
+    /// Struct member → offset within its struct.
+    member_offsets: HashMap<FieldId, usize>,
+    /// Slots per class.
+    sizes: Vec<usize>,
+    /// Per-class default slot values.
+    defaults: Vec<Vec<Value>>,
+    /// Per-slot field names (for snapshots/debugging).
+    slot_names: Vec<Vec<String>>,
+}
+
+fn ty_slots(program: &Program, ty: Ty) -> usize {
+    match ty {
+        Ty::Int | Ty::Float | Ty::Bool => 1,
+        Ty::Struct(s) => program.structs[s.index()].members.len(),
+        Ty::Node(_) => 1,
+    }
+}
+
+/// Default value of a primitive/child slot, honouring a declared literal.
+pub(crate) fn default_literal(ty: Ty, lit: Option<Literal>) -> Value {
+    match (ty, lit) {
+        (Ty::Int, Some(Literal::Int(v))) => Value::Int(v),
+        (Ty::Float, Some(Literal::Int(v))) => Value::Float(v as f64),
+        (Ty::Float, Some(Literal::Float(v))) => Value::Float(v),
+        (Ty::Bool, Some(Literal::Bool(v))) => Value::Bool(v),
+        (Ty::Int, _) => Value::Int(0),
+        (Ty::Float, _) => Value::Float(0.0),
+        (Ty::Bool, _) => Value::Bool(false),
+        (Ty::Node(_), _) => Value::Ref(None),
+        (Ty::Struct(_), _) => unreachable!("structs are flattened before defaulting"),
+    }
+}
+
+impl Layouts {
+    /// Computes layouts for every class of `program`.
+    pub fn new(program: &Program) -> Self {
+        let mut layouts = Layouts {
+            offsets: HashMap::new(),
+            member_offsets: HashMap::new(),
+            sizes: Vec::new(),
+            defaults: Vec::new(),
+            slot_names: Vec::new(),
+        };
+        for st in &program.structs {
+            for (i, &m) in st.members.iter().enumerate() {
+                layouts.member_offsets.insert(m, i);
+            }
+        }
+        for ci in 0..program.classes.len() {
+            let class = ClassId(ci as u32);
+            let mut cur = 0usize;
+            let mut defaults = Vec::new();
+            let mut names = Vec::new();
+            for f in program.all_fields(class) {
+                layouts.offsets.insert((class, f), cur);
+                let field = &program.fields[f.index()];
+                match field.kind {
+                    FieldKind::Child(_) => {
+                        defaults.push(Value::Ref(None));
+                        names.push(field.name.clone());
+                        cur += 1;
+                    }
+                    FieldKind::Data(Ty::Struct(s)) => {
+                        for &m in &program.structs[s.index()].members {
+                            let mty = match program.fields[m.index()].kind {
+                                FieldKind::Data(t) => t,
+                                FieldKind::Child(_) => unreachable!("struct members are data"),
+                            };
+                            defaults.push(default_literal(mty, None));
+                            names.push(format!(
+                                "{}.{}",
+                                field.name,
+                                program.fields[m.index()].name
+                            ));
+                        }
+                        cur += ty_slots(program, Ty::Struct(s));
+                    }
+                    FieldKind::Data(ty) => {
+                        defaults.push(default_literal(ty, field.default));
+                        names.push(field.name.clone());
+                        cur += 1;
+                    }
+                }
+            }
+            layouts.sizes.push(cur);
+            layouts.defaults.push(defaults);
+            layouts.slot_names.push(names);
+        }
+        layouts
+    }
+
+    /// First slot of `field` within `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not belong to the class.
+    pub fn slot_of(&self, class: ClassId, field: FieldId) -> usize {
+        self.offsets[&(class, field)]
+    }
+
+    /// Slot of a data access chain `field(.member)?` within `class`.
+    pub fn slot_of_chain(&self, class: ClassId, chain: &[FieldId]) -> usize {
+        let mut slot = self.slot_of(class, chain[0]);
+        for m in &chain[1..] {
+            slot += self.member_offsets[m];
+        }
+        slot
+    }
+
+    /// Offset of a struct member within its struct.
+    pub fn member_offset(&self, member: FieldId) -> usize {
+        self.member_offsets[&member]
+    }
+
+    /// Number of slots of `class`.
+    pub fn size_of(&self, class: ClassId) -> usize {
+        self.sizes[class.index()]
+    }
+
+    /// Byte footprint of a node of `class` (header + slots).
+    pub fn node_bytes(&self, class: ClassId) -> u64 {
+        NODE_HEADER_BYTES + SLOT_BYTES * self.sizes[class.index()] as u64
+    }
+
+    /// Default slot values of `class`.
+    pub fn defaults(&self, class: ClassId) -> &[Value] {
+        &self.defaults[class.index()]
+    }
+
+    /// Human-readable name of each slot of `class`.
+    pub fn slot_names(&self, class: ClassId) -> &[String] {
+        &self.slot_names[class.index()]
+    }
+}
+
+/// One heap node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Dynamic type.
+    pub class: ClassId,
+    /// Flattened field values.
+    pub slots: Box<[Value]>,
+    /// Simulated base address.
+    pub addr: u64,
+    /// Cleared by `delete`; accesses to dead nodes are runtime errors.
+    pub alive: bool,
+}
+
+/// An arena of tree nodes with simulated addresses.
+///
+/// Addresses are bump-allocated in allocation order, emulating the `malloc`
+/// behaviour of the paper's C++ implementation; tree construction order thus
+/// determines memory locality, exactly as in the original evaluation.
+#[derive(Clone, Debug)]
+pub struct Heap {
+    program: Program,
+    layouts: Layouts,
+    nodes: Vec<Node>,
+    next_addr: u64,
+    live_bytes: u64,
+}
+
+impl Heap {
+    /// Creates an empty heap for `program`.
+    pub fn new(program: &Program) -> Self {
+        Heap {
+            layouts: Layouts::new(program),
+            program: program.clone(),
+            nodes: Vec::new(),
+            next_addr: 0x10_0000, // skip a "reserved" low range
+            live_bytes: 0,
+        }
+    }
+
+    /// The program this heap belongs to.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The class layouts.
+    pub fn layouts(&self) -> &Layouts {
+        &self.layouts
+    }
+
+    /// Allocates a node of `class` with default field values.
+    pub fn alloc(&mut self, class: ClassId) -> NodeId {
+        let size = self.layouts.node_bytes(class);
+        let node = Node {
+            class,
+            slots: self.layouts.defaults(class).to_vec().into_boxed_slice(),
+            addr: self.next_addr,
+            alive: true,
+        };
+        self.next_addr += size;
+        self.live_bytes += size;
+        self.nodes.push(node);
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Allocates a node by class name.
+    pub fn alloc_by_name(&mut self, class: &str) -> Option<NodeId> {
+        self.program.class_by_name(class).map(|c| self.alloc(c))
+    }
+
+    /// Node accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale (node deleted) — use [`Heap::node_raw`] to
+    /// inspect dead nodes.
+    pub fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.index()];
+        assert!(n.alive, "access to deleted node {id:?}");
+        n
+    }
+
+    /// Node accessor without the liveness check.
+    pub fn node_raw(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was deleted.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        let n = &mut self.nodes[id.index()];
+        assert!(n.alive, "access to deleted node {id:?}");
+        n
+    }
+
+    /// Recursively deletes the subtree rooted at `id`.
+    pub fn delete_subtree(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if !self.nodes[n.index()].alive {
+                continue;
+            }
+            self.nodes[n.index()].alive = false;
+            self.live_bytes -= self.layouts.node_bytes(self.nodes[n.index()].class);
+            for v in self.nodes[n.index()].slots.iter() {
+                if let Value::Ref(Some(child)) = v {
+                    stack.push(*child);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes ever allocated (including deleted ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the heap has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of currently live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Total bytes of live nodes (tree size, as reported in the paper's
+    /// Tables 3 and 4).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    // ---- name-based convenience accessors (tests, builders) --------------
+
+    fn slot_by_name(&self, id: NodeId, field: &str) -> Option<usize> {
+        let node = &self.nodes[id.index()];
+        let mut parts = field.split('.');
+        let head = parts.next()?;
+        let f = self.program.field_on_class(node.class, head)?;
+        let mut slot = self.layouts.slot_of(node.class, f);
+        for p in parts {
+            let FieldKind::Data(Ty::Struct(st)) = self.program.fields[f.index()].kind else {
+                return None;
+            };
+            let m = self.program.field_on_struct(st, p)?;
+            slot += self.layouts.member_offset(m);
+        }
+        Some(slot)
+    }
+
+    /// Reads a field (or `struct.member` chain) by name.
+    pub fn get_by_name(&self, id: NodeId, field: &str) -> Option<Value> {
+        let slot = self.slot_by_name(id, field)?;
+        Some(self.node(id).slots[slot])
+    }
+
+    /// Writes a field by name.
+    pub fn set_by_name(&mut self, id: NodeId, field: &str, value: Value) -> Option<()> {
+        let slot = self.slot_by_name(id, field)?;
+        self.node_mut(id).slots[slot] = value;
+        Some(())
+    }
+
+    /// Sets a child pointer by name.
+    pub fn set_child_by_name(&mut self, id: NodeId, field: &str, child: Option<NodeId>) -> Option<()> {
+        self.set_by_name(id, field, Value::Ref(child))
+    }
+
+    /// Reads a child pointer by name.
+    pub fn child_by_name(&self, id: NodeId, field: &str) -> Option<Option<NodeId>> {
+        match self.get_by_name(id, field)? {
+            Value::Ref(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Deterministic snapshot of all live nodes reachable from `root`, in
+    /// preorder: `(class name, slot values)` with child refs replaced by
+    /// preorder indices so snapshots of differently-allocated but
+    /// structurally identical trees compare equal.
+    pub fn snapshot(&self, root: NodeId) -> Vec<(String, Vec<SnapValue>)> {
+        let mut order: HashMap<NodeId, usize> = HashMap::new();
+        let mut list = Vec::new();
+        self.preorder(root, &mut order, &mut list);
+        list.iter()
+            .map(|&id| {
+                let n = self.node(id);
+                let vals = n
+                    .slots
+                    .iter()
+                    .map(|v| match v {
+                        Value::Ref(Some(c)) => SnapValue::Child(order[c]),
+                        Value::Ref(None) => SnapValue::Null,
+                        Value::Int(v) => SnapValue::Int(*v),
+                        Value::Float(v) => SnapValue::Float(*v),
+                        Value::Bool(v) => SnapValue::Bool(*v),
+                    })
+                    .collect();
+                (self.program.classes[n.class.index()].name.clone(), vals)
+            })
+            .collect()
+    }
+
+    fn preorder(&self, id: NodeId, order: &mut HashMap<NodeId, usize>, list: &mut Vec<NodeId>) {
+        if order.contains_key(&id) {
+            return;
+        }
+        order.insert(id, list.len());
+        list.push(id);
+        let slots = self.node(id).slots.clone();
+        for v in slots.iter() {
+            if let Value::Ref(Some(c)) = v {
+                self.preorder(*c, order, list);
+            }
+        }
+    }
+}
+
+/// A structural value used in heap snapshots (see [`Heap::snapshot`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapValue {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Null,
+    /// Preorder index of the referenced node.
+    Child(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafter_frontend::compile;
+
+    fn program() -> Program {
+        compile(
+            r#"
+            struct Pair { int x; int y; }
+            tree class Base {
+                child Base* kid;
+                int a = 7;
+                virtual traversal nop() {}
+            }
+            tree class Derived : Base {
+                Pair p;
+                float f = 1.5;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layouts_flatten_structs_and_inheritance() {
+        let p = program();
+        let l = Layouts::new(&p);
+        let base = p.class_by_name("Base").unwrap();
+        let derived = p.class_by_name("Derived").unwrap();
+        // Base: kid + a = 2 slots; Derived adds p.x, p.y, f = 5 slots.
+        assert_eq!(l.size_of(base), 2);
+        assert_eq!(l.size_of(derived), 5);
+        // Inherited fields keep their base-subobject offsets.
+        let a = p.field_on_class(base, "a").unwrap();
+        assert_eq!(l.slot_of(base, a), 1);
+        assert_eq!(l.slot_of(derived, a), 1);
+        // Struct member chain resolves to consecutive slots.
+        let pf = p.field_on_class(derived, "p").unwrap();
+        let pair = p.struct_by_name("Pair").unwrap();
+        let y = p.field_on_struct(pair, "y").unwrap();
+        assert_eq!(l.slot_of_chain(derived, &[pf, y]), 3);
+        assert_eq!(l.node_bytes(derived), NODE_HEADER_BYTES + 5 * SLOT_BYTES);
+    }
+
+    #[test]
+    fn defaults_honour_declared_literals() {
+        let p = program();
+        let l = Layouts::new(&p);
+        let derived = p.class_by_name("Derived").unwrap();
+        let d = l.defaults(derived);
+        assert_eq!(d[0], Value::Ref(None)); // kid
+        assert_eq!(d[1], Value::Int(7)); // a = 7
+        assert_eq!(d[2], Value::Int(0)); // p.x
+        assert_eq!(d[4], Value::Float(1.5)); // f = 1.5
+        assert_eq!(l.slot_names(derived)[3], "p.y");
+    }
+
+    #[test]
+    fn addresses_are_bump_allocated_in_order() {
+        let p = program();
+        let mut heap = Heap::new(&p);
+        let a = heap.alloc_by_name("Base").unwrap();
+        let b = heap.alloc_by_name("Base").unwrap();
+        let (aa, ab) = (heap.node(a).addr, heap.node(b).addr);
+        assert_eq!(ab - aa, heap.layouts().node_bytes(heap.node(a).class));
+    }
+
+    #[test]
+    fn live_bytes_track_allocation_and_deletion() {
+        let p = program();
+        let mut heap = Heap::new(&p);
+        let a = heap.alloc_by_name("Derived").unwrap();
+        let kid = heap.alloc_by_name("Base").unwrap();
+        heap.set_child_by_name(a, "kid", Some(kid)).unwrap();
+        let before = heap.live_bytes();
+        assert!(before > 0);
+        heap.delete_subtree(a);
+        assert_eq!(heap.live_bytes(), 0);
+        assert_eq!(heap.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted node")]
+    fn dead_node_access_panics() {
+        let p = program();
+        let mut heap = Heap::new(&p);
+        let a = heap.alloc_by_name("Base").unwrap();
+        heap.delete_subtree(a);
+        let _ = heap.node(a);
+    }
+}

@@ -1,0 +1,728 @@
+//! The instrumented interpreter for fused programs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use grafter::{CallPart, FusedFnId, FusedProgram, ScheduledItem, StubId};
+use grafter_cachesim::CacheHierarchy;
+use grafter_frontend::{
+    BinOp, DataAccess, Expr, FieldKind, MethodId, NodePath, Stmt, Ty, UnOp,
+};
+
+use crate::heap::{Heap, NodeId, NODE_HEADER_BYTES, SLOT_BYTES};
+use crate::metrics::{cost, Metrics};
+use crate::pure::PureRegistry;
+use crate::Value;
+
+/// Errors surfaced while executing a fused program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A data access navigated through a null child pointer.
+    NullDeref,
+    /// A `pure` function has no registered native implementation.
+    MissingPure(String),
+    /// A stub had no fused function for the receiver's dynamic type.
+    MissingTarget(String),
+    /// A child slot held a non-reference value (heap corruption).
+    NotARef,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullDeref => write!(f, "null child dereferenced in a data access"),
+            RuntimeError::MissingPure(name) => {
+                write!(f, "pure function `{name}` has no native implementation")
+            }
+            RuntimeError::MissingTarget(class) => {
+                write!(f, "no fused function for dynamic type `{class}`")
+            }
+            RuntimeError::NotARef => write!(f, "child slot does not hold a reference"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+type RResult<T> = Result<T, RuntimeError>;
+
+enum Flow {
+    Continue,
+    Returned,
+}
+
+/// Executes a [`FusedProgram`] against a [`Heap`], collecting [`Metrics`]
+/// and (optionally) driving a cache simulator.
+pub struct Interp<'a> {
+    fp: &'a FusedProgram,
+    /// Counters for the current run (reset with [`Metrics::reset`]).
+    pub metrics: Metrics,
+    /// Optional simulated memory hierarchy fed with every field access.
+    pub cache: Option<CacheHierarchy>,
+    pures: PureRegistry,
+    /// Flattened global values (structs expanded), plus their addresses.
+    globals: Vec<Value>,
+    global_offsets: Vec<usize>,
+    /// Per-method local frame layout: slot offset of each local, total size.
+    local_layouts: HashMap<MethodId, Rc<(Vec<usize>, usize)>>,
+}
+
+const GLOBALS_BASE_ADDR: u64 = 0x1000;
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with the default math pures and no cache.
+    pub fn new(fp: &'a FusedProgram) -> Self {
+        Interp::with_pures(fp, PureRegistry::with_math())
+    }
+
+    /// Creates an interpreter with a custom pure-function registry.
+    pub fn with_pures(fp: &'a FusedProgram, pures: PureRegistry) -> Self {
+        let program = &fp.program;
+        let mut globals = Vec::new();
+        let mut global_offsets = Vec::new();
+        for g in &program.globals {
+            global_offsets.push(globals.len());
+            match g.ty {
+                Ty::Struct(s) => {
+                    for &m in &program.structs[s.index()].members {
+                        let ty = match program.fields[m.index()].kind {
+                            FieldKind::Data(t) => t,
+                            FieldKind::Child(_) => unreachable!("struct members are data"),
+                        };
+                        globals.push(zero_of(ty));
+                    }
+                }
+                ty => globals.push(crate::heap::default_literal(ty, g.default)),
+            }
+        }
+        Interp {
+            fp,
+            metrics: Metrics::default(),
+            cache: None,
+            pures,
+            globals,
+            global_offsets,
+            local_layouts: HashMap::new(),
+        }
+    }
+
+    /// Attaches a cache hierarchy (all subsequent accesses are simulated).
+    pub fn with_cache(mut self, cache: CacheHierarchy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets a global variable by name before a run.
+    pub fn set_global(&mut self, name: &str, value: Value) -> Option<()> {
+        let g = self.fp.program.global_by_name(name)?;
+        self.globals[self.global_offsets[g.index()]] = value;
+        Some(())
+    }
+
+    /// Reads a global variable by name.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        let g = self.fp.program.global_by_name(name)?;
+        Some(self.globals[self.global_offsets[g.index()]])
+    }
+
+    /// Runs the fused program's entry sequence on `root`.
+    ///
+    /// `args[i]` are the arguments of the `i`-th entry traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if execution dereferences a null child in
+    /// a data access, calls an unregistered pure, or dispatch fails.
+    pub fn run(&mut self, heap: &mut Heap, root: NodeId, args: &[Vec<Value>]) -> RResult<()> {
+        let entries = self.fp.entries.clone();
+        if entries.len() == 1 {
+            let stub = self.fp.stub(entries[0]);
+            let n = stub.slots.len();
+            let flags: u64 = (1u64 << n) - 1;
+            let part_args: Vec<Vec<Value>> = (0..n)
+                .map(|i| args.get(i).cloned().unwrap_or_default())
+                .collect();
+            self.call_stub(heap, entries[0], root, flags, part_args)?;
+        } else {
+            for (i, &entry) in entries.iter().enumerate() {
+                let part_args = vec![args.get(i).cloned().unwrap_or_default()];
+                self.call_stub(heap, entry, root, 0b1, part_args)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn touch(&mut self, addr: u64) {
+        if let Some(cache) = &mut self.cache {
+            cache.access(addr);
+        }
+    }
+
+    fn slot_addr(&self, heap: &Heap, node: NodeId, slot: usize) -> u64 {
+        heap.node_raw(node).addr + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
+    }
+
+    fn local_layout(&mut self, method: MethodId) -> Rc<(Vec<usize>, usize)> {
+        if let Some(l) = self.local_layouts.get(&method) {
+            return Rc::clone(l);
+        }
+        let program = &self.fp.program;
+        let m = &program.methods[method.index()];
+        let mut offsets = Vec::new();
+        let mut cur = 0usize;
+        for lv in &m.locals {
+            offsets.push(cur);
+            cur += match lv.ty {
+                Ty::Struct(s) => program.structs[s.index()].members.len(),
+                _ => 1,
+            };
+        }
+        let layout = Rc::new((offsets, cur));
+        self.local_layouts.insert(method, Rc::clone(&layout));
+        layout
+    }
+
+    fn call_stub(
+        &mut self,
+        heap: &mut Heap,
+        stub: StubId,
+        node: NodeId,
+        flags: u64,
+        part_args: Vec<Vec<Value>>,
+    ) -> RResult<()> {
+        // Virtual dispatch: read the node header (type tag / vtable).
+        self.metrics.instructions += cost::DISPATCH;
+        self.metrics.loads += 1;
+        self.touch(heap.node_raw(node).addr);
+        let class = heap.node(node).class;
+        let Some(target) = self.fp.stub(stub).target_for(class) else {
+            return Err(RuntimeError::MissingTarget(
+                self.fp.program.classes[class.index()].name.clone(),
+            ));
+        };
+        self.run_fn(heap, target, node, flags, part_args)
+    }
+
+    fn run_fn(
+        &mut self,
+        heap: &mut Heap,
+        fn_id: FusedFnId,
+        node: NodeId,
+        flags: u64,
+        part_args: Vec<Vec<Value>>,
+    ) -> RResult<()> {
+        self.metrics.visits += 1;
+        // `fp` outlives `self`, so function data can be borrowed for the
+        // whole call without holding a borrow of `self`.
+        let fp = self.fp;
+        let f = fp.function(fn_id);
+        #[cfg(debug_assertions)]
+        if std::env::var_os("GRAFTER_TRACE").is_some() {
+            let names: Vec<&str> = f
+                .seq
+                .iter()
+                .map(|m| fp.program.methods[m.index()].name.as_str())
+                .collect();
+            eprintln!("F {:?} {:?} flags={:b} args={:?}", node, names, flags, part_args);
+        }
+        let multi = f.seq.len() > 1;
+        let seq: &[MethodId] = &f.seq;
+
+        // Build one frame per traversal copy, parameters first.
+        let mut frames: Vec<Vec<Value>> = Vec::with_capacity(seq.len());
+        for (ti, &m) in seq.iter().enumerate() {
+            let layout = self.local_layout(m);
+            let (offsets, size) = (&layout.0, layout.1);
+            let mut frame = vec![Value::Int(0); size];
+            let method = &fp.program.methods[m.index()];
+            let args = part_args.get(ti).map(Vec::as_slice).unwrap_or(&[]);
+            for (pi, arg) in args.iter().enumerate().take(method.n_params) {
+                frame[offsets[pi]] = *arg;
+            }
+            frames.push(frame);
+        }
+
+        let mut active = flags;
+        for item in &f.body {
+            match item {
+                ScheduledItem::Stmt { traversal, stmt } => {
+                    if multi {
+                        self.metrics.instructions += cost::GUARD;
+                    }
+                    let bit = 1u64 << traversal;
+                    if active & bit == 0 {
+                        continue;
+                    }
+                    let flow =
+                        self.exec_stmt(heap, seq, &mut frames, node, *traversal, stmt)?;
+                    if matches!(flow, Flow::Returned) {
+                        active &= !bit;
+                        if active == 0 {
+                            break;
+                        }
+                    }
+                }
+                ScheduledItem::Call {
+                    receiver,
+                    stub,
+                    parts,
+                } => {
+                    if multi {
+                        self.metrics.instructions += cost::GUARD;
+                    }
+                    // OR, not sum: several parts may share a traversal
+                    // copy (e.g. a traversal that spawns the same helper
+                    // twice on one child).
+                    let mask: u64 = parts.iter().fold(0, |m, p| m | (1u64 << p.traversal));
+                    if active & mask == 0 {
+                        continue;
+                    }
+                    let Some(child) = self.navigate(heap, node, receiver)? else {
+                        continue; // null child: traversal stops here
+                    };
+                    let mut call_flags = 0u64;
+                    for (i, part) in parts.iter().enumerate() {
+                        if multi {
+                            self.metrics.instructions += cost::FLAG_SHUFFLE;
+                        }
+                        if active & (1u64 << part.traversal) != 0 {
+                            call_flags |= 1u64 << i;
+                        }
+                    }
+                    let args = self.eval_call_args(heap, seq, &mut frames, node, parts, active)?;
+                    self.call_stub(heap, *stub, child, call_flags, args)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_call_args(
+        &mut self,
+        heap: &mut Heap,
+        seq: &[MethodId],
+        frames: &mut [Vec<Value>],
+        node: NodeId,
+        parts: &[CallPart],
+        active: u64,
+    ) -> RResult<Vec<Vec<Value>>> {
+        let mut out = Vec::with_capacity(parts.len());
+        for part in parts {
+            if active & (1u64 << part.traversal) == 0 {
+                // Truncated traversal: its callee never runs its statements,
+                // so placeholder arguments are unobservable.
+                out.push(vec![Value::Int(0); part.args.len()]);
+                continue;
+            }
+            let mut vals = Vec::with_capacity(part.args.len());
+            for a in &part.args {
+                vals.push(self.eval(heap, seq, frames, node, part.traversal, a)?);
+            }
+            out.push(vals);
+        }
+        Ok(out)
+    }
+
+    /// Follows a receiver path, counting pointer loads; `None` if any step
+    /// is null.
+    fn navigate(
+        &mut self,
+        heap: &Heap,
+        node: NodeId,
+        path: &NodePath,
+    ) -> RResult<Option<NodeId>> {
+        let mut cur = node;
+        for step in &path.steps {
+            let class = heap.node(cur).class;
+            let slot = heap.layouts().slot_of(class, step.field);
+            self.metrics.instructions += 1;
+            self.metrics.loads += 1;
+            self.touch(self.slot_addr(heap, cur, slot));
+            match heap.node(cur).slots[slot] {
+                Value::Ref(Some(c)) => cur = c,
+                Value::Ref(None) => return Ok(None),
+                _ => return Err(RuntimeError::NotARef),
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    fn exec_stmt(
+        &mut self,
+        heap: &mut Heap,
+        seq: &[MethodId],
+        frames: &mut [Vec<Value>],
+        node: NodeId,
+        traversal: usize,
+        stmt: &Stmt,
+    ) -> RResult<Flow> {
+        match stmt {
+            Stmt::Traverse(_) => {
+                unreachable!("traversing calls are scheduled as Call items")
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.eval(heap, seq, frames, node, traversal, value)?;
+                self.write_access(heap, seq, frames, node, traversal, target, v)?;
+                Ok(Flow::Continue)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.metrics.instructions += 1; // branch
+                let c = self
+                    .eval(heap, seq, frames, node, traversal, cond)?
+                    .as_bool();
+                let branch = if c { then_branch } else { else_branch };
+                for s in branch {
+                    if let Flow::Returned =
+                        self.exec_stmt(heap, seq, frames, node, traversal, s)?
+                    {
+                        return Ok(Flow::Returned);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::LocalDef { local, init } => {
+                if let Some(init) = init {
+                    let v = self.eval(heap, seq, frames, node, traversal, init)?;
+                    let method = seq[traversal];
+                    let layout = self.local_layout(method);
+                    let ty = self.fp.program.methods[method.index()].locals[local.index()].ty;
+                    frames[traversal][layout.0[local.index()]] = coerce(ty, v);
+                    self.metrics.instructions += 1;
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::New { target, class } => {
+                // Navigate to the parent of the last step, then install a
+                // fresh node in the child slot.
+                let (parent, last) = self.navigate_to_parent(heap, node, target)?;
+                let Some(parent) = parent else {
+                    return Ok(Flow::Continue);
+                };
+                let fresh = heap.alloc(*class);
+                self.metrics.instructions += cost::ALLOC;
+                // Constructor initialises the node: touch its lines.
+                let bytes = heap.layouts().node_bytes(*class);
+                let base = heap.node(fresh).addr;
+                if let Some(cache) = &mut self.cache {
+                    cache.access_range(base, bytes);
+                }
+                self.metrics.stores += 1 + bytes / SLOT_BYTES;
+                let pclass = heap.node(parent).class;
+                let slot = heap.layouts().slot_of(pclass, last);
+                self.touch(self.slot_addr(heap, parent, slot));
+                heap.node_mut(parent).slots[slot] = Value::Ref(Some(fresh));
+                Ok(Flow::Continue)
+            }
+            Stmt::Delete { target } => {
+                let (parent, last) = self.navigate_to_parent(heap, node, target)?;
+                let Some(parent) = parent else {
+                    return Ok(Flow::Continue);
+                };
+                let pclass = heap.node(parent).class;
+                let slot = heap.layouts().slot_of(pclass, last);
+                self.metrics.loads += 1;
+                self.touch(self.slot_addr(heap, parent, slot));
+                if let Value::Ref(Some(victim)) = heap.node(parent).slots[slot] {
+                    let before = heap.live_count();
+                    heap.delete_subtree(victim);
+                    let freed = before - heap.live_count();
+                    self.metrics.instructions += cost::FREE * freed as u64;
+                }
+                heap.node_mut(parent).slots[slot] = Value::Ref(None);
+                self.metrics.stores += 1;
+                Ok(Flow::Continue)
+            }
+            Stmt::Return => Ok(Flow::Returned),
+            Stmt::PureStmt { pure, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(heap, seq, frames, node, traversal, a)?);
+                }
+                let name = &self.fp.program.pures[pure.index()].name;
+                let Some(f) = self.pures.get(name) else {
+                    return Err(RuntimeError::MissingPure(name.clone()));
+                };
+                self.metrics.instructions += 1 + args.len() as u64;
+                f(&vals);
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    /// Navigates to the parent node of the last step of `path`, returning
+    /// the parent and the final child field.
+    fn navigate_to_parent(
+        &mut self,
+        heap: &Heap,
+        node: NodeId,
+        path: &NodePath,
+    ) -> RResult<(Option<NodeId>, grafter_frontend::FieldId)> {
+        let last = path.steps.last().expect("topology targets have a step").field;
+        let prefix = NodePath {
+            base_cast: path.base_cast,
+            steps: path.steps[..path.steps.len() - 1].to_vec(),
+        };
+        Ok((self.navigate(heap, node, &prefix)?, last))
+    }
+
+    fn eval(
+        &mut self,
+        heap: &mut Heap,
+        seq: &[MethodId],
+        frames: &mut [Vec<Value>],
+        node: NodeId,
+        traversal: usize,
+        expr: &Expr,
+    ) -> RResult<Value> {
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Bool(v) => Ok(Value::Bool(*v)),
+            Expr::Read(access) => self.read_access(heap, seq, frames, node, traversal, access),
+            Expr::Unary(op, e) => {
+                let v = self.eval(heap, seq, frames, node, traversal, e)?;
+                self.metrics.instructions += 1;
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        other => panic!("cannot negate {other:?}"),
+                    },
+                    UnOp::Not => Value::Bool(!v.as_bool()),
+                })
+            }
+            Expr::Binary(op, l, r) => {
+                // && and || short-circuit like the C++ they model.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let lv = self.eval(heap, seq, frames, node, traversal, l)?.as_bool();
+                    self.metrics.instructions += 1;
+                    let short = matches!(op, BinOp::And) != lv;
+                    // For And: short-circuit when lv == false; for Or, when
+                    // lv == true.
+                    if short {
+                        return Ok(Value::Bool(lv));
+                    }
+                    let rv = self.eval(heap, seq, frames, node, traversal, r)?.as_bool();
+                    return Ok(Value::Bool(rv));
+                }
+                let lv = self.eval(heap, seq, frames, node, traversal, l)?;
+                let rv = self.eval(heap, seq, frames, node, traversal, r)?;
+                self.metrics.instructions += 1;
+                Ok(binop(*op, lv, rv))
+            }
+            Expr::PureCall(pure, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(heap, seq, frames, node, traversal, a)?);
+                }
+                let decl = &self.fp.program.pures[pure.index()];
+                let Some(f) = self.pures.get(&decl.name) else {
+                    return Err(RuntimeError::MissingPure(decl.name.clone()));
+                };
+                self.metrics.instructions += 1 + args.len() as u64;
+                Ok(coerce(decl.return_type, f(&vals)))
+            }
+        }
+    }
+
+    fn read_access(
+        &mut self,
+        heap: &mut Heap,
+        seq: &[MethodId],
+        frames: &mut [Vec<Value>],
+        node: NodeId,
+        traversal: usize,
+        access: &DataAccess,
+    ) -> RResult<Value> {
+        match access {
+            DataAccess::OnTree { path, data } => {
+                let Some(target) = self.navigate(heap, node, path)? else {
+                    return Err(RuntimeError::NullDeref);
+                };
+                let class = heap.node(target).class;
+                let slot = heap.layouts().slot_of_chain(class, data);
+                self.metrics.instructions += 1;
+                self.metrics.loads += 1;
+                self.touch(self.slot_addr(heap, target, slot));
+                Ok(heap.node(target).slots[slot])
+            }
+            DataAccess::Local { local, members } => {
+                let method = seq[traversal];
+                let layout = self.local_layout(method);
+                let mut slot = layout.0[local.index()];
+                for m in members {
+                    slot += heap.layouts().member_offset(*m);
+                }
+                self.metrics.instructions += 1;
+                Ok(frames[traversal][slot])
+            }
+            DataAccess::Global { global, members } => {
+                let mut idx = self.global_offsets[global.index()];
+                for m in members {
+                    idx += heap.layouts().member_offset(*m);
+                }
+                self.metrics.instructions += 1;
+                self.metrics.loads += 1;
+                self.touch(GLOBALS_BASE_ADDR + SLOT_BYTES * idx as u64);
+                Ok(self.globals[idx])
+            }
+        }
+    }
+
+    fn write_access(
+        &mut self,
+        heap: &mut Heap,
+        seq: &[MethodId],
+        frames: &mut [Vec<Value>],
+        node: NodeId,
+        traversal: usize,
+        access: &DataAccess,
+        value: Value,
+    ) -> RResult<()> {
+        match access {
+            DataAccess::OnTree { path, data } => {
+                let Some(target) = self.navigate(heap, node, path)? else {
+                    return Err(RuntimeError::NullDeref);
+                };
+                let class = heap.node(target).class;
+                let slot = heap.layouts().slot_of_chain(class, data);
+                let ty = field_ty(&self.fp.program, data);
+                self.metrics.instructions += 1;
+                self.metrics.stores += 1;
+                self.touch(self.slot_addr(heap, target, slot));
+                #[cfg(debug_assertions)]
+                if std::env::var_os("GRAFTER_TRACE").is_some() {
+                    let last = data.last().unwrap();
+                    eprintln!(
+                        "W {:?} {} = {:?}",
+                        target,
+                        self.fp.program.fields[last.index()].name,
+                        value
+                    );
+                }
+                heap.node_mut(target).slots[slot] = coerce(ty, value);
+            }
+            DataAccess::Local { local, members } => {
+                let method = seq[traversal];
+                let layout = self.local_layout(method);
+                let mut slot = layout.0[local.index()];
+                let mut ty = self.fp.program.methods[method.index()].locals[local.index()].ty;
+                for m in members {
+                    slot += heap.layouts().member_offset(*m);
+                    ty = field_ty(&self.fp.program, &[*m]);
+                }
+                self.metrics.instructions += 1;
+                frames[traversal][slot] = coerce(ty, value);
+            }
+            DataAccess::Global { global, members } => {
+                let mut idx = self.global_offsets[global.index()];
+                let mut ty = self.fp.program.globals[global.index()].ty;
+                for m in members {
+                    idx += heap.layouts().member_offset(*m);
+                    ty = field_ty(&self.fp.program, &[*m]);
+                }
+                self.metrics.instructions += 1;
+                self.metrics.stores += 1;
+                self.touch(GLOBALS_BASE_ADDR + SLOT_BYTES * idx as u64);
+                self.globals[idx] = coerce(ty, value);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The value type of the final element of a data chain.
+fn field_ty(program: &grafter_frontend::Program, chain: &[grafter_frontend::FieldId]) -> Ty {
+    let last = chain.last().expect("nonempty data chain");
+    match program.fields[last.index()].kind {
+        FieldKind::Data(t) => t,
+        FieldKind::Child(_) => unreachable!("data chains end at data fields"),
+    }
+}
+
+/// Coerces a value to a declared type (C++-style implicit int<->float).
+fn coerce(ty: Ty, v: Value) -> Value {
+    match (ty, v) {
+        (Ty::Int, Value::Float(f)) => Value::Int(f as i64),
+        (Ty::Float, Value::Int(i)) => Value::Float(i as f64),
+        _ => v,
+    }
+}
+
+fn zero_of(ty: Ty) -> Value {
+    match ty {
+        Ty::Int => Value::Int(0),
+        Ty::Float => Value::Float(0.0),
+        Ty::Bool => Value::Bool(false),
+        Ty::Struct(_) | Ty::Node(_) => Value::Int(0),
+    }
+}
+
+fn binop(op: BinOp, l: Value, r: Value) -> Value {
+    use Value::*;
+    let both_int = matches!((l, r), (Int(_), Int(_)));
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            if both_int {
+                let (a, b) = (l.as_i64(), r.as_i64());
+                Int(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            } else {
+                let (a, b) = (l.as_f64(), r.as_f64());
+                Float(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                })
+            }
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (a, b) = (l.as_f64(), r.as_f64());
+            Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        BinOp::Eq => Bool(values_equal(l, r)),
+        BinOp::Ne => Bool(!values_equal(l, r)),
+        BinOp::And | BinOp::Or => unreachable!("short-circuited by eval"),
+    }
+}
+
+fn values_equal(l: Value, r: Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Bool(a), Value::Bool(b)) => a == b,
+        (Value::Ref(a), Value::Ref(b)) => a == b,
+        _ => l.as_f64() == r.as_f64(),
+    }
+}

@@ -1,0 +1,58 @@
+//! Registry of native implementations for `pure` functions.
+//!
+//! Grafter treats `pure` functions as opaque, read-only C++ (paper §3.1);
+//! their bodies are never analysed. The runtime mirrors that: a pure
+//! function is a native Rust closure registered by name.
+
+use std::collections::HashMap;
+
+use crate::Value;
+
+/// A native pure function.
+pub type NativeFn = fn(&[Value]) -> Value;
+
+/// Name → native function map used by the interpreter.
+#[derive(Clone, Default)]
+pub struct PureRegistry {
+    fns: HashMap<String, NativeFn>,
+}
+
+impl PureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PureRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with common math helpers:
+    /// `sqrtf`, `powf`, `fabs`, `fmin`, `fmax`, `floorf`, `logf`, `expf`.
+    pub fn with_math() -> Self {
+        let mut r = PureRegistry::new();
+        r.register("sqrtf", |a| Value::Float(a[0].as_f64().sqrt()));
+        r.register("powf", |a| Value::Float(a[0].as_f64().powf(a[1].as_f64())));
+        r.register("fabs", |a| Value::Float(a[0].as_f64().abs()));
+        r.register("fmin", |a| Value::Float(a[0].as_f64().min(a[1].as_f64())));
+        r.register("fmax", |a| Value::Float(a[0].as_f64().max(a[1].as_f64())));
+        r.register("floorf", |a| Value::Float(a[0].as_f64().floor()));
+        r.register("logf", |a| Value::Float(a[0].as_f64().ln()));
+        r.register("expf", |a| Value::Float(a[0].as_f64().exp()));
+        r
+    }
+
+    /// Registers (or replaces) a native function under `name`.
+    pub fn register(&mut self, name: &str, f: NativeFn) {
+        self.fns.insert(name.to_string(), f);
+    }
+
+    /// Looks up a native function.
+    pub fn get(&self, name: &str) -> Option<NativeFn> {
+        self.fns.get(name).copied()
+    }
+}
+
+impl std::fmt::Debug for PureRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PureRegistry")
+            .field("functions", &self.fns.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,0 +1,668 @@
+//! Case study 2 (§5.2): AST traversals for a simple imperative language.
+//!
+//! Twenty node types (Fig. 10) and six passes (Table 2): two de-sugaring
+//! passes (`++`/`--` become assignments — real `new`/`delete` topology
+//! mutation), constant propagation written as *two* cooperating traversals
+//! (`propagateConstants` initiates `replaceVarRefs` on the statements that
+//! follow a constant assignment; the replacement truncates at the next
+//! reassignment via `return`), constant folding, and unused-branch removal
+//! (deletes whole subtrees).
+//!
+//! Dynamic type tests use a `kind` tag field (set at construction) because
+//! the language — like Grafter's — has no `instanceof`; conditional
+//! initiation of `replaceVarRefs` uses the paper's §3.5 idiom of pushing
+//! the condition into an unconditionally-invoked traversal that returns
+//! immediately when disabled.
+
+use grafter_frontend::{compile, Program};
+use grafter_runtime::{Heap, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statement kind tags.
+pub mod kind {
+    pub const STMT_ASSIGN: i64 = 1;
+    pub const STMT_IF: i64 = 2;
+    pub const STMT_INCR: i64 = 3;
+    pub const STMT_DECR: i64 = 4;
+    pub const STMT_RETURN: i64 = 6;
+    pub const EXPR_CONST: i64 = 1;
+    pub const EXPR_VAR: i64 = 2;
+    pub const EXPR_BIN: i64 = 3;
+    pub const EXPR_UN: i64 = 4;
+    pub const OP_ADD: i64 = 0;
+    pub const OP_SUB: i64 = 1;
+    pub const OP_MUL: i64 = 2;
+}
+
+/// The AST program in the Grafter DSL.
+pub const SOURCE: &str = r#"
+// ---- class hierarchy (20 types) -------------------------------------------
+tree class ASTNode {
+    int kind = 0;
+    virtual traversal desugarIncr() {}
+    virtual traversal desugarDecr() {}
+    virtual traversal propagateConstants() {}
+    virtual traversal replaceVarRefs(int enabled, int var, int val) {}
+    virtual traversal foldConstants() {}
+    virtual traversal removeUnusedBranches() {}
+}
+
+tree class ProgramRoot : ASTNode {
+    child FunctionList* Funcs;
+    traversal desugarIncr() { Funcs->desugarIncr(); }
+    traversal desugarDecr() { Funcs->desugarDecr(); }
+    traversal propagateConstants() { Funcs->propagateConstants(); }
+    traversal foldConstants() { Funcs->foldConstants(); }
+    traversal removeUnusedBranches() { Funcs->removeUnusedBranches(); }
+}
+
+tree class FunctionList : ASTNode { }
+
+tree class FunctionListInner : FunctionList {
+    child Function* F;
+    child FunctionList* Next;
+    traversal desugarIncr() { F->desugarIncr(); Next->desugarIncr(); }
+    traversal desugarDecr() { F->desugarDecr(); Next->desugarDecr(); }
+    traversal propagateConstants() { F->propagateConstants(); Next->propagateConstants(); }
+    traversal foldConstants() { F->foldConstants(); Next->foldConstants(); }
+    traversal removeUnusedBranches() { F->removeUnusedBranches(); Next->removeUnusedBranches(); }
+}
+
+tree class FunctionListEnd : FunctionList { }
+
+tree class Function : ASTNode {
+    child StmtList* Body;
+    int FuncId = 0;
+    traversal desugarIncr() { Body->desugarIncr(); }
+    traversal desugarDecr() { Body->desugarDecr(); }
+    traversal propagateConstants() { Body->propagateConstants(); }
+    traversal foldConstants() { Body->foldConstants(); }
+    traversal removeUnusedBranches() { Body->removeUnusedBranches(); }
+}
+
+tree class StmtList : ASTNode { }
+
+tree class StmtListInner : StmtList {
+    child Stmt* S;
+    child StmtList* Next;
+
+    traversal desugarIncr() {
+        if (S.kind == 3) {
+            int v = static_cast<IncrStmt*>(this->S).VarId;
+            delete this->S;
+            this->S = new AssignStmt();
+            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
+            a.kind = 1;
+            a->Lhs = new VarRefExpr();
+            a->Lhs.kind = 2;
+            a->Lhs.VarId = v;
+            a->Rhs = new BinaryExpr();
+            BinaryExpr* const r = static_cast<BinaryExpr*>(a->Rhs);
+            r.kind = 3;
+            r.Op = 0;
+            r->Lhs = new VarRefExpr();
+            VarRefExpr* const rl = static_cast<VarRefExpr*>(r->Lhs);
+            rl.kind = 2;
+            rl.VarId = v;
+            r->Rhs = new ConstantExpr();
+            ConstantExpr* const rr = static_cast<ConstantExpr*>(r->Rhs);
+            rr.kind = 1;
+            rr.Value = 1;
+        }
+        this->S->desugarIncr();
+        this->Next->desugarIncr();
+    }
+
+    traversal desugarDecr() {
+        if (S.kind == 4) {
+            int v = static_cast<DecrStmt*>(this->S).VarId;
+            delete this->S;
+            this->S = new AssignStmt();
+            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
+            a.kind = 1;
+            a->Lhs = new VarRefExpr();
+            a->Lhs.kind = 2;
+            a->Lhs.VarId = v;
+            a->Rhs = new BinaryExpr();
+            BinaryExpr* const r = static_cast<BinaryExpr*>(a->Rhs);
+            r.kind = 3;
+            r.Op = 1;
+            r->Lhs = new VarRefExpr();
+            VarRefExpr* const rl = static_cast<VarRefExpr*>(r->Lhs);
+            rl.kind = 2;
+            rl.VarId = v;
+            r->Rhs = new ConstantExpr();
+            ConstantExpr* const rr = static_cast<ConstantExpr*>(r->Rhs);
+            rr.kind = 1;
+            rr.Value = 1;
+        }
+        this->S->desugarDecr();
+        this->Next->desugarDecr();
+    }
+
+    traversal propagateConstants() {
+        // If this statement is `v = <constant>`, start a replacement
+        // traversal over the following statements (the paper's
+        // two-traversal constant propagation).
+        int enabled = 0;
+        int var = 0;
+        int val = 0;
+        if (S.kind == 1) {
+            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
+            if (a->Rhs.kind == 1) {
+                enabled = 1;
+                var = a->Lhs.VarId;
+                val = a->Rhs.Value;
+            }
+        }
+        S->propagateConstants();
+        Next->replaceVarRefs(enabled, var, val);
+        Next->propagateConstants();
+    }
+
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        S->replaceVarRefs(enabled, var, val);
+        // Truncate at a reassignment of the variable.
+        if (S.kind == 1) {
+            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
+            if (a->Lhs.VarId == var) { return; }
+        }
+        Next->replaceVarRefs(enabled, var, val);
+    }
+
+    traversal foldConstants() {
+        S->foldConstants();
+        Next->foldConstants();
+    }
+
+    traversal removeUnusedBranches() {
+        S->removeUnusedBranches();
+        Next->removeUnusedBranches();
+    }
+}
+
+tree class StmtListEnd : StmtList { }
+
+tree class Stmt : ASTNode { }
+
+tree class AssignStmt : Stmt {
+    child VarRefExpr* Lhs;
+    child Expr* Rhs;
+    traversal desugarIncr() { Rhs->desugarIncr(); }
+    traversal desugarDecr() { Rhs->desugarDecr(); }
+    traversal propagateConstants() { }
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        Rhs->replaceVarRefs(enabled, var, val);
+    }
+    traversal foldConstants() { Rhs->foldConstants(); }
+    traversal removeUnusedBranches() { }
+}
+
+tree class IfStmt : Stmt {
+    child Expr* Cond;
+    child StmtList* Then;
+    child StmtList* Else;
+    traversal desugarIncr() { Cond->desugarIncr(); Then->desugarIncr(); Else->desugarIncr(); }
+    traversal desugarDecr() { Cond->desugarDecr(); Then->desugarDecr(); Else->desugarDecr(); }
+    traversal propagateConstants() { Then->propagateConstants(); Else->propagateConstants(); }
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        Cond->replaceVarRefs(enabled, var, val);
+        Then->replaceVarRefs(enabled, var, val);
+        Else->replaceVarRefs(enabled, var, val);
+    }
+    traversal foldConstants() { Cond->foldConstants(); Then->foldConstants(); Else->foldConstants(); }
+    traversal removeUnusedBranches() {
+        Then->removeUnusedBranches();
+        Else->removeUnusedBranches();
+        if (Cond.kind == 1) {
+            int taken = static_cast<ConstantExpr*>(this->Cond).Value;
+            if (taken != 0) {
+                delete this->Else;
+                this->Else = new StmtListEnd();
+            } else {
+                delete this->Then;
+                this->Then = new StmtListEnd();
+            }
+        }
+    }
+}
+
+tree class IncrStmt : Stmt {
+    int VarId = 0;
+}
+
+tree class DecrStmt : Stmt {
+    int VarId = 0;
+}
+
+tree class ReturnStmt : Stmt {
+    child Expr* Val;
+    traversal desugarIncr() { Val->desugarIncr(); }
+    traversal desugarDecr() { Val->desugarDecr(); }
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        Val->replaceVarRefs(enabled, var, val);
+    }
+    traversal foldConstants() { Val->foldConstants(); }
+}
+
+// Expressions carry a cached constant `Value` (valid when kind == 1);
+// folding rewrites kind/Value in place, and branch removal consults them.
+tree class Expr : ASTNode {
+    int Value = 0;
+}
+
+tree class ConstantExpr : Expr { }
+
+tree class VarRefExpr : Expr {
+    int VarId = 0;
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        if (kind == 2) {
+            if (VarId == var) {
+                kind = 1;
+                Value = val;
+            }
+        }
+    }
+}
+
+tree class BinaryExpr : Expr {
+    child Expr* Lhs;
+    child Expr* Rhs;
+    int Op = 0;
+    traversal desugarIncr() { Lhs->desugarIncr(); Rhs->desugarIncr(); }
+    traversal desugarDecr() { Lhs->desugarDecr(); Rhs->desugarDecr(); }
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        Lhs->replaceVarRefs(enabled, var, val);
+        Rhs->replaceVarRefs(enabled, var, val);
+    }
+    traversal foldConstants() {
+        Lhs->foldConstants();
+        Rhs->foldConstants();
+        if (Lhs.kind == 1 && Rhs.kind == 1) {
+            kind = 1;
+            if (Op == 0) { Value = Lhs.Value + Rhs.Value; }
+            if (Op == 1) { Value = Lhs.Value - Rhs.Value; }
+            if (Op == 2) { Value = Lhs.Value * Rhs.Value; }
+        }
+    }
+}
+
+tree class UnaryExpr : Expr {
+    child Expr* Operand;
+    traversal desugarIncr() { Operand->desugarIncr(); }
+    traversal desugarDecr() { Operand->desugarDecr(); }
+    traversal replaceVarRefs(int enabled, int var, int val) {
+        if (enabled == 0) { return; }
+        Operand->replaceVarRefs(enabled, var, val);
+    }
+    traversal foldConstants() {
+        Operand->foldConstants();
+        if (Operand.kind == 1) {
+            kind = 1;
+            Value = 0 - Operand.Value;
+        }
+    }
+}
+"#;
+
+/// The AST passes, in invocation order (Table 2). `replaceVarRefs` is
+/// initiated internally by `propagateConstants`.
+pub const PASSES: [&str; 5] = [
+    "desugarIncr",
+    "desugarDecr",
+    "propagateConstants",
+    "foldConstants",
+    "removeUnusedBranches",
+];
+
+/// Root class the passes are invoked on.
+pub const ROOT_CLASS: &str = "ProgramRoot";
+
+/// Compiles the AST program.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn program() -> Program {
+    match compile(SOURCE) {
+        Ok(p) => p,
+        Err(errs) => panic!("ast program: {}", errs[0].render(SOURCE)),
+    }
+}
+
+// ---- input generators ------------------------------------------------------
+
+fn constant(heap: &mut Heap, v: i64) -> NodeId {
+    let c = heap.alloc_by_name("ConstantExpr").unwrap();
+    heap.set_by_name(c, "kind", Value::Int(kind::EXPR_CONST)).unwrap();
+    heap.set_by_name(c, "Value", Value::Int(v)).unwrap();
+    c
+}
+
+fn var_ref(heap: &mut Heap, var: i64) -> NodeId {
+    let v = heap.alloc_by_name("VarRefExpr").unwrap();
+    heap.set_by_name(v, "kind", Value::Int(kind::EXPR_VAR)).unwrap();
+    heap.set_by_name(v, "VarId", Value::Int(var)).unwrap();
+    v
+}
+
+fn binary(heap: &mut Heap, op: i64, lhs: NodeId, rhs: NodeId) -> NodeId {
+    let b = heap.alloc_by_name("BinaryExpr").unwrap();
+    heap.set_by_name(b, "kind", Value::Int(kind::EXPR_BIN)).unwrap();
+    heap.set_by_name(b, "Op", Value::Int(op)).unwrap();
+    heap.set_child_by_name(b, "Lhs", Some(lhs)).unwrap();
+    heap.set_child_by_name(b, "Rhs", Some(rhs)).unwrap();
+    b
+}
+
+fn random_expr(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> NodeId {
+    if depth == 0 || rng.gen_bool(0.35) {
+        if rng.gen_bool(0.5) {
+            constant(heap, rng.gen_range(-20..20))
+        } else {
+            var_ref(heap, rng.gen_range(0..n_vars))
+        }
+    } else if rng.gen_bool(0.15) {
+        let operand = random_expr(heap, rng, depth - 1, n_vars);
+        let u = heap.alloc_by_name("UnaryExpr").unwrap();
+        heap.set_by_name(u, "kind", Value::Int(kind::EXPR_UN)).unwrap();
+        heap.set_child_by_name(u, "Operand", Some(operand)).unwrap();
+        u
+    } else {
+        let lhs = random_expr(heap, rng, depth - 1, n_vars);
+        let rhs = random_expr(heap, rng, depth - 1, n_vars);
+        binary(heap, rng.gen_range(0..3), lhs, rhs)
+    }
+}
+
+fn assign(heap: &mut Heap, var: i64, rhs: NodeId) -> NodeId {
+    let a = heap.alloc_by_name("AssignStmt").unwrap();
+    heap.set_by_name(a, "kind", Value::Int(kind::STMT_ASSIGN)).unwrap();
+    let lhs = var_ref(heap, var);
+    heap.set_child_by_name(a, "Lhs", Some(lhs)).unwrap();
+    heap.set_child_by_name(a, "Rhs", Some(rhs)).unwrap();
+    a
+}
+
+fn stmt_list(heap: &mut Heap, stmts: Vec<NodeId>) -> NodeId {
+    let mut list = heap.alloc_by_name("StmtListEnd").unwrap();
+    for s in stmts.into_iter().rev() {
+        let cell = heap.alloc_by_name("StmtListInner").unwrap();
+        heap.set_child_by_name(cell, "S", Some(s)).unwrap();
+        heap.set_child_by_name(cell, "Next", Some(list)).unwrap();
+        list = cell;
+    }
+    list
+}
+
+fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> NodeId {
+    let roll: f64 = rng.gen();
+    if roll < 0.35 {
+        // Half of the assignments are constant (seeds for propagation).
+        let rhs = if rng.gen_bool(0.5) {
+            constant(heap, rng.gen_range(-50..50))
+        } else {
+            random_expr(heap, rng, 2, n_vars)
+        };
+        assign(heap, rng.gen_range(0..n_vars), rhs)
+    } else if roll < 0.55 {
+        let s = if rng.gen_bool(0.5) {
+            heap.alloc_by_name("IncrStmt").unwrap()
+        } else {
+            heap.alloc_by_name("DecrStmt").unwrap()
+        };
+        let k = if rng.gen_bool(0.5) { kind::STMT_INCR } else { kind::STMT_DECR };
+        // kind matches the allocated class.
+        let k = if heap.program().classes[heap.node_raw(s).class.index()].name == "IncrStmt" {
+            kind::STMT_INCR
+        } else {
+            let _ = k;
+            kind::STMT_DECR
+        };
+        heap.set_by_name(s, "kind", Value::Int(k)).unwrap();
+        heap.set_by_name(s, "VarId", Value::Int(rng.gen_range(0..n_vars))).unwrap();
+        s
+    } else if roll < 0.7 && depth > 0 {
+        let cond = random_expr(heap, rng, 2, n_vars);
+        let n_then = rng.gen_range(1..4);
+        let n_else = rng.gen_range(0..3);
+        let then_stmts = (0..n_then)
+            .map(|_| random_stmt(heap, rng, depth - 1, n_vars))
+            .collect();
+        let else_stmts = (0..n_else)
+            .map(|_| random_stmt(heap, rng, depth - 1, n_vars))
+            .collect();
+        let then_list = stmt_list(heap, then_stmts);
+        let else_list = stmt_list(heap, else_stmts);
+        let i = heap.alloc_by_name("IfStmt").unwrap();
+        heap.set_by_name(i, "kind", Value::Int(kind::STMT_IF)).unwrap();
+        heap.set_child_by_name(i, "Cond", Some(cond)).unwrap();
+        heap.set_child_by_name(i, "Then", Some(then_list)).unwrap();
+        heap.set_child_by_name(i, "Else", Some(else_list)).unwrap();
+        i
+    } else {
+        let val = random_expr(heap, rng, 2, n_vars);
+        let r = heap.alloc_by_name("ReturnStmt").unwrap();
+        heap.set_by_name(r, "kind", Value::Int(kind::STMT_RETURN)).unwrap();
+        heap.set_child_by_name(r, "Val", Some(val)).unwrap();
+        r
+    }
+}
+
+fn function(heap: &mut Heap, rng: &mut StdRng, id: i64, n_stmts: usize, n_vars: i64) -> NodeId {
+    let stmts = (0..n_stmts)
+        .map(|_| random_stmt(heap, rng, 2, n_vars))
+        .collect();
+    let body = stmt_list(heap, stmts);
+    let f = heap.alloc_by_name("Function").unwrap();
+    heap.set_by_name(f, "FuncId", Value::Int(id)).unwrap();
+    heap.set_child_by_name(f, "Body", Some(body)).unwrap();
+    f
+}
+
+fn program_of(heap: &mut Heap, funcs: Vec<NodeId>) -> NodeId {
+    let mut list = heap.alloc_by_name("FunctionListEnd").unwrap();
+    for f in funcs.into_iter().rev() {
+        let cell = heap.alloc_by_name("FunctionListInner").unwrap();
+        heap.set_child_by_name(cell, "F", Some(f)).unwrap();
+        heap.set_child_by_name(cell, "Next", Some(list)).unwrap();
+        list = cell;
+    }
+    let root = heap.alloc_by_name("ProgramRoot").unwrap();
+    heap.set_child_by_name(root, "Funcs", Some(list)).unwrap();
+    root
+}
+
+/// Builds a program of `n_funcs` replicated random functions (Fig. 11's
+/// generator: "a function ... replicated in order to obtain bigger trees").
+pub fn build_program(heap: &mut Heap, n_funcs: usize, seed: u64) -> NodeId {
+    build_custom(heap, n_funcs, 12, 6, seed)
+}
+
+/// Fully parameterised random program builder (used by shrinking tests).
+pub fn build_custom(
+    heap: &mut Heap,
+    n_funcs: usize,
+    n_stmts: usize,
+    n_vars: i64,
+    seed: u64,
+) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let funcs = (0..n_funcs)
+        .map(|i| function(heap, &mut rng, i as i64, n_stmts, n_vars))
+        .collect();
+    program_of(heap, funcs)
+}
+
+/// Table 4 Prog1: a large number of normal-sized functions.
+pub fn build_prog1(heap: &mut Heap, n_funcs: usize, seed: u64) -> NodeId {
+    build_program(heap, n_funcs, seed)
+}
+
+/// Table 4 Prog2: one large function.
+pub fn build_prog2(heap: &mut Heap, n_stmts: usize, seed: u64) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = function(heap, &mut rng, 0, n_stmts, 6);
+    program_of(heap, vec![f])
+}
+
+/// Table 4 Prog3: functions with long live ranges — each constant
+/// assignment is followed by a long run of statements that use the
+/// variable, so `replaceVarRefs` traversals stay active for a long time.
+pub fn build_prog3(heap: &mut Heap, n_funcs: usize, range_len: usize, seed: u64) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut funcs = Vec::new();
+    for i in 0..n_funcs {
+        let mut stmts = Vec::new();
+        // Constant seed assignment, then a long live range of uses.
+        let c = constant(heap, rng.gen_range(1..20));
+        stmts.push(assign(heap, 0, c));
+        for _ in 0..range_len {
+            let lhs = var_ref(heap, 0);
+            let rhs = random_expr(heap, &mut rng, 1, 4);
+            let use_expr = binary(heap, kind::OP_ADD, lhs, rhs);
+            stmts.push(assign(heap, rng.gen_range(1..5), use_expr));
+        }
+        let body = stmt_list(heap, stmts);
+        let f = heap.alloc_by_name("Function").unwrap();
+        heap.set_by_name(f, "FuncId", Value::Int(i as i64)).unwrap();
+        heap.set_child_by_name(f, "Body", Some(body)).unwrap();
+        funcs.push(f);
+    }
+    program_of(heap, funcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Experiment;
+
+    #[test]
+    fn program_compiles_with_20_types() {
+        let p = program();
+        assert_eq!(p.classes.len(), 20);
+    }
+
+    #[test]
+    fn fused_equals_unfused_on_random_programs() {
+        for seed in [1, 7, 23] {
+            let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, move |heap| {
+                build_program(heap, 6, seed)
+            });
+            assert!(exp.check_equivalence(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_equals_unfused_on_prog_configs() {
+        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+            build_prog2(heap, 40, 5)
+        });
+        assert!(exp.check_equivalence());
+        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+            build_prog3(heap, 4, 20, 5)
+        });
+        assert!(exp.check_equivalence());
+    }
+
+    #[test]
+    fn desugaring_rewrites_incr_and_decr() {
+        let p = program();
+        let fp = grafter::fuse(&p, ROOT_CLASS, &PASSES, &grafter::FuseOptions::default()).unwrap();
+        let mut heap = Heap::new(&p);
+        let incr = heap.alloc_by_name("IncrStmt").unwrap();
+        heap.set_by_name(incr, "kind", Value::Int(kind::STMT_INCR)).unwrap();
+        heap.set_by_name(incr, "VarId", Value::Int(3)).unwrap();
+        let body = stmt_list(&mut heap, vec![incr]);
+        let f = heap.alloc_by_name("Function").unwrap();
+        heap.set_child_by_name(f, "Body", Some(body)).unwrap();
+        let root = program_of(&mut heap, vec![f]);
+
+        let mut interp = grafter_runtime::Interp::new(&fp);
+        interp.run(&mut heap, root, &[]).unwrap();
+
+        // The IncrStmt was replaced by `v3 = v3 + 1`, which constant
+        // folding cannot collapse (v3 is not constant).
+        let funcs = heap.child_by_name(root, "Funcs").unwrap().unwrap();
+        let f = heap.child_by_name(funcs, "F").unwrap().unwrap();
+        let body = heap.child_by_name(f, "Body").unwrap().unwrap();
+        let s = heap.child_by_name(body, "S").unwrap().unwrap();
+        let class = &p.classes[heap.node_raw(s).class.index()].name;
+        assert_eq!(class, "AssignStmt");
+        assert_eq!(heap.get_by_name(s, "kind").unwrap(), Value::Int(kind::STMT_ASSIGN));
+        let rhs = heap.child_by_name(s, "Rhs").unwrap().unwrap();
+        assert_eq!(
+            heap.program().classes[heap.node_raw(rhs).class.index()].name,
+            "BinaryExpr"
+        );
+    }
+
+    #[test]
+    fn constant_propagation_and_folding_collapse_branches() {
+        let p = program();
+        let fp = grafter::fuse(&p, ROOT_CLASS, &PASSES, &grafter::FuseOptions::default()).unwrap();
+        let mut heap = Heap::new(&p);
+        // x = 2; if (x - 2) { y = 1 } else { y = 2 }
+        let two = constant(&mut heap, 2);
+        let seed_assign = assign(&mut heap, 0, two);
+        let cond_lhs = var_ref(&mut heap, 0);
+        let cond_rhs = constant(&mut heap, 2);
+        let cond = binary(&mut heap, kind::OP_SUB, cond_lhs, cond_rhs);
+        let then_s = {
+            let c = constant(&mut heap, 1);
+            assign(&mut heap, 1, c)
+        };
+        let else_s = {
+            let c = constant(&mut heap, 2);
+            assign(&mut heap, 1, c)
+        };
+        let then_list = stmt_list(&mut heap, vec![then_s]);
+        let else_list = stmt_list(&mut heap, vec![else_s]);
+        let ifs = heap.alloc_by_name("IfStmt").unwrap();
+        heap.set_by_name(ifs, "kind", Value::Int(kind::STMT_IF)).unwrap();
+        heap.set_child_by_name(ifs, "Cond", Some(cond)).unwrap();
+        heap.set_child_by_name(ifs, "Then", Some(then_list)).unwrap();
+        heap.set_child_by_name(ifs, "Else", Some(else_list)).unwrap();
+        let body = stmt_list(&mut heap, vec![seed_assign, ifs]);
+        let f = heap.alloc_by_name("Function").unwrap();
+        heap.set_child_by_name(f, "Body", Some(body)).unwrap();
+        let root = program_of(&mut heap, vec![f]);
+
+        let mut interp = grafter_runtime::Interp::new(&fp);
+        interp.run(&mut heap, root, &[]).unwrap();
+
+        // x propagated into the condition, folded to 0, so the Then branch
+        // was deleted and replaced with an empty list.
+        let funcs = heap.child_by_name(root, "Funcs").unwrap().unwrap();
+        let f = heap.child_by_name(funcs, "F").unwrap().unwrap();
+        let body = heap.child_by_name(f, "Body").unwrap().unwrap();
+        let next = heap.child_by_name(body, "Next").unwrap().unwrap();
+        let if_node = heap.child_by_name(next, "S").unwrap().unwrap();
+        let cond = heap.child_by_name(if_node, "Cond").unwrap().unwrap();
+        assert_eq!(heap.get_by_name(cond, "kind").unwrap(), Value::Int(kind::EXPR_CONST));
+        assert_eq!(heap.get_by_name(cond, "Value").unwrap(), Value::Int(0));
+        let then_branch = heap.child_by_name(if_node, "Then").unwrap().unwrap();
+        assert_eq!(
+            heap.program().classes[heap.node_raw(then_branch).class.index()].name,
+            "StmtListEnd",
+            "false branch contents were removed"
+        );
+    }
+
+    #[test]
+    fn fusion_reduces_visits() {
+        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+            build_program(heap, 30, 2)
+        });
+        let cmp = exp.compare();
+        let n = cmp.normalized();
+        assert!(n.visits < 0.95, "visit ratio {}", n.visits);
+    }
+}

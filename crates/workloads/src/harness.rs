@@ -1,0 +1,179 @@
+//! Measurement harness: runs a workload fused and unfused and reports the
+//! paper's four metrics.
+
+use std::time::{Duration, Instant};
+
+use grafter::{fuse, FuseOptions, FusedProgram};
+use grafter_cachesim::CacheHierarchy;
+use grafter_frontend::Program;
+use grafter_runtime::{with_stack, Heap, Interp, NodeId, PureRegistry, Value};
+
+/// Stack size used for experiment runs (trees can be deep sibling chains).
+pub const RUN_STACK: usize = 1 << 31;
+
+/// The metrics of one run, mirroring the paper's measured quantities.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Traversal-function calls on nodes.
+    pub visits: u64,
+    /// Abstract instructions executed.
+    pub instructions: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 misses.
+    pub l3_misses: u64,
+    /// Modelled runtime in cycles (instructions + memory stalls).
+    pub cycles: u64,
+    /// Wall-clock time of the interpreter run.
+    pub wall: Duration,
+    /// Live tree size in bytes (before the run).
+    pub tree_bytes: u64,
+}
+
+/// Fused-over-unfused normalisation of every metric (the y-axis of the
+/// paper's figures; < 1.0 means fusion wins).
+#[derive(Clone, Debug)]
+pub struct Normalized {
+    pub visits: f64,
+    pub instructions: f64,
+    pub l2_misses: f64,
+    pub l3_misses: f64,
+    pub runtime: f64,
+}
+
+/// A fused/unfused pair of runs on identical input.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub fused: RunStats,
+    pub unfused: RunStats,
+}
+
+impl Comparison {
+    /// Normalised metrics (fused / unfused).
+    pub fn normalized(&self) -> Normalized {
+        let ratio = |a: u64, b: u64| {
+            if b == 0 {
+                1.0
+            } else {
+                a as f64 / b as f64
+            }
+        };
+        Normalized {
+            visits: ratio(self.fused.visits, self.unfused.visits),
+            instructions: ratio(self.fused.instructions, self.unfused.instructions),
+            l2_misses: ratio(self.fused.l2_misses, self.unfused.l2_misses),
+            l3_misses: ratio(self.fused.l3_misses, self.unfused.l3_misses),
+            runtime: ratio(self.fused.cycles, self.unfused.cycles),
+        }
+    }
+}
+
+/// A self-contained experiment: a program, an entry sequence and an input
+/// builder. `Send + 'static` so runs can move to a big-stack worker thread.
+pub struct Experiment {
+    /// The compiled DSL program.
+    pub program: Program,
+    /// Root class of the entry sequence.
+    pub root_class: &'static str,
+    /// Entry traversal names, in invocation order.
+    pub passes: Vec<&'static str>,
+    /// Per-traversal entry arguments.
+    pub args: Vec<Vec<Value>>,
+    /// Builds the input tree.
+    pub build: Box<dyn Fn(&mut Heap) -> NodeId + Send + Sync>,
+    /// Extra pure functions (besides the math defaults).
+    pub pures: fn() -> PureRegistry,
+}
+
+impl Experiment {
+    /// Creates an experiment with default math pures and no arguments.
+    pub fn new(
+        program: Program,
+        root_class: &'static str,
+        passes: &[&'static str],
+        build: impl Fn(&mut Heap) -> NodeId + Send + Sync + 'static,
+    ) -> Self {
+        Experiment {
+            program,
+            root_class,
+            passes: passes.to_vec(),
+            args: Vec::new(),
+            build: Box::new(build),
+            pures: PureRegistry::with_math,
+        }
+    }
+
+    /// Fuses the experiment's entry sequence.
+    pub fn fuse_with(&self, opts: &FuseOptions) -> FusedProgram {
+        fuse(&self.program, self.root_class, &self.passes, opts)
+            .expect("experiment entry sequence resolves")
+    }
+
+    /// Runs one configuration with the cache simulator attached.
+    pub fn run_stats(&self, fp: &FusedProgram) -> RunStats {
+        let mut heap = Heap::new(&self.program);
+        let root = (self.build)(&mut heap);
+        let tree_bytes = heap.live_bytes();
+        let mut interp =
+            Interp::with_pures(fp, (self.pures)()).with_cache(CacheHierarchy::xeon());
+        let start = Instant::now();
+        interp.run(&mut heap, root, &self.args).expect("run succeeds");
+        let wall = start.elapsed();
+        let cache = interp.cache.as_ref().expect("cache attached").stats();
+        RunStats {
+            visits: interp.metrics.visits,
+            instructions: interp.metrics.instructions,
+            l1_misses: cache.misses(0),
+            l2_misses: cache.misses(1),
+            l3_misses: cache.misses(2),
+            cycles: interp.metrics.cycles(&cache),
+            wall,
+            tree_bytes,
+        }
+    }
+
+    /// Runs the experiment fused and unfused on identical inputs, on a
+    /// dedicated large-stack thread.
+    pub fn compare(self) -> Comparison {
+        with_stack(RUN_STACK, move || {
+            let fused = self.fuse_with(&FuseOptions::default());
+            let unfused = self.fuse_with(&FuseOptions::unfused());
+            Comparison {
+                fused: self.run_stats(&fused),
+                unfused: self.run_stats(&unfused),
+            }
+        })
+    }
+
+    /// Like [`Experiment::compare`] but with custom fused options (used for
+    /// cutoff ablations).
+    pub fn compare_with(self, opts: FuseOptions) -> Comparison {
+        with_stack(RUN_STACK, move || {
+            let fused = self.fuse_with(&opts);
+            let unfused = self.fuse_with(&FuseOptions::unfused());
+            Comparison {
+                fused: self.run_stats(&fused),
+                unfused: self.run_stats(&unfused),
+            }
+        })
+    }
+
+    /// Differential check: fused and unfused runs must leave identical
+    /// trees. Returns the two snapshots' equality.
+    pub fn check_equivalence(self) -> bool {
+        with_stack(RUN_STACK, move || {
+            let fused = self.fuse_with(&FuseOptions::default());
+            let unfused = self.fuse_with(&FuseOptions::unfused());
+            let snap = |fp: &FusedProgram| {
+                let mut heap = Heap::new(&self.program);
+                let root = (self.build)(&mut heap);
+                let mut interp = Interp::with_pures(fp, (self.pures)());
+                interp.run(&mut heap, root, &self.args).expect("run succeeds");
+                heap.snapshot(root)
+            };
+            snap(&fused) == snap(&unfused)
+        })
+    }
+}

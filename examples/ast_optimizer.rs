@@ -1,0 +1,119 @@
+//! Run the six AST compiler passes of the paper's second case study on a
+//! small program, showing the tree before and after: `++x` de-sugars into
+//! an assignment, constants propagate and fold, and a dead branch is
+//! removed from the tree.
+//!
+//! Run with: `cargo run --example ast_optimizer`
+
+use grafter_runtime::{Heap, Interp, NodeId, Value};
+use grafter_workloads::ast::{self, kind};
+
+fn dump(heap: &Heap, id: NodeId, indent: usize) {
+    let node = heap.node_raw(id);
+    let class = &heap.program().classes[node.class.index()].name;
+    let extra = match class.as_str() {
+        "ConstantExpr" => format!(" value={}", heap.get_by_name(id, "Value").unwrap().as_i64()),
+        "VarRefExpr" => {
+            let k = heap.get_by_name(id, "kind").unwrap().as_i64();
+            if k == kind::EXPR_CONST {
+                format!(" -> folded to {}", heap.get_by_name(id, "Value").unwrap().as_i64())
+            } else {
+                format!(" var v{}", heap.get_by_name(id, "VarId").unwrap().as_i64())
+            }
+        }
+        "BinaryExpr" => {
+            let k = heap.get_by_name(id, "kind").unwrap().as_i64();
+            if k == kind::EXPR_CONST {
+                format!(" -> folded to {}", heap.get_by_name(id, "Value").unwrap().as_i64())
+            } else {
+                format!(" op={}", heap.get_by_name(id, "Op").unwrap().as_i64())
+            }
+        }
+        "IncrStmt" | "DecrStmt" => format!(" var v{}", heap.get_by_name(id, "VarId").unwrap().as_i64()),
+        _ => String::new(),
+    };
+    println!("{:indent$}{class}{extra}", "", indent = indent);
+    for v in node.slots.iter() {
+        if let Value::Ref(Some(c)) = v {
+            dump(heap, *c, indent + 2);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = ast::program();
+    let fp = grafter::fuse(&program, ast::ROOT_CLASS, &ast::PASSES, &grafter::FuseOptions::default())?;
+
+    // Hand-build:  x = 4; ++x; if (x - 5) { y = 1; } else { y = 2; }
+    let mut heap = Heap::new(&program);
+    let node = |heap: &mut Heap, class: &str, fields: &[(&str, i64)]| {
+        let n = heap.alloc_by_name(class).unwrap();
+        for (f, v) in fields {
+            heap.set_by_name(n, f, Value::Int(*v)).unwrap();
+        }
+        n
+    };
+    let c4 = node(&mut heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", 4)]);
+    let lhs = node(&mut heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 0)]);
+    let s1 = node(&mut heap, "AssignStmt", &[("kind", kind::STMT_ASSIGN)]);
+    heap.set_child_by_name(s1, "Lhs", Some(lhs)).unwrap();
+    heap.set_child_by_name(s1, "Rhs", Some(c4)).unwrap();
+
+    let s2 = node(&mut heap, "IncrStmt", &[("kind", kind::STMT_INCR), ("VarId", 0)]);
+
+    let cl = node(&mut heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 0)]);
+    let cr = node(&mut heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", 5)]);
+    let cond = node(&mut heap, "BinaryExpr", &[("kind", kind::EXPR_BIN), ("Op", kind::OP_SUB)]);
+    heap.set_child_by_name(cond, "Lhs", Some(cl)).unwrap();
+    heap.set_child_by_name(cond, "Rhs", Some(cr)).unwrap();
+
+    let mk_branch = |heap: &mut Heap, val: i64| {
+        let c = node(heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", val)]);
+        let l = node(heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 1)]);
+        let a = node(heap, "AssignStmt", &[("kind", kind::STMT_ASSIGN)]);
+        heap.set_child_by_name(a, "Lhs", Some(l)).unwrap();
+        heap.set_child_by_name(a, "Rhs", Some(c)).unwrap();
+        let end = heap.alloc_by_name("StmtListEnd").unwrap();
+        let cell = heap.alloc_by_name("StmtListInner").unwrap();
+        heap.set_child_by_name(cell, "S", Some(a)).unwrap();
+        heap.set_child_by_name(cell, "Next", Some(end)).unwrap();
+        cell
+    };
+    let then_l = mk_branch(&mut heap, 1);
+    let else_l = mk_branch(&mut heap, 2);
+    let ifs = node(&mut heap, "IfStmt", &[("kind", kind::STMT_IF)]);
+    heap.set_child_by_name(ifs, "Cond", Some(cond)).unwrap();
+    heap.set_child_by_name(ifs, "Then", Some(then_l)).unwrap();
+    heap.set_child_by_name(ifs, "Else", Some(else_l)).unwrap();
+
+    // body list s1 ; s2 ; ifs
+    let mut list = heap.alloc_by_name("StmtListEnd").unwrap();
+    for s in [ifs, s2, s1] {
+        let cell = heap.alloc_by_name("StmtListInner").unwrap();
+        heap.set_child_by_name(cell, "S", Some(s)).unwrap();
+        heap.set_child_by_name(cell, "Next", Some(list)).unwrap();
+        list = cell;
+    }
+    let f = heap.alloc_by_name("Function").unwrap();
+    heap.set_child_by_name(f, "Body", Some(list)).unwrap();
+    let fend = heap.alloc_by_name("FunctionListEnd").unwrap();
+    let fcell = heap.alloc_by_name("FunctionListInner").unwrap();
+    heap.set_child_by_name(fcell, "F", Some(f)).unwrap();
+    heap.set_child_by_name(fcell, "Next", Some(fend)).unwrap();
+    let root = heap.alloc_by_name("ProgramRoot").unwrap();
+    heap.set_child_by_name(root, "Funcs", Some(fcell)).unwrap();
+
+    println!("--- before ---");
+    dump(&heap, root, 0);
+
+    let mut interp = Interp::new(&fp);
+    interp.run(&mut heap, root, &[])?;
+
+    println!("\n--- after desugar + const-prop + fold + branch removal ---");
+    dump(&heap, root, 0);
+    println!(
+        "\n(x=4; ++x makes x=5; the condition x-5 folds to 0, so the then-branch was deleted)"
+    );
+    println!("node visits: {}", interp.metrics.visits);
+    Ok(())
+}

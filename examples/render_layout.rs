@@ -1,0 +1,49 @@
+//! Lay out a multi-page document with the five render-tree passes of the
+//! paper's first case study, comparing fused and unfused executions.
+//!
+//! Run with: `cargo run --release --example render_layout`
+
+use grafter_cachesim::CacheHierarchy;
+use grafter_runtime::{Heap, Interp};
+use grafter_workloads::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = render::program();
+    let fused = grafter::fuse(&program, render::ROOT_CLASS, &render::PASSES, &grafter::FuseOptions::default())?;
+    let unfused = grafter::fuse(&program, render::ROOT_CLASS, &render::PASSES, &grafter::FuseOptions::unfused())?;
+
+    println!("five layout passes: {:?}", render::PASSES);
+    println!(
+        "fused pipeline: {} generated functions, {} dispatch stubs\n",
+        fused.n_functions(),
+        fused.stubs.len()
+    );
+
+    for (name, fp) in [("fused", &fused), ("unfused", &unfused)] {
+        let mut heap = Heap::new(&program);
+        let doc = render::build_document(&mut heap, 100, 7);
+        let mut interp = Interp::new(fp).with_cache(CacheHierarchy::xeon());
+        interp.run(&mut heap, doc, &[])?;
+        let cache = interp.cache.as_ref().unwrap().stats();
+        println!(
+            "{name:>8}: visits={:>7} instructions={:>9} L2 misses={:>6} cycles={}",
+            interp.metrics.visits,
+            interp.metrics.instructions,
+            cache.misses(1),
+            interp.metrics.cycles(&cache),
+        );
+        if name == "fused" {
+            // Show the geometry of the first page.
+            let pages = heap.child_by_name(doc, "Pages").flatten().ok_or("no pages")?;
+            let page = heap.child_by_name(pages, "P").flatten().ok_or("no page")?;
+            println!(
+                "          page 1: width={:?} height={:?} at ({:?}, {:?})",
+                heap.get_by_name(page, "Width").unwrap(),
+                heap.get_by_name(page, "Height").unwrap(),
+                heap.get_by_name(page, "PosX").unwrap(),
+                heap.get_by_name(page, "PosY").unwrap(),
+            );
+        }
+    }
+    Ok(())
+}

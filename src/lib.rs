@@ -1,0 +1,21 @@
+//! Umbrella crate for the Grafter reproduction workspace.
+//!
+//! This package exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual library surface lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen)
+//! - [`grafter_frontend`] — the traversal language frontend
+//! - [`grafter_automata`] — access automata
+//! - [`grafter_runtime`] — tree runtime and IR interpreter
+//! - [`grafter_cachesim`] — cache hierarchy simulator
+//! - [`grafter_treefuser`] — TreeFuser-style baseline
+//! - [`grafter_workloads`] — the paper's four case studies
+
+pub use grafter;
+pub use grafter_automata;
+pub use grafter_cachesim;
+pub use grafter_frontend;
+pub use grafter_runtime;
+pub use grafter_treefuser;
+pub use grafter_workloads;

@@ -1,0 +1,188 @@
+//! Property-based soundness testing: for randomly generated traversal
+//! programs and random input trees, the fused execution must leave the
+//! tree in exactly the state the unfused execution does (the paper's
+//! central soundness claim, §3.3).
+//!
+//! Programs are drawn from a template family over a `Node / Cons / End`
+//! list skeleton: each traversal is a random sequence of field updates,
+//! cross-node reads/writes, conditional early returns, and recursive calls
+//! (possibly mutually recursive into the other generated traversals, and
+//! placed pre-, mid- or post-order). This exercises statement reordering,
+//! call grouping, type-specific partial fusion and truncation together.
+
+use grafter::{fuse, FuseOptions};
+use grafter_frontend::compile;
+use grafter_runtime::{Heap, Interp, Value};
+use proptest::prelude::*;
+
+/// One generated simple statement.
+#[derive(Clone, Debug)]
+enum Tmpl {
+    /// `<f1> = <f2> + k;`
+    SelfRmw(usize, usize, i64),
+    /// `<f1> = this->next.<f2> + k;` (pull up)
+    PullUp(usize, usize, i64),
+    /// `this->next.<f1> = <f2>;` (push down)
+    PushDown(usize, usize),
+    /// `if (stop) { return; }`
+    CondReturn,
+    /// `if (<f1> > k) { <f2> = <f3> - 1; }`
+    CondUpdate(usize, usize, usize, i64),
+}
+
+const FIELDS: [&str; 3] = ["a", "b", "c"];
+
+impl Tmpl {
+    fn render(&self) -> String {
+        match *self {
+            Tmpl::SelfRmw(f1, f2, k) => {
+                format!("{} = {} + {k};", FIELDS[f1 % 3], FIELDS[f2 % 3])
+            }
+            Tmpl::PullUp(f1, f2, k) => format!(
+                "{} = this->next.{} + {k};",
+                FIELDS[f1 % 3],
+                FIELDS[f2 % 3]
+            ),
+            Tmpl::PushDown(f1, f2) => {
+                format!("this->next.{} = {};", FIELDS[f1 % 3], FIELDS[f2 % 3])
+            }
+            Tmpl::CondReturn => "if (stop) { return; }".into(),
+            Tmpl::CondUpdate(f1, f2, f3, k) => format!(
+                "if ({} > {k}) {{ {} = {} - 1; }}",
+                FIELDS[f1 % 3],
+                FIELDS[f2 % 3],
+                FIELDS[f3 % 3]
+            ),
+        }
+    }
+}
+
+fn tmpl_strategy() -> impl Strategy<Value = Tmpl> {
+    prop_oneof![
+        (0..3usize, 0..3usize, -3..4i64).prop_map(|(a, b, k)| Tmpl::SelfRmw(a, b, k)),
+        (0..3usize, 0..3usize, -3..4i64).prop_map(|(a, b, k)| Tmpl::PullUp(a, b, k)),
+        (0..3usize, 0..3usize).prop_map(|(a, b)| Tmpl::PushDown(a, b)),
+        Just(Tmpl::CondReturn),
+        (0..3usize, 0..3usize, 0..3usize, -2..6i64)
+            .prop_map(|(a, b, c, k)| Tmpl::CondUpdate(a, b, c, k)),
+    ]
+}
+
+/// A generated traversal: statements plus recursion positions.
+#[derive(Clone, Debug)]
+struct GenTraversal {
+    stmts: Vec<Tmpl>,
+    /// Where the self-recursion call goes (index into stmts, clamped).
+    recurse_at: usize,
+    /// Optionally also call this other traversal index on next.
+    also_call: Option<usize>,
+}
+
+fn traversal_strategy() -> impl Strategy<Value = GenTraversal> {
+    (
+        proptest::collection::vec(tmpl_strategy(), 1..5),
+        0..5usize,
+        proptest::option::of(0..3usize),
+    )
+        .prop_map(|(stmts, recurse_at, also_call)| GenTraversal {
+            stmts,
+            recurse_at,
+            also_call,
+        })
+}
+
+/// Renders the whole program for `n` generated traversals.
+fn render_program(traversals: &[GenTraversal]) -> String {
+    let mut src = String::from(
+        "tree class Node {\n  child Node* next;\n  int a = 0; int b = 0; int c = 0;\n  bool stop = false;\n",
+    );
+    for i in 0..traversals.len() {
+        src.push_str(&format!("  virtual traversal t{i}() {{}}\n"));
+    }
+    src.push_str("}\ntree class Cons : Node {\n");
+    for (i, t) in traversals.iter().enumerate() {
+        src.push_str(&format!("  traversal t{i}() {{\n"));
+        let at = t.recurse_at.min(t.stmts.len());
+        for (j, s) in t.stmts.iter().enumerate() {
+            if j == at {
+                src.push_str(&format!("    this->next->t{i}();\n"));
+                if let Some(o) = t.also_call {
+                    let o = o % traversals.len();
+                    src.push_str(&format!("    this->next->t{o}();\n"));
+                }
+            }
+            src.push_str(&format!("    {}\n", s.render()));
+        }
+        if at >= t.stmts.len() {
+            src.push_str(&format!("    this->next->t{i}();\n"));
+            if let Some(o) = t.also_call {
+                let o = o % traversals.len();
+                src.push_str(&format!("    this->next->t{o}();\n"));
+            }
+        }
+        src.push_str("  }\n");
+    }
+    src.push_str("}\ntree class End : Node { }\n");
+    src
+}
+
+fn list_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64, bool)>> {
+    proptest::collection::vec(
+        (-5..6i64, -5..6i64, -5..6i64, proptest::bool::weighted(0.15)),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_equals_unfused_on_random_programs(
+        traversals in proptest::collection::vec(traversal_strategy(), 1..4),
+        list in list_strategy(),
+    ) {
+        let src = render_program(&traversals);
+        let program = compile(&src).expect("generated programs are valid");
+        let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+        let fused = fuse(&program, "Node", &name_refs, &FuseOptions::default()).unwrap();
+        let unfused = fuse(&program, "Node", &name_refs, &FuseOptions::unfused()).unwrap();
+
+        let snapshot = |fp: &grafter::FusedProgram| {
+            let mut heap = Heap::new(&program);
+            let mut cur = heap.alloc_by_name("End").unwrap();
+            for &(a, b, c, stop) in list.iter().rev() {
+                let n = heap.alloc_by_name("Cons").unwrap();
+                heap.set_by_name(n, "a", Value::Int(a)).unwrap();
+                heap.set_by_name(n, "b", Value::Int(b)).unwrap();
+                heap.set_by_name(n, "c", Value::Int(c)).unwrap();
+                heap.set_by_name(n, "stop", Value::Bool(stop)).unwrap();
+                heap.set_child_by_name(n, "next", Some(cur)).unwrap();
+                cur = n;
+            }
+            let mut interp = Interp::new(fp);
+            interp.run(&mut heap, cur, &[]).unwrap();
+            (heap.snapshot(cur), interp.metrics.visits)
+        };
+
+        let (snap_f, visits_f) = snapshot(&fused);
+        let (snap_u, visits_u) = snapshot(&unfused);
+        prop_assert_eq!(snap_f, snap_u, "program:\n{}", src);
+        prop_assert!(visits_f <= visits_u, "fusion never increases visits");
+    }
+
+    #[test]
+    fn fusion_terminates_on_recursive_schedules(
+        traversals in proptest::collection::vec(traversal_strategy(), 1..3),
+    ) {
+        // Even adversarial multi-call programs must terminate fusion with
+        // a bounded function count (the §4 cutoffs).
+        let src = render_program(&traversals);
+        let program = compile(&src).expect("generated programs are valid");
+        let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let fp = fuse(&program, "Node", &name_refs, &FuseOptions::default()).unwrap();
+        prop_assert!(fp.n_functions() < 2_000, "got {}", fp.n_functions());
+    }
+}
