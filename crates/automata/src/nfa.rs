@@ -89,7 +89,10 @@ impl<S: Symbol> Nfa<S> {
 
     /// Adds a labelled transition.
     pub fn add_transition(&mut self, from: StateId, sym: S, to: StateId) {
-        if !self.transitions[from].iter().any(|(s, t)| *s == sym && *t == to) {
+        if !self.transitions[from]
+            .iter()
+            .any(|(s, t)| *s == sym && *t == to)
+        {
             self.transitions[from].push((sym, to));
         }
     }
@@ -290,15 +293,17 @@ impl<S: Symbol> Nfa<S> {
 
         // Work on raw state pairs; epsilon closures are chased per side when
         // a pair is expanded.
-        let pair_state =
-            |out: &mut Nfa<S>, index: &mut HashMap<(StateId, StateId), StateId>,
-             queue: &mut VecDeque<(StateId, StateId)>, a: StateId, b: StateId| {
-                *index.entry((a, b)).or_insert_with(|| {
-                    let id = out.add_state();
-                    queue.push_back((a, b));
-                    id
-                })
-            };
+        let pair_state = |out: &mut Nfa<S>,
+                          index: &mut HashMap<(StateId, StateId), StateId>,
+                          queue: &mut VecDeque<(StateId, StateId)>,
+                          a: StateId,
+                          b: StateId| {
+            *index.entry((a, b)).or_insert_with(|| {
+                let id = out.add_state();
+                queue.push_back((a, b));
+                id
+            })
+        };
 
         index.insert((self.start, other.start), out.start);
         queue.push_back((self.start, other.start));
@@ -309,8 +314,7 @@ impl<S: Symbol> Nfa<S> {
             self.eps_closure(&mut a_cl);
             let mut b_cl = BTreeSet::from([b]);
             other.eps_closure(&mut b_cl);
-            if a_cl.iter().any(|&s| self.accepting[s]) && b_cl.iter().any(|&s| other.accepting[s])
-            {
+            if a_cl.iter().any(|&s| self.accepting[s]) && b_cl.iter().any(|&s| other.accepting[s]) {
                 out.set_accepting(from, true);
             }
             for &sa in &a_cl {
@@ -318,8 +322,7 @@ impl<S: Symbol> Nfa<S> {
                     for &sb in &b_cl {
                         for (bsym, bto) in &other.transitions[sb] {
                             if asym.overlaps(bsym) {
-                                let to =
-                                    pair_state(&mut out, &mut index, &mut queue, *ato, *bto);
+                                let to = pair_state(&mut out, &mut index, &mut queue, *ato, *bto);
                                 out.add_transition(from, asym.meet(bsym), to);
                             }
                         }
@@ -370,8 +373,7 @@ impl<S: Symbol> Nfa<S> {
         };
         index.insert(start.clone(), 0);
         dfa.transitions.push(vec![None; alphabet.len()]);
-        dfa.accepting
-            .push(start.iter().any(|&s| self.accepting[s]));
+        dfa.accepting.push(start.iter().any(|&s| self.accepting[s]));
         let mut queue = VecDeque::from([start]);
 
         while let Some(states) = queue.pop_front() {
@@ -395,8 +397,7 @@ impl<S: Symbol> Nfa<S> {
                         let id = dfa.transitions.len();
                         index.insert(next.clone(), id);
                         dfa.transitions.push(vec![None; alphabet.len()]);
-                        dfa.accepting
-                            .push(next.iter().any(|&s| self.accepting[s]));
+                        dfa.accepting.push(next.iter().any(|&s| self.accepting[s]));
                         queue.push_back(next);
                         id
                     }
@@ -420,7 +421,11 @@ impl<S: Symbol> Nfa<S> {
         let _ = writeln!(out, "digraph {name} {{");
         let _ = writeln!(out, "  rankdir=LR;");
         for st in 0..self.len() {
-            let shape = if self.accepting[st] { "doublecircle" } else { "circle" };
+            let shape = if self.accepting[st] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             let _ = writeln!(out, "  s{st} [shape={shape}];");
         }
         let _ = writeln!(out, "  init [shape=point]; init -> s{};", self.start);

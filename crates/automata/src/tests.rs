@@ -213,16 +213,26 @@ fn realistic_grafter_statement_automata() {
     assert!(write.intersects(&Nfa::from_path(&[PathSym::Root, WIDTH], true)));
 }
 
+/// Randomised language properties. Originally proptest strategies; the
+/// build environment is offline, so cases are drawn from the vendored
+/// deterministic `rand` shim with fixed seeds instead.
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn word_strategy() -> impl Strategy<Value = Vec<char>> {
-        proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..6)
+    const CASES: usize = 128;
+
+    fn word(rng: &mut StdRng) -> Vec<char> {
+        let len = rng.gen_range(0..6usize);
+        (0..len)
+            .map(|_| ['a', 'b', 'c'][rng.gen_range(0..3usize)])
+            .collect()
     }
 
-    fn words_strategy() -> impl Strategy<Value = Vec<Vec<char>>> {
-        proptest::collection::vec(word_strategy(), 1..5)
+    fn words(rng: &mut StdRng) -> Vec<Vec<char>> {
+        let n = rng.gen_range(1..5usize);
+        (0..n).map(|_| word(rng)).collect()
     }
 
     fn nfa_from_words(words: &[Vec<char>]) -> Nfa<char> {
@@ -233,65 +243,79 @@ mod proptests {
         a
     }
 
-    proptest! {
-        #[test]
-        fn union_accepts_all_members(words in words_strategy()) {
-            let a = nfa_from_words(&words);
-            for w in &words {
-                prop_assert!(a.accepts(w));
+    #[test]
+    fn union_accepts_all_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..CASES {
+            let ws = words(&mut rng);
+            let a = nfa_from_words(&ws);
+            for w in &ws {
+                assert!(a.accepts(w));
             }
         }
+    }
 
-        #[test]
-        fn intersects_iff_shared_word(
-            ws1 in words_strategy(),
-            ws2 in words_strategy(),
-        ) {
+    #[test]
+    fn intersects_iff_shared_word() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..CASES {
+            let ws1 = words(&mut rng);
+            let ws2 = words(&mut rng);
             let a = nfa_from_words(&ws1);
             let b = nfa_from_words(&ws2);
             let shared = ws1.iter().any(|w| ws2.contains(w));
-            prop_assert_eq!(a.intersects(&b), shared);
+            assert_eq!(a.intersects(&b), shared);
             // And the explicit product agrees.
-            prop_assert_eq!(!a.intersection(&b).is_empty_language(), shared);
+            assert_eq!(!a.intersection(&b).is_empty_language(), shared);
         }
+    }
 
-        #[test]
-        fn intersects_is_symmetric(
-            ws1 in words_strategy(),
-            ws2 in words_strategy(),
-        ) {
-            let a = nfa_from_words(&ws1);
-            let b = nfa_from_words(&ws2);
-            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    #[test]
+    fn intersects_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..CASES {
+            let a = nfa_from_words(&words(&mut rng));
+            let b = nfa_from_words(&words(&mut rng));
+            assert_eq!(a.intersects(&b), b.intersects(&a));
         }
+    }
 
-        #[test]
-        fn determinize_minimize_preserve_language(
-            ws in words_strategy(),
-            probe in word_strategy(),
-        ) {
-            let a = nfa_from_words(&ws);
+    #[test]
+    fn determinize_minimize_preserve_language() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..CASES {
+            let a = nfa_from_words(&words(&mut rng));
+            let probe = word(&mut rng);
             let d = a.determinize('!');
             let m = d.minimize();
-            prop_assert_eq!(a.accepts(&probe), d.accepts(&probe));
-            prop_assert_eq!(a.accepts(&probe), m.accepts(&probe));
-            prop_assert!(m.len() <= d.len());
+            assert_eq!(a.accepts(&probe), d.accepts(&probe));
+            assert_eq!(a.accepts(&probe), m.accepts(&probe));
+            assert!(m.len() <= d.len());
         }
+    }
 
-        #[test]
-        fn empty_language_iff_no_word_accepted(ws in words_strategy()) {
-            let a = nfa_from_words(&ws);
-            prop_assert!(!a.is_empty_language());
+    #[test]
+    fn empty_language_iff_no_word_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..CASES {
+            let a = nfa_from_words(&words(&mut rng));
+            assert!(!a.is_empty_language());
         }
+    }
 
-        #[test]
-        fn prefix_automaton_accepts_prefixes(w in word_strategy()) {
-            prop_assume!(!w.is_empty());
+    #[test]
+    fn prefix_automaton_accepts_prefixes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..CASES {
+            let w = word(&mut rng);
+            if w.is_empty() {
+                continue;
+            }
             let a = Nfa::from_path(&w, true);
             for k in 1..=w.len() {
-                prop_assert!(a.accepts(&w[..k]));
+                assert!(a.accepts(&w[..k]));
             }
-            prop_assert!(!a.accepts(&[]));
+            assert!(!a.accepts(&[]));
         }
     }
 }

@@ -1,35 +1,37 @@
 //! Criterion wall-clock benchmarks: fused vs unfused interpreter runs for
 //! all four case studies. These complement the deterministic cycle-model
 //! numbers printed by the figure/table binaries with real elapsed time.
+//!
+//! Everything goes through the staged `grafter::pipeline` API: each case
+//! study compiles once, fuses twice (default and unfused baseline), and the
+//! timed region executes the artifacts through the runtime's `Execute`
+//! stage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grafter::{fuse, FuseOptions, FusedProgram};
-use grafter_frontend::Program;
-use grafter_runtime::{Heap, Interp, NodeId, Value};
+use grafter::pipeline::{Compiled, Fused};
+use grafter_runtime::{Execute, Heap, NodeId, Value};
 use grafter_workloads::{ast, fmm, kdtree, render};
 
 struct Prepared {
-    program: Program,
-    fused: FusedProgram,
-    unfused: FusedProgram,
+    fused: Fused,
+    unfused: Fused,
     heap: Heap,
     root: NodeId,
     args: Vec<Vec<Value>>,
 }
 
 fn prepare(
-    program: Program,
+    compiled: &Compiled,
     root_class: &str,
     passes: &[&str],
     args: Vec<Vec<Value>>,
     build: impl Fn(&mut Heap) -> NodeId,
 ) -> Prepared {
-    let fused = fuse(&program, root_class, passes, &FuseOptions::default()).unwrap();
-    let unfused = fuse(&program, root_class, passes, &FuseOptions::unfused()).unwrap();
-    let mut heap = Heap::new(&program);
+    let fused = compiled.fuse_default(root_class, passes).unwrap();
+    let unfused = compiled.fuse_unfused(root_class, passes).unwrap();
+    let mut heap = fused.new_heap();
     let root = build(&mut heap);
     Prepared {
-        program,
         fused,
         unfused,
         heap,
@@ -41,26 +43,32 @@ fn prepare(
 fn bench_pair(c: &mut Criterion, group: &str, p: &Prepared) {
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
-    for (name, fp) in [("fused", &p.fused), ("unfused", &p.unfused)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), fp, |b, fp| {
-            b.iter_batched(
-                || p.heap.clone(),
-                |mut heap| {
-                    let mut interp = Interp::new(fp);
-                    interp.run(&mut heap, p.root, &p.args).unwrap();
-                    interp.metrics.visits
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+    for (name, artifact) in [("fused", &p.fused), ("unfused", &p.unfused)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            artifact,
+            |b, artifact| {
+                b.iter_batched(
+                    // Clone heap and args in the untimed setup so the
+                    // measured region is the interpreter run alone.
+                    || (p.heap.clone(), p.args.clone()),
+                    |(mut heap, args)| {
+                        artifact
+                            .interpret_with_args(&mut heap, p.root, args)
+                            .unwrap()
+                            .visits
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     g.finish();
-    let _ = &p.program;
 }
 
 fn bench_render(c: &mut Criterion) {
     let p = prepare(
-        render::program(),
+        &render::compiled(),
         render::ROOT_CLASS,
         &render::PASSES,
         vec![],
@@ -71,7 +79,7 @@ fn bench_render(c: &mut Criterion) {
 
 fn bench_ast(c: &mut Criterion) {
     let p = prepare(
-        ast::program(),
+        &ast::compiled(),
         ast::ROOT_CLASS,
         &ast::PASSES,
         vec![],
@@ -85,15 +93,19 @@ fn bench_kdtree(c: &mut Criterion) {
     let (_, schedule) = &schedules[0];
     let args = schedule.iter().map(|op| op.args()).collect();
     let passes: Vec<&str> = schedule.iter().map(|op| op.pass()).collect();
-    let p = prepare(kdtree::program(), kdtree::ROOT_CLASS, &passes, args, |heap| {
-        kdtree::build_balanced(heap, 12, 42)
-    });
+    let p = prepare(
+        &kdtree::compiled(),
+        kdtree::ROOT_CLASS,
+        &passes,
+        args,
+        |heap| kdtree::build_balanced(heap, 12, 42),
+    );
     bench_pair(c, "kdtree_eq1_depth12", &p);
 }
 
 fn bench_fmm(c: &mut Criterion) {
     let p = prepare(
-        fmm::program(),
+        &fmm::compiled(),
         fmm::ROOT_CLASS,
         &fmm::PASSES,
         vec![],
@@ -104,17 +116,16 @@ fn bench_fmm(c: &mut Criterion) {
 
 fn bench_compile(c: &mut Criterion) {
     // Compiler-side cost: fusing the render tree's five passes.
-    let program = render::program();
+    let compiled = render::compiled();
     c.bench_function("fuse_render_pipeline", |b| {
         b.iter(|| {
-            fuse(
-                &program,
-                render::ROOT_CLASS,
-                &render::PASSES,
-                &FuseOptions::default(),
-            )
-            .unwrap()
-            .n_functions()
+            // `.n_functions()` (via Deref) rather than `.metrics()`: the
+            // latter also runs the fully_fused analysis, which would taint
+            // the compiler-side cost being measured here.
+            compiled
+                .fuse_default(render::ROOT_CLASS, &render::PASSES)
+                .unwrap()
+                .n_functions()
         })
     });
 }

@@ -24,7 +24,7 @@ fn main() {
             max_occurrences: occ,
             grouping: true,
         };
-        let exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, |heap| {
+        let exp = Experiment::new(ast::compiled(), ast::ROOT_CLASS, &ast::PASSES, |heap| {
             ast::build_program(heap, 100, 42)
         });
         let generated = exp.fuse_with(&opts).n_functions();

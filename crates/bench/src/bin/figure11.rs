@@ -12,9 +12,12 @@ fn main() {
     }
     let mut rows = Vec::new();
     for &funcs in &sizes {
-        let exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, move |heap| {
-            ast::build_program(heap, funcs, 42)
-        });
+        let exp = Experiment::new(
+            ast::compiled(),
+            ast::ROOT_CLASS,
+            &ast::PASSES,
+            move |heap| ast::build_program(heap, funcs, 42),
+        );
         let cmp = exp.compare();
         rows.push(Row::from_comparison(format!("{funcs} functions"), &cmp));
     }

@@ -24,7 +24,7 @@ fn main() {
         let cmp = match mode.as_str() {
             "grafter" => {
                 let exp = Experiment::new(
-                    render::program(),
+                    render::compiled(),
                     render::ROOT_CLASS,
                     &render::PASSES,
                     move |heap| render::build_document(heap, pages, 42),
@@ -33,7 +33,7 @@ fn main() {
             }
             "treefuser" => {
                 let exp = Experiment::new(
-                    grafter_treefuser::program(),
+                    grafter_treefuser::compiled(),
                     grafter_treefuser::ROOT_CLASS,
                     &grafter_treefuser::PASSES,
                     move |heap| {

@@ -8,7 +8,8 @@ use grafter_workloads::render;
 
 fn main() {
     let scale = if has_flag("--large") { 10 } else { 1 };
-    let configs: Vec<(&str, Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>)> = vec![
+    type Builder = Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>;
+    let configs: Vec<(&str, Builder)> = vec![
         (
             "Doc1 (simple pages)",
             Box::new(move |heap: &mut grafter_runtime::Heap| {
@@ -31,13 +32,22 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, build) in configs {
-        let mut exp = Experiment::new(render::program(), render::ROOT_CLASS, &render::PASSES, |h| {
-            let _ = h;
-            unreachable!()
-        });
+        let mut exp = Experiment::new(
+            render::compiled(),
+            render::ROOT_CLASS,
+            &render::PASSES,
+            |h| {
+                let _ = h;
+                unreachable!()
+            },
+        );
         exp.build = build;
         let cmp = exp.compare();
         rows.push(Row::from_comparison(name, &cmp));
     }
-    print_table("Table 3: render-tree document configurations", "config", &rows);
+    print_table(
+        "Table 3: render-tree document configurations",
+        "config",
+        &rows,
+    );
 }

@@ -8,7 +8,8 @@ use grafter_workloads::harness::Experiment;
 
 fn main() {
     let scale = if has_flag("--large") { 8 } else { 1 };
-    let configs: Vec<(&str, Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>)> = vec![
+    type Builder = Box<dyn Fn(&mut grafter_runtime::Heap) -> grafter_runtime::NodeId + Send + Sync>;
+    let configs: Vec<(&str, Builder)> = vec![
         (
             "Prog1 (small fns)",
             Box::new(move |h: &mut grafter_runtime::Heap| ast::build_prog1(h, 800 * scale, 1)),
@@ -19,14 +20,12 @@ fn main() {
         ),
         (
             "Prog3 (long ranges)",
-            Box::new(move |h: &mut grafter_runtime::Heap| {
-                ast::build_prog3(h, 60 * scale, 150, 3)
-            }),
+            Box::new(move |h: &mut grafter_runtime::Heap| ast::build_prog3(h, 60 * scale, 150, 3)),
         ),
     ];
     let mut rows = Vec::new();
     for (name, build) in configs {
-        let mut exp = Experiment::new(ast::program(), ast::ROOT_CLASS, &ast::PASSES, |h| {
+        let mut exp = Experiment::new(ast::compiled(), ast::ROOT_CLASS, &ast::PASSES, |h| {
             let _ = h;
             unreachable!()
         });

@@ -337,32 +337,40 @@ mod tests {
         );
     }
 
+    /// Randomised invariants, drawn from the vendored deterministic `rand`
+    /// shim (the offline build environment has no proptest).
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
 
-        proptest! {
-            #[test]
-            fn hits_plus_misses_equals_accesses(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+        #[test]
+        fn hits_plus_misses_equals_accesses() {
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..64 {
+                let n = rng.gen_range(1..200usize);
+                let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..10_000)).collect();
                 let mut c = CacheHierarchy::tiny();
                 for a in &addrs {
                     c.access(*a);
                 }
                 let s = c.stats();
-                prop_assert_eq!(s.levels[0].accesses(), addrs.len() as u64);
+                assert_eq!(s.levels[0].accesses(), addrs.len() as u64);
                 // Level i+1 sees exactly level i's misses.
-                prop_assert_eq!(s.levels[1].accesses(), s.levels[0].misses);
+                assert_eq!(s.levels[1].accesses(), s.levels[0].misses);
             }
+        }
 
-            #[test]
-            fn repeating_one_line_always_hits_after_first(n in 1usize..100) {
+        #[test]
+        fn repeating_one_line_always_hits_after_first() {
+            for n in 1usize..100 {
                 let mut c = CacheHierarchy::tiny();
                 for _ in 0..n {
                     c.access(128);
                 }
                 let s = c.stats();
-                prop_assert_eq!(s.levels[0].misses, 1);
-                prop_assert_eq!(s.levels[0].hits, n as u64 - 1);
+                assert_eq!(s.levels[0].misses, 1);
+                assert_eq!(s.levels[0].hits, n as u64 - 1);
             }
         }
     }

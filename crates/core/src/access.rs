@@ -499,15 +499,11 @@ mod tests {
         let length = p
             .field_on_struct(p.struct_by_name("String").unwrap(), "Length")
             .unwrap();
-        assert!(s
-            .tree_writes
-            .accepts(&[PathSym::Root, field_sym(width)]));
+        assert!(s.tree_writes.accepts(&[PathSym::Root, field_sym(width)]));
         assert!(s
             .tree_reads
             .accepts(&[PathSym::Root, field_sym(text), field_sym(length)]));
-        assert!(!s
-            .tree_reads
-            .accepts(&[PathSym::Root, field_sym(width)]));
+        assert!(!s.tree_reads.accepts(&[PathSym::Root, field_sym(width)]));
         assert!(!s.may_return);
     }
 

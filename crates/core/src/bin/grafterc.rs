@@ -3,6 +3,8 @@
 //! Mirrors the original Grafter's Clang-tool usage: feed it a traversal
 //! program, name the root class and the traversal sequence, and it prints
 //! the fused, mutually recursive functions in the paper's Fig. 6 style.
+//! Drives the staged `grafter::pipeline` API and reports problems through
+//! its unified diagnostics.
 //!
 //! ```text
 //! grafterc <file.gr> --root <Class> --passes <t1,t2,...> [--unfused] [--stats]
@@ -10,16 +12,20 @@
 
 use std::process::ExitCode;
 
-use grafter::{cpp, fuse, FuseOptions};
+use grafter::{FuseOptions, Pipeline};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: grafterc <file.gr> --root <Class> --passes <t1,t2,...> [--unfused] [--stats]");
+        eprintln!(
+            "usage: grafterc <file.gr> --root <Class> --passes <t1,t2,...> [--unfused] [--stats]"
+        );
         return ExitCode::from(2);
     };
     let source = match std::fs::read_to_string(path) {
@@ -29,15 +35,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let program = match grafter_frontend::compile(&source) {
-        Ok(p) => p,
-        Err(diags) => {
-            for d in diags {
+    let compiled = match Pipeline::compile(source.as_str()) {
+        Ok(c) => c,
+        Err(bag) => {
+            for d in bag.iter() {
                 eprintln!("{path}:{}", d.render(&source));
             }
             return ExitCode::FAILURE;
         }
     };
+    for w in compiled.warnings().iter() {
+        eprintln!("{path}:{}", w.render(compiled.source()));
+    }
     let Some(root) = arg_value(&args, "--root") else {
         eprintln!("error: missing --root <Class>");
         return ExitCode::from(2);
@@ -52,22 +61,20 @@ fn main() -> ExitCode {
     } else {
         FuseOptions::default()
     };
-    match fuse(&program, &root, &pass_list, &opts) {
-        Ok(fp) => {
-            print!("{}", cpp::emit(&fp));
+    match compiled.fuse(&root, &pass_list, &opts) {
+        Ok(fused) => {
+            print!("{}", fused.render_cpp());
             if args.iter().any(|a| a == "--stats") {
                 eprintln!(
-                    "fused {} traversal(s) on `{root}` into {} function(s), {} stub(s); fully fused: {}",
+                    "fused {} traversal(s) on `{root}`: {}",
                     pass_list.len(),
-                    fp.n_functions(),
-                    fp.stubs.len(),
-                    fp.fully_fused()
+                    fused.metrics()
                 );
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(bag) => {
+            eprintln!("{}", bag.render(compiled.source()));
             ExitCode::FAILURE
         }
     }

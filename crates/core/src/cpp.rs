@@ -40,7 +40,11 @@ pub fn emit(fp: &FusedProgram) -> String {
 fn emit_function(fp: &FusedProgram, f: &crate::fusion::FusedFn, out: &mut String) {
     let p = &fp.program;
     let recv = &p.classes[f.receiver_class.index()].name;
-    let _ = writeln!(out, "void {}({recv}* _r, unsigned int active_flags) {{", f.name);
+    let _ = writeln!(
+        out,
+        "void {}({recv}* _r, unsigned int active_flags) {{",
+        f.name
+    );
     // Per-traversal receiver aliases, cast to each original receiver type
     // (paper Fig. 6 lines 4-5).
     for (ti, &m) in f.seq.iter().enumerate() {
@@ -70,7 +74,8 @@ fn emit_function(fp: &FusedProgram, f: &crate::fusion::FusedFn, out: &mut String
                         part.traversal
                     );
                 }
-                let recv_str = node_path_str(p, f.seq[parts[0].traversal], parts[0].traversal, receiver);
+                let recv_str =
+                    node_path_str(p, f.seq[parts[0].traversal], parts[0].traversal, receiver);
                 let _ = writeln!(
                     out,
                     "    {recv_str}->{}(call_flags);",
@@ -168,10 +173,18 @@ fn emit_stmt(
             );
         }
         Stmt::Delete { target } => {
-            let _ = writeln!(out, "delete {};", node_path_str(p, method, traversal, target));
+            let _ = writeln!(
+                out,
+                "delete {};",
+                node_path_str(p, method, traversal, target)
+            );
         }
         Stmt::Return => {
-            let _ = writeln!(out, "active_flags &= ~(0b{:b}); /* return */", 1u64 << traversal);
+            let _ = writeln!(
+                out,
+                "active_flags &= ~(0b{:b}); /* return */",
+                1u64 << traversal
+            );
         }
         Stmt::PureStmt { pure, args } => {
             let args = args
@@ -214,11 +227,10 @@ fn access_str(p: &Program, method: MethodId, traversal: usize, access: &DataAcce
             let mut s = node_path_str(p, method, traversal, path);
             let mut first = true;
             for f in data {
-                let sep = if first && !path.steps.is_empty() || first {
-                    "->"
-                } else {
-                    "."
-                };
+                // The node itself is always behind a pointer (`_r_fN` or a
+                // child chain), so the first data field uses `->`; deeper
+                // struct members are plain member accesses.
+                let sep = if first { "->" } else { "." };
                 let _ = write!(s, "{sep}{}", p.fields[f.index()].name);
                 first = false;
             }

@@ -77,8 +77,7 @@ impl DepGraph {
         for u in 0..n {
             for v in (u + 1)..n {
                 let same_frame = merged[u].traversal == merged[v].traversal;
-                let control = same_frame
-                    && (summaries[u].may_return || summaries[v].may_return);
+                let control = same_frame && (summaries[u].may_return || summaries[v].may_return);
                 if control || summaries[u].conflicts_with(&summaries[v], same_frame) {
                     g.succs[u].push(v);
                     g.preds[v].push(u);

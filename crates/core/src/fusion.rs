@@ -181,16 +181,14 @@ impl FusedProgram {
     pub fn fully_fused(&self) -> bool {
         self.entries.len() == 1
             && self.functions.iter().all(|f| {
-            let receivers: Vec<Vec<_>> = f
-                .body
-                .iter()
-                .filter_map(|item| match item {
-                    ScheduledItem::Call { receiver, .. } => {
-                        Some(receiver.fields().collect())
-                    }
-                    ScheduledItem::Stmt { .. } => None,
-                })
-                .collect();
+                let receivers: Vec<Vec<_>> = f
+                    .body
+                    .iter()
+                    .filter_map(|item| match item {
+                        ScheduledItem::Call { receiver, .. } => Some(receiver.fields().collect()),
+                        ScheduledItem::Stmt { .. } => None,
+                    })
+                    .collect();
                 let mut uniq = receivers.clone();
                 uniq.sort();
                 uniq.dedup();
@@ -246,9 +244,9 @@ pub fn fuse(
         .ok_or_else(|| FuseError::UnknownClass(root_class.to_string()))?;
     let mut slots = Vec::new();
     for t in traversals {
-        let m = program.method_on_class(class, t).ok_or_else(|| {
-            FuseError::UnknownTraversal(root_class.to_string(), t.to_string())
-        })?;
+        let m = program
+            .method_on_class(class, t)
+            .ok_or_else(|| FuseError::UnknownTraversal(root_class.to_string(), t.to_string()))?;
         slots.push(program.methods[m.index()].slot);
     }
     Ok(fuse_slots(program, class, &slots, opts))
@@ -434,7 +432,10 @@ impl Fuser<'_> {
                 if members.len() + 1 > self.opts.max_group_size {
                     break;
                 }
-                let occurrences = members.iter().filter(|&&m| slot_of(m) == slot_of(v)).count();
+                let occurrences = members
+                    .iter()
+                    .filter(|&&m| slot_of(m) == slot_of(v))
+                    .count();
                 if occurrences + 1 > self.opts.max_occurrences {
                     continue;
                 }
@@ -495,9 +496,8 @@ impl Fuser<'_> {
                     }
                     emitted_groups[g] = true;
                     // Collect members of the group in merged order.
-                    let members: Vec<usize> = (0..merged.len())
-                        .filter(|&w| group_of[w] == g)
-                        .collect();
+                    let members: Vec<usize> =
+                        (0..merged.len()).filter(|&w| group_of[w] == g).collect();
                     let mut parts = Vec::new();
                     let mut types = Vec::new();
                     let mut receiver = NodePath::this();
@@ -506,11 +506,8 @@ impl Fuser<'_> {
                             unreachable!("group members are traverses");
                         };
                         receiver = call.receiver.clone();
-                        let owner =
-                            self.program.methods[seq[merged[w].traversal].index()].class;
-                        if let Some(t) =
-                            self.program.path_target_type(owner, &call.receiver)
-                        {
+                        let owner = self.program.methods[seq[merged[w].traversal].index()].class;
+                        if let Some(t) = self.program.path_target_type(owner, &call.receiver) {
                             types.push(t);
                         }
                         parts.push(CallPart {

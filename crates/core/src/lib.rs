@@ -50,6 +50,7 @@ pub mod access;
 pub mod cpp;
 pub mod depgraph;
 pub mod fusion;
+pub mod pipeline;
 
 pub use access::{AccessSummary, ProgramAccesses};
 pub use depgraph::{DepGraph, MergedStmt};
@@ -57,3 +58,5 @@ pub use fusion::{
     fuse, fuse_slots, CallPart, FuseError, FuseOptions, FusedFn, FusedFnId, FusedProgram,
     ScheduledItem, Stub, StubId,
 };
+pub use grafter_frontend::{Diag, DiagnosticBag, Severity, Stage};
+pub use pipeline::{Compiled, Fused, FusionMetrics, Pipeline};

@@ -1,0 +1,305 @@
+//! The staged compile→fuse→execute pipeline.
+//!
+//! Every consumer of the Grafter reproduction goes through this module:
+//! [`Pipeline::compile`] turns DSL source into a [`Compiled`] program
+//! (running lexer, parser and sema, with all diagnostics accumulated in
+//! one [`DiagnosticBag`]); [`Compiled::fuse`] runs the fusion compiler and
+//! yields a [`Fused`] artifact that can render C++ ([`Fused::render_cpp`]),
+//! report compile-side fusion statistics ([`Fused::metrics`]) or execute —
+//! the `grafter-runtime` crate extends [`Fused`] with `.interpret(&mut
+//! heap, root)` via its `Execute` trait, keeping this crate free of a
+//! runtime dependency.
+//!
+//! ```
+//! use grafter::pipeline::Pipeline;
+//!
+//! let src = r#"
+//!     tree class Node {
+//!         child Node* next;
+//!         int a = 0; int b = 0;
+//!         virtual traversal incA() {}
+//!         virtual traversal incB() {}
+//!     }
+//!     tree class Cons : Node {
+//!         traversal incA() { a = a + 1; this->next->incA(); }
+//!         traversal incB() { b = b + 1; this->next->incB(); }
+//!     }
+//!     tree class End : Node { }
+//! "#;
+//! let fused = Pipeline::compile(src)?.fuse_default("Node", &["incA", "incB"])?;
+//! assert!(fused.metrics().fully_fused);
+//! assert!(fused.render_cpp().contains("__stub0"));
+//! # Ok::<(), grafter_frontend::DiagnosticBag>(())
+//! ```
+
+use std::fmt;
+
+use grafter_frontend::{Diag, DiagnosticBag, Program, Stage};
+
+use crate::cpp;
+use crate::fusion::{fuse, FuseError, FuseOptions, FusedProgram};
+
+impl From<FuseError> for Diag {
+    fn from(e: FuseError) -> Diag {
+        Diag::error_global(Stage::Fuse, e.to_string())
+    }
+}
+
+impl From<FuseError> for DiagnosticBag {
+    fn from(e: FuseError) -> DiagnosticBag {
+        DiagnosticBag::from(Diag::from(e))
+    }
+}
+
+/// Entry point of the staged pipeline.
+///
+/// `Pipeline` is a namespace for the first stage; the value flow is
+/// `Pipeline::compile(src)? → Compiled → .fuse(..)? → Fused`.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Compiles DSL source through lexing, parsing and semantic analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accumulated [`DiagnosticBag`] if any stage reports an
+    /// error; warnings ride along on success via [`Compiled::warnings`].
+    pub fn compile(src: impl Into<String>) -> Result<Compiled, DiagnosticBag> {
+        let src = src.into();
+        let (program, warnings) = grafter_frontend::compile_with_warnings(&src)?;
+        Ok(Compiled {
+            src,
+            program,
+            warnings,
+        })
+    }
+}
+
+/// A semantically checked program, ready to fuse.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    src: String,
+    program: Program,
+    warnings: DiagnosticBag,
+}
+
+impl Compiled {
+    /// The resolved program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The source text the program was compiled from.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// Warnings the frontend emitted while compiling.
+    pub fn warnings(&self) -> &DiagnosticBag {
+        &self.warnings
+    }
+
+    /// Consumes the stage into the bare [`Program`].
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// Fuses the traversal sequence `traversals` invoked back-to-back on a
+    /// root of static type `root_class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DiagnosticBag`] (stage `fuse`) if the class or a
+    /// traversal name does not resolve.
+    pub fn fuse(
+        &self,
+        root_class: &str,
+        traversals: &[&str],
+        opts: &FuseOptions,
+    ) -> Result<Fused, DiagnosticBag> {
+        let fused = fuse(&self.program, root_class, traversals, opts)?;
+        Ok(Fused {
+            src: self.src.clone(),
+            warnings: self.warnings.clone(),
+            fused,
+        })
+    }
+
+    /// [`Compiled::fuse`] with [`FuseOptions::default`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::fuse`].
+    pub fn fuse_default(
+        &self,
+        root_class: &str,
+        traversals: &[&str],
+    ) -> Result<Fused, DiagnosticBag> {
+        self.fuse(root_class, traversals, &FuseOptions::default())
+    }
+
+    /// [`Compiled::fuse`] with [`FuseOptions::unfused`]: the baseline that
+    /// walks the tree once per traversal.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::fuse`].
+    pub fn fuse_unfused(
+        &self,
+        root_class: &str,
+        traversals: &[&str],
+    ) -> Result<Fused, DiagnosticBag> {
+        self.fuse(root_class, traversals, &FuseOptions::unfused())
+    }
+}
+
+/// Compile-side statistics of a fusion run (see [`Fused::metrics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionMetrics {
+    /// Number of generated fused functions.
+    pub functions: usize,
+    /// Number of generated dispatch stubs.
+    pub stubs: usize,
+    /// Number of root entry passes (1 when the whole sequence fused into a
+    /// single pass; one per traversal for the unfused baseline).
+    pub passes: usize,
+    /// Whether fusion achieved a single visit per child everywhere.
+    pub fully_fused: bool,
+}
+
+impl fmt::Display for FusionMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} function(s), {} stub(s), {} pass(es), fully fused: {}",
+            self.functions, self.stubs, self.passes, self.fully_fused
+        )
+    }
+}
+
+/// The output of the fusion stage: a fused program plus the context needed
+/// to render, execute and report on it.
+#[derive(Clone, Debug)]
+pub struct Fused {
+    src: String,
+    warnings: DiagnosticBag,
+    fused: FusedProgram,
+}
+
+impl Fused {
+    /// Renders the fused program as C++-like source (the paper's Fig. 6).
+    pub fn render_cpp(&self) -> String {
+        cpp::emit(&self.fused)
+    }
+
+    /// Compile-side fusion statistics.
+    pub fn metrics(&self) -> FusionMetrics {
+        FusionMetrics {
+            functions: self.fused.n_functions(),
+            stubs: self.fused.stubs.len(),
+            passes: self.fused.entries.len(),
+            fully_fused: self.fused.fully_fused(),
+        }
+    }
+
+    /// The source program shared by the fused code.
+    pub fn program(&self) -> &Program {
+        &self.fused.program
+    }
+
+    /// The source text the pipeline started from.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// Warnings accumulated by earlier stages.
+    pub fn warnings(&self) -> &DiagnosticBag {
+        &self.warnings
+    }
+
+    /// The underlying fused program (for direct `Interp` construction or
+    /// structural inspection).
+    pub fn fused_program(&self) -> &FusedProgram {
+        &self.fused
+    }
+
+    /// Consumes the stage into the bare [`FusedProgram`].
+    pub fn into_fused_program(self) -> FusedProgram {
+        self.fused
+    }
+}
+
+impl std::ops::Deref for Fused {
+    type Target = FusedProgram;
+
+    fn deref(&self) -> &FusedProgram {
+        &self.fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        tree class Node {
+            child Node* next;
+            int a = 0; int b = 0;
+            virtual traversal incA() {}
+            virtual traversal incB() {}
+        }
+        tree class Cons : Node {
+            traversal incA() { a = a + 1; this->next->incA(); }
+            traversal incB() { b = b + 1; this->next->incB(); }
+        }
+        tree class End : Node { }
+    "#;
+
+    #[test]
+    fn staged_flow_compiles_and_fuses() {
+        let compiled = Pipeline::compile(SRC).unwrap();
+        assert!(compiled.warnings().is_empty());
+        let fused = compiled.fuse_default("Node", &["incA", "incB"]).unwrap();
+        let m = fused.metrics();
+        assert!(m.fully_fused);
+        assert_eq!(m.passes, 1);
+        let unfused = compiled.fuse_unfused("Node", &["incA", "incB"]).unwrap();
+        assert_eq!(unfused.metrics().passes, 2);
+    }
+
+    #[test]
+    fn compile_errors_carry_stage() {
+        let bag = Pipeline::compile("tree class X { child Y* next; }").unwrap_err();
+        assert!(bag.has_errors());
+        assert!(bag.iter().all(|d| d.stage == Stage::Sema), "{bag}");
+    }
+
+    #[test]
+    fn fuse_errors_carry_stage() {
+        let compiled = Pipeline::compile(SRC).unwrap();
+        let bag = compiled.fuse_default("Nope", &["incA"]).unwrap_err();
+        assert_eq!(bag[0].stage, Stage::Fuse);
+        assert!(bag[0].message.contains("unknown tree class"));
+        let bag = compiled.fuse_default("Node", &["nope"]).unwrap_err();
+        assert!(bag[0].message.contains("no traversal"));
+    }
+
+    #[test]
+    fn frontend_warnings_ride_along() {
+        let src = format!("pure int mystery(int x);\n{SRC}");
+        let compiled = Pipeline::compile(src).unwrap();
+        assert_eq!(compiled.warnings().len(), 1);
+        assert!(compiled.warnings()[0].message.contains("never called"));
+        let fused = compiled.fuse_default("Node", &["incA"]).unwrap();
+        assert_eq!(fused.warnings().len(), 1, "warnings survive fusion");
+    }
+
+    #[test]
+    fn render_cpp_matches_direct_emit() {
+        let fused = Pipeline::compile(SRC)
+            .unwrap()
+            .fuse_default("Node", &["incA", "incB"])
+            .unwrap();
+        assert_eq!(fused.render_cpp(), cpp::emit(fused.fused_program()));
+    }
+}

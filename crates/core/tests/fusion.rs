@@ -51,8 +51,13 @@ const FIG2: &str = r#"
 #[test]
 fn fuses_figure2_completely() {
     let p = compile(FIG2).unwrap();
-    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
-        .unwrap();
+    let fp = fuse(
+        &p,
+        "Element",
+        &["computeWidth", "computeHeight"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
     // computeHeight depends on computeWidth at each node (Height reads
     // Width), but the traversals still fuse into single passes: statements
     // reorder so both traversals' calls group per child.
@@ -177,8 +182,13 @@ fn type_specific_partial_fusion() {
 #[test]
 fn recursive_sequences_reuse_existing_functions() {
     let p = compile(FIG2).unwrap();
-    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
-        .unwrap();
+    let fp = fuse(
+        &p,
+        "Element",
+        &["computeWidth", "computeHeight"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
     // The TextBox pair calls Next->(width+height) which is the same slot
     // sequence as the entry: the same stub must be reused, not duplicated.
     let mut stub_keys: Vec<_> = fp
@@ -315,8 +325,13 @@ fn mutation_traversals_fuse_when_safe() {
 #[test]
 fn cpp_emitter_produces_figure6_shape() {
     let p = compile(FIG2).unwrap();
-    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
-        .unwrap();
+    let fp = fuse(
+        &p,
+        "Element",
+        &["computeWidth", "computeHeight"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
     let code = cpp::emit(&fp);
     assert!(code.contains("active_flags"), "{code}");
     assert!(code.contains("call_flags"), "{code}");
@@ -338,8 +353,13 @@ fn schedule_never_violates_dependences() {
     // dependence graph.
     use grafter::{DepGraph, ProgramAccesses};
     let p = compile(FIG2).unwrap();
-    let fp = fuse(&p, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
-        .unwrap();
+    let fp = fuse(
+        &p,
+        "Element",
+        &["computeWidth", "computeHeight"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
     for f in &fp.functions {
         let merged = DepGraph::merge_bodies(&p, &f.seq);
         let mut acc = ProgramAccesses::new(&p);
@@ -353,13 +373,17 @@ fn schedule_never_violates_dependences() {
                         .iter()
                         .position(|ms| {
                             ms.traversal == *traversal
-                                && !order.contains(&merged.iter().position(|x| std::ptr::eq(x, ms)).unwrap())
+                                && !order.contains(
+                                    &merged.iter().position(|x| std::ptr::eq(x, ms)).unwrap(),
+                                )
                                 && &ms.stmt == stmt
                         })
                         .unwrap();
                     order.push(pos);
                 }
-                ScheduledItem::Call { parts, receiver, .. } => {
+                ScheduledItem::Call {
+                    parts, receiver, ..
+                } => {
                     for part in parts {
                         let pos = (0..merged.len())
                             .find(|&i| {

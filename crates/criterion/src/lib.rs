@@ -1,0 +1,223 @@
+//! Minimal stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim implements the subset of the API used by
+//! `grafter-bench/benches/fusion.rs` — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`criterion_group!`] and [`criterion_main!`] — with straightforward
+//! wall-clock timing: each benchmark runs a small fixed number of samples
+//! and reports the median iteration time to stdout. Swapping in the real
+//! crate later is a one-line `Cargo.toml` change; no bench source changes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized between measurements.
+///
+/// The shim times one routine invocation per batch regardless of variant,
+/// so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` directly, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on a fresh input from `setup` each sample; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.times.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.sort();
+        self.times[self.times.len() / 2]
+    }
+}
+
+fn report(name: &str, median: Duration) {
+    println!("{name:<40} median {median:>12.3?}");
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.median());
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.median());
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.median());
+        self
+    }
+
+    /// Hook kept for API parity with criterion's config chaining.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs every registered group (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// An opaque wrapper preventing the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -178,7 +178,10 @@ pub enum PathBase {
     /// A plain identifier: alias, local, parameter or global (resolved later).
     Ident(String),
     /// `static_cast<T*>(path)`
-    Cast { class: String, inner: Box<SurfacePath> },
+    Cast {
+        class: String,
+        inner: Box<SurfacePath>,
+    },
 }
 
 /// A chain of `->child` and `.member` accesses from a base.

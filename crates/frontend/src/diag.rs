@@ -1,7 +1,17 @@
-//! Diagnostics and source locations.
+//! Unified diagnostics and source locations for every pipeline stage.
+//!
+//! All stages of the compile→fuse→execute pipeline report problems through
+//! one pair of types: a [`Diag`] is a single message with a [`Severity`],
+//! the [`Stage`] that produced it, and an optional source [`Span`]; a
+//! [`DiagnosticBag`] accumulates them across stages. The frontend (lexer,
+//! parser, sema) fills bags directly; the fusion compiler and the runtime
+//! convert their structured errors (`FuseError`, `RuntimeError`) into
+//! [`Diag`]s when surfaced through the `grafter::pipeline` API, so callers
+//! handle a single error type end to end.
 
 use std::error::Error;
 use std::fmt;
+use std::ops::Index;
 
 /// A half-open byte range into the source text.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,31 +52,109 @@ impl Span {
     }
 }
 
-/// A compiler diagnostic (always an error; Grafter either fuses a valid
-/// program or rejects it).
+/// How serious a diagnostic is.
+///
+/// Errors abort the pipeline stage that produced them; warnings are carried
+/// along with a successful result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// The pipeline stage a diagnostic originated from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Tokenisation of the source text.
+    Lex,
+    /// Parsing tokens into the surface AST.
+    Parse,
+    /// Name resolution, type checking and language restrictions.
+    Sema,
+    /// The fusion compiler.
+    Fuse,
+    /// Interpretation of a fused program.
+    Runtime,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => f.write_str("lex"),
+            Stage::Parse => f.write_str("parse"),
+            Stage::Sema => f.write_str("sema"),
+            Stage::Fuse => f.write_str("fuse"),
+            Stage::Runtime => f.write_str("runtime"),
+        }
+    }
+}
+
+/// A single diagnostic from any pipeline stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Diagnostic {
+pub struct Diag {
+    /// Whether this is an error or a warning.
+    pub severity: Severity,
+    /// The stage that produced the diagnostic.
+    pub stage: Stage,
     /// Human-readable message, lowercase, no trailing punctuation.
     pub message: String,
     /// Source range the message refers to, when known.
     pub span: Option<Span>,
 }
 
-impl Diagnostic {
-    /// Creates a diagnostic attached to a source span.
-    pub fn new(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic {
+impl Diag {
+    /// Creates an error attached to a source span.
+    pub fn error(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            severity: Severity::Error,
+            stage,
             message: message.into(),
             span: Some(span),
         }
     }
 
-    /// Creates a diagnostic with no particular location.
-    pub fn global(message: impl Into<String>) -> Self {
-        Diagnostic {
+    /// Creates an error with no particular location.
+    pub fn error_global(stage: Stage, message: impl Into<String>) -> Self {
+        Diag {
+            severity: Severity::Error,
+            stage,
             message: message.into(),
             span: None,
         }
+    }
+
+    /// Creates a warning attached to a source span.
+    pub fn warning(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            severity: Severity::Warning,
+            stage,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a warning with no particular location.
+    pub fn warning_global(stage: Stage, message: impl Into<String>) -> Self {
+        Diag {
+            severity: Severity::Warning,
+            stage,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Whether the diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
     }
 
     /// Renders the diagnostic with `line:col` resolved against `src`.
@@ -74,17 +162,216 @@ impl Diagnostic {
         match self.span {
             Some(span) => {
                 let (line, col) = span.line_col(src);
-                format!("{line}:{col}: error: {}", self.message)
+                format!(
+                    "{line}:{col}: {}[{}]: {}",
+                    self.severity, self.stage, self.message
+                )
             }
-            None => format!("error: {}", self.message),
+            None => format!("{}[{}]: {}", self.severity, self.stage, self.message),
         }
     }
 }
 
-impl fmt::Display for Diagnostic {
+impl fmt::Display for Diag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error: {}", self.message)
+        write!(f, "{}[{}]: {}", self.severity, self.stage, self.message)
     }
 }
 
-impl Error for Diagnostic {}
+impl Error for Diag {}
+
+/// An ordered accumulation of diagnostics across pipeline stages.
+///
+/// This is the single error type of the `grafter::pipeline` API: every
+/// stage either succeeds (possibly leaving warnings behind) or hands back
+/// the bag with at least one error in it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiagnosticBag {
+    diags: Vec<Diag>,
+}
+
+impl DiagnosticBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        DiagnosticBag::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, diag: Diag) {
+        self.diags.push(diag);
+    }
+
+    /// Adds an error attached to a source span.
+    pub fn error(&mut self, stage: Stage, message: impl Into<String>, span: Span) {
+        self.push(Diag::error(stage, message, span));
+    }
+
+    /// Adds an error with no particular location.
+    pub fn error_global(&mut self, stage: Stage, message: impl Into<String>) {
+        self.push(Diag::error_global(stage, message));
+    }
+
+    /// Adds a warning attached to a source span.
+    pub fn warning(&mut self, stage: Stage, message: impl Into<String>, span: Span) {
+        self.push(Diag::warning(stage, message, span));
+    }
+
+    /// Number of diagnostics collected.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether no diagnostics were collected.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether at least one collected diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(Diag::is_error)
+    }
+
+    /// Iterates over the collected diagnostics in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diag> {
+        self.diags.iter()
+    }
+
+    /// The collected diagnostics as a slice.
+    pub fn diags(&self) -> &[Diag] {
+        &self.diags
+    }
+
+    /// Consumes the bag into its diagnostics.
+    pub fn into_vec(self) -> Vec<Diag> {
+        self.diags
+    }
+
+    /// Moves every diagnostic of `other` into `self`.
+    pub fn merge(&mut self, other: DiagnosticBag) {
+        self.diags.extend(other.diags);
+    }
+
+    /// `Ok(value)` when the bag holds no errors, `Err(self)` otherwise.
+    ///
+    /// The success path keeps any warnings in the caller's hands via the
+    /// returned pair.
+    pub fn into_result<T>(self, value: T) -> Result<(T, DiagnosticBag), DiagnosticBag> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok((value, self))
+        }
+    }
+
+    /// Renders every diagnostic with `line:col` resolved against `src`,
+    /// one per line.
+    pub fn render(&self, src: &str) -> String {
+        self.diags
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Index<usize> for DiagnosticBag {
+    type Output = Diag;
+
+    fn index(&self, index: usize) -> &Diag {
+        &self.diags[index]
+    }
+}
+
+impl Extend<Diag> for DiagnosticBag {
+    fn extend<I: IntoIterator<Item = Diag>>(&mut self, iter: I) {
+        self.diags.extend(iter);
+    }
+}
+
+impl FromIterator<Diag> for DiagnosticBag {
+    fn from_iter<I: IntoIterator<Item = Diag>>(iter: I) -> Self {
+        DiagnosticBag {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl From<Diag> for DiagnosticBag {
+    fn from(diag: Diag) -> Self {
+        DiagnosticBag { diags: vec![diag] }
+    }
+}
+
+impl From<Vec<Diag>> for DiagnosticBag {
+    fn from(diags: Vec<Diag>) -> Self {
+        DiagnosticBag { diags }
+    }
+}
+
+impl IntoIterator for DiagnosticBag {
+    type Item = Diag;
+    type IntoIter = std::vec::IntoIter<Diag>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DiagnosticBag {
+    type Item = &'a Diag;
+    type IntoIter = std::slice::Iter<'a, Diag>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+impl fmt::Display for DiagnosticBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DiagnosticBag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_tracks_errors_and_warnings() {
+        let mut bag = DiagnosticBag::new();
+        assert!(bag.is_empty() && !bag.has_errors());
+        bag.warning(Stage::Sema, "unused traversal", Span::new(0, 3));
+        assert!(!bag.has_errors(), "warnings alone are not errors");
+        bag.error(Stage::Parse, "expected `;`", Span::new(4, 5));
+        assert!(bag.has_errors());
+        assert_eq!(bag.len(), 2);
+        assert_eq!(bag[1].stage, Stage::Parse);
+    }
+
+    #[test]
+    fn into_result_splits_on_errors() {
+        let mut ok = DiagnosticBag::new();
+        ok.warning(Stage::Lex, "odd spacing", Span::new(0, 1));
+        assert!(ok.into_result(42).is_ok());
+
+        let bad: DiagnosticBag = Diag::error_global(Stage::Fuse, "unknown tree class `X`").into();
+        assert!(bad.into_result(42).is_err());
+    }
+
+    #[test]
+    fn render_includes_stage_and_position() {
+        let src = "ab\ncd";
+        let d = Diag::error(Stage::Lex, "unexpected character", Span::new(3, 4));
+        assert_eq!(d.render(src), "2:1: error[lex]: unexpected character");
+        let g = Diag::error_global(Stage::Runtime, "null child dereferenced");
+        assert_eq!(g.render(src), "error[runtime]: null child dereferenced");
+    }
+}

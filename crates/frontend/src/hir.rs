@@ -205,7 +205,10 @@ pub enum DataAccess {
     /// `(this)(->c)*(.s)+` — on-tree, parameterised by the traversed node.
     OnTree { path: NodePath, data: Vec<FieldId> },
     /// A local variable (or parameter), possibly a struct member chain.
-    Local { local: LocalId, members: Vec<FieldId> },
+    Local {
+        local: LocalId,
+        members: Vec<FieldId>,
+    },
     /// A global variable, possibly a struct member chain.
     Global {
         global: GlobalId,

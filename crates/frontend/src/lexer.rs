@@ -1,6 +1,6 @@
 //! Tokenizer for the Grafter traversal language.
 
-use crate::diag::{Diagnostic, Span};
+use crate::diag::{Diag, DiagnosticBag, Span, Stage};
 
 /// The kind of a lexed token.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,10 +91,10 @@ pub struct Token {
 ///
 /// Returns a diagnostic for unterminated block comments, malformed numbers
 /// and unexpected characters.
-pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+pub fn lex(src: &str) -> Result<Vec<Token>, DiagnosticBag> {
     let bytes = src.as_bytes();
     let mut tokens = Vec::new();
-    let mut errors = Vec::new();
+    let mut errors = DiagnosticBag::new();
     let mut i = 0;
 
     while i < bytes.len() {
@@ -121,7 +121,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                     j += 1;
                 }
                 if !closed {
-                    errors.push(Diagnostic::new(
+                    errors.push(Diag::error(
+                        Stage::Lex,
                         "unterminated block comment",
                         Span::new(start, bytes.len()),
                     ));
@@ -181,8 +182,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                             kind: TokenKind::Float(v),
                             span,
                         }),
-                        Err(_) => errors
-                            .push(Diagnostic::new(format!("invalid float literal `{text}`"), span)),
+                        Err(_) => errors.push(Diag::error(
+                            Stage::Lex,
+                            format!("invalid float literal `{text}`"),
+                            span,
+                        )),
                     }
                 } else {
                     match text.parse::<i64>() {
@@ -190,7 +194,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                             kind: TokenKind::Int(v),
                             span,
                         }),
-                        Err(_) => errors.push(Diagnostic::new(
+                        Err(_) => errors.push(Diag::error(
+                            Stage::Lex,
                             format!("integer literal `{text}` out of range"),
                             span,
                         )),
@@ -245,7 +250,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                     None => {
                         let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
                         let width = ch.len_utf8();
-                        errors.push(Diagnostic::new(
+                        errors.push(Diag::error(
+                            Stage::Lex,
                             format!("unexpected character `{ch}`"),
                             Span::new(i, i + width),
                         ));

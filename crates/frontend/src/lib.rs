@@ -47,7 +47,7 @@ pub mod lexer;
 pub mod parser;
 pub mod sema;
 
-pub use diag::{Diagnostic, Span};
+pub use diag::{Diag, DiagnosticBag, Severity, Span, Stage};
 pub use hir::{
     BinOp, ClassId, DataAccess, Expr, FieldId, FieldKind, GlobalId, LocalId, MethodId, NodePath,
     PathStep, Program, PureId, Stmt, StructId, TraverseStmt, Ty, UnOp,
@@ -57,9 +57,23 @@ pub use hir::{
 ///
 /// # Errors
 ///
-/// Returns every diagnostic collected during lexing, parsing and semantic
-/// analysis if the program is not a valid Grafter program.
-pub fn compile(src: &str) -> Result<Program, Vec<Diagnostic>> {
+/// Returns a [`DiagnosticBag`] with every diagnostic collected during
+/// lexing, parsing and semantic analysis if the program is not a valid
+/// Grafter program.
+pub fn compile(src: &str) -> Result<Program, DiagnosticBag> {
+    compile_with_warnings(src).map(|(program, _)| program)
+}
+
+/// Like [`compile`], but also hands back the warnings emitted on success.
+///
+/// This is the entry point the `grafter::pipeline` layer builds on: one
+/// [`DiagnosticBag`] carries errors and warnings from every frontend stage.
+///
+/// # Errors
+///
+/// Returns a [`DiagnosticBag`] with every diagnostic (errors and warnings)
+/// if the program is not a valid Grafter program.
+pub fn compile_with_warnings(src: &str) -> Result<(Program, DiagnosticBag), DiagnosticBag> {
     let surface = parser::parse(src)?;
-    sema::check(&surface)
+    sema::check_with_warnings(&surface)
 }

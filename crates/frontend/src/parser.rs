@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the Grafter traversal language.
 
 use crate::ast::*;
-use crate::diag::{Diagnostic, Span};
+use crate::diag::{Diag, DiagnosticBag, Span, Stage};
 use crate::hir::{BinOp, UnOp};
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -10,10 +10,10 @@ use crate::lexer::{lex, Token, TokenKind};
 /// # Errors
 ///
 /// Returns all lexer diagnostics, or the first parse error encountered.
-pub fn parse(src: &str) -> Result<SurfaceProgram, Vec<Diagnostic>> {
+pub fn parse(src: &str) -> Result<SurfaceProgram, DiagnosticBag> {
     let tokens = lex(src)?;
     let mut parser = Parser { tokens, pos: 0 };
-    parser.program().map_err(|d| vec![d])
+    parser.program().map_err(DiagnosticBag::from)
 }
 
 struct Parser {
@@ -21,7 +21,7 @@ struct Parser {
     pos: usize,
 }
 
-type PResult<T> = Result<T, Diagnostic>;
+type PResult<T> = Result<T, Diag>;
 
 impl Parser {
     fn peek(&self) -> &TokenKind {
@@ -48,8 +48,8 @@ impl Parser {
         kind
     }
 
-    fn error(&self, message: impl Into<String>) -> Diagnostic {
-        Diagnostic::new(message, self.span())
+    fn error(&self, message: impl Into<String>) -> Diag {
+        Diag::error(Stage::Parse, message, self.span())
     }
 
     fn expect(&mut self, kind: TokenKind) -> PResult<Span> {
@@ -710,9 +710,7 @@ impl Parser {
                     return Ok(SurfaceExpr::Literal(Literal::Bool(name == "true"), start));
                 }
                 // Pure call in expression position: `name(args)`.
-                if name != "this"
-                    && name != "static_cast"
-                    && *self.peek_at(1) == TokenKind::LParen
+                if name != "this" && name != "static_cast" && *self.peek_at(1) == TokenKind::LParen
                 {
                     self.bump();
                     let args = self.call_args()?;
@@ -878,10 +876,7 @@ mod tests {
 
     #[test]
     fn rejects_call_after_dot() {
-        let err = parse(
-            "tree class A { int x = 0; traversal f() { this.x(); } }",
-        )
-        .unwrap_err();
+        let err = parse("tree class A { int x = 0; traversal f() { this.x(); } }").unwrap_err();
         assert!(err[0].message.contains("member accesses"), "{err:?}");
     }
 

@@ -15,10 +15,10 @@
 //! - superclasses are declared before use; virtual overrides are linked to
 //!   their dispatch slot.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::ast::{self, Literal, Member, SurfaceExpr, SurfacePath, SurfaceStmt, TypeName};
-use crate::diag::{Diagnostic, Span};
+use crate::diag::{DiagnosticBag, Span, Stage};
 use crate::hir::*;
 
 /// Resolves and checks a surface program.
@@ -27,27 +27,42 @@ use crate::hir::*;
 ///
 /// Returns all diagnostics found. The returned program is only produced when
 /// there are no errors.
-pub fn check(surface: &ast::SurfaceProgram) -> Result<Program, Vec<Diagnostic>> {
+pub fn check(surface: &ast::SurfaceProgram) -> Result<Program, DiagnosticBag> {
+    check_with_warnings(surface).map(|(program, _)| program)
+}
+
+/// Like [`check`], but also hands back the warnings emitted on success.
+///
+/// # Errors
+///
+/// Returns all diagnostics (errors and warnings) when the program is
+/// invalid.
+pub fn check_with_warnings(
+    surface: &ast::SurfaceProgram,
+) -> Result<(Program, DiagnosticBag), DiagnosticBag> {
     let mut cx = Checker::default();
     cx.intern_signatures(surface);
-    if cx.errors.is_empty() {
+    if !cx.errors.has_errors() {
         cx.resolve_bodies(surface);
     }
-    if cx.errors.is_empty() {
-        Ok(cx.program)
-    } else {
-        Err(cx.errors)
+    if !cx.errors.has_errors() {
+        cx.warn_unused_pures();
     }
+    cx.errors.into_result(cx.program)
 }
 
 #[derive(Default)]
 struct Checker {
     program: Program,
-    errors: Vec<Diagnostic>,
+    errors: DiagnosticBag,
     class_names: HashMap<String, ClassId>,
     struct_names: HashMap<String, StructId>,
     global_names: HashMap<String, GlobalId>,
     pure_names: HashMap<String, PureId>,
+    /// Declaration span of each pure, indexed by [`PureId`].
+    pure_spans: Vec<Span>,
+    /// Pures referenced by at least one resolved body.
+    used_pures: HashSet<PureId>,
 }
 
 /// What a surface path resolved to.
@@ -71,7 +86,23 @@ struct BodyCx {
 
 impl Checker {
     fn err(&mut self, message: impl Into<String>, span: Span) {
-        self.errors.push(Diagnostic::new(message, span));
+        self.errors.error(Stage::Sema, message, span);
+    }
+
+    /// Warns about pure functions declared but never called (they are
+    /// opaque to fusion, so a stale declaration usually signals a program
+    /// that forgot to invoke one of its passes' helpers).
+    fn warn_unused_pures(&mut self) {
+        for (i, p) in self.program.pures.iter().enumerate() {
+            let pid = PureId(i as u32);
+            if !self.used_pures.contains(&pid) {
+                self.errors.warning(
+                    Stage::Sema,
+                    format!("pure function `{}` is never called", p.name),
+                    self.pure_spans[i],
+                );
+            }
+        }
     }
 
     // ---- phase A: signatures ----------------------------------------------
@@ -142,7 +173,10 @@ impl Checker {
                 .iter()
                 .map(|(t, _)| {
                     self.value_type(t).unwrap_or_else(|| {
-                        self.err(format!("unknown parameter type in pure `{}`", p.name), p.span);
+                        self.err(
+                            format!("unknown parameter type in pure `{}`", p.name),
+                            p.span,
+                        );
                         Ty::Int
                     })
                 })
@@ -151,6 +185,7 @@ impl Checker {
             if self.pure_names.insert(p.name.clone(), id).is_some() {
                 self.err(format!("duplicate pure function `{}`", p.name), p.span);
             }
+            self.pure_spans.push(p.span);
             self.program.pures.push(PureFn {
                 name: p.name.clone(),
                 return_type: ret,
@@ -196,7 +231,10 @@ impl Checker {
                     let target = match self.class_names.get(class) {
                         Some(&c) => c,
                         None => {
-                            self.err(format!("unknown tree class `{class}` for child `{name}`"), *span);
+                            self.err(
+                                format!("unknown tree class `{class}` for child `{name}`"),
+                                *span,
+                            );
                             continue;
                         }
                     };
@@ -276,17 +314,13 @@ impl Checker {
         }
 
         // Dispatch slot: an override links to the root-most declaration.
-        let inherited = self
-            .program
-            .ancestors(class)
-            .into_iter()
-            .find_map(|a| {
-                self.program.classes[a.index()]
-                    .methods
-                    .iter()
-                    .copied()
-                    .find(|&m| self.program.methods[m.index()].name == t.name)
-            });
+        let inherited = self.program.ancestors(class).into_iter().find_map(|a| {
+            self.program.classes[a.index()]
+                .methods
+                .iter()
+                .copied()
+                .find(|&m| self.program.methods[m.index()].name == t.name)
+        });
         let id = MethodId(self.program.methods.len() as u32);
         let slot = match inherited {
             Some(m) => {
@@ -451,10 +485,8 @@ impl Checker {
                     );
                     return None;
                 }
-                let param_tys: Vec<Ty> = decl.locals[..decl.n_params]
-                    .iter()
-                    .map(|l| l.ty)
-                    .collect();
+                let param_tys: Vec<Ty> =
+                    decl.locals[..decl.n_params].iter().map(|l| l.ty).collect();
                 let mut rargs = Vec::new();
                 for (a, want) in args.iter().zip(param_tys) {
                     let (e, ty) = self.resolve_expr(a, cx)?;
@@ -650,7 +682,10 @@ impl Checker {
                     return None;
                 };
                 let rargs = self.resolve_pure_args(pid, args, cx, *span)?;
-                Some(Stmt::PureStmt { pure: pid, args: rargs })
+                Some(Stmt::PureStmt {
+                    pure: pid,
+                    args: rargs,
+                })
             }
         }
     }
@@ -662,6 +697,7 @@ impl Checker {
         cx: &mut BodyCx,
         span: Span,
     ) -> Option<Vec<Expr>> {
+        self.used_pures.insert(pid);
         let want: Vec<Ty> = self.program.pures[pid.index()].params.clone();
         if want.len() != args.len() {
             self.err(
@@ -685,10 +721,12 @@ impl Checker {
     }
 
     fn require_assignable(&mut self, from: Ty, to: Ty, span: Span) {
-        let ok = from == to
-            || matches!((from, to), (Ty::Int, Ty::Float) | (Ty::Float, Ty::Int));
+        let ok = from == to || matches!((from, to), (Ty::Int, Ty::Float) | (Ty::Float, Ty::Int));
         if !ok {
-            self.err(format!("type mismatch: cannot use {from:?} where {to:?} is expected"), span);
+            self.err(
+                format!("type mismatch: cannot use {from:?} where {to:?} is expected"),
+                span,
+            );
         }
     }
 

@@ -1,50 +1,87 @@
 //! Robustness: the frontend must reject arbitrary input with diagnostics,
 //! never panic.
+//!
+//! Originally written against proptest; the build environment is offline,
+//! so the cases are drawn from the vendored deterministic `rand` shim
+//! instead. Seeds are fixed, making every run identical.
 
 use grafter_frontend::compile;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn compile_never_panics_on_arbitrary_input(src in "\\PC*") {
+#[test]
+fn compile_never_panics_on_arbitrary_input() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+    for _ in 0..256 {
+        let len = rng.gen_range(0..200);
+        let src: String = (0..len)
+            .map(|_| {
+                // Mix printable ASCII with the occasional multi-byte char.
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0x20u32..0x7F) as u8 as char
+                } else {
+                    char::from_u32(rng.gen_range(0xA0u32..0x2000)).unwrap_or('λ')
+                }
+            })
+            .collect();
         let _ = compile(&src);
     }
+}
 
-    #[test]
-    fn compile_never_panics_on_tokenish_input(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("tree"), Just("class"), Just("child"), Just("traversal"),
-                Just("virtual"), Just("if"), Just("return"), Just("new"),
-                Just("delete"), Just("this"), Just("int"), Just("{"), Just("}"),
-                Just("("), Just(")"), Just(";"), Just("->"), Just("."),
-                Just("="), Just("*"), Just("x"), Just("N"), Just("1"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = tokens.join(" ");
+#[test]
+fn compile_never_panics_on_tokenish_input() {
+    const TOKENS: [&str; 23] = [
+        "tree",
+        "class",
+        "child",
+        "traversal",
+        "virtual",
+        "if",
+        "return",
+        "new",
+        "delete",
+        "this",
+        "int",
+        "{",
+        "}",
+        "(",
+        ")",
+        ";",
+        "->",
+        ".",
+        "=",
+        "*",
+        "x",
+        "N",
+        "1",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..60usize);
+        let src = (0..n)
+            .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = compile(&src);
     }
+}
 
-    #[test]
-    fn valid_skeletons_always_compile(
-        n_fields in 1usize..5,
-        n_traversals in 1usize..4,
-    ) {
-        let mut src = String::from("tree class T {\n  child T* next;\n");
-        for i in 0..n_fields {
-            src.push_str(&format!("  int f{i} = {i};\n"));
+#[test]
+fn valid_skeletons_always_compile() {
+    for n_fields in 1usize..5 {
+        for n_traversals in 1usize..4 {
+            let mut src = String::from("tree class T {\n  child T* next;\n");
+            for i in 0..n_fields {
+                src.push_str(&format!("  int f{i} = {i};\n"));
+            }
+            for i in 0..n_traversals {
+                src.push_str(&format!(
+                    "  virtual traversal t{i}() {{ f0 = f0 + 1; this->next->t{i}(); }}\n"
+                ));
+            }
+            src.push_str("}\n");
+            let program = compile(&src).expect("skeleton compiles");
+            assert_eq!(program.methods.len(), n_traversals);
         }
-        for i in 0..n_traversals {
-            src.push_str(&format!(
-                "  virtual traversal t{i}() {{ f0 = f0 + 1; this->next->t{i}(); }}\n"
-            ));
-        }
-        src.push_str("}\n");
-        let program = compile(&src).expect("skeleton compiles");
-        prop_assert_eq!(program.methods.len(), n_traversals);
     }
 }

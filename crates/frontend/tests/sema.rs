@@ -1,6 +1,6 @@
 //! Integration tests for semantic analysis and the resolved HIR.
 
-use grafter_frontend::{compile, DataAccess, Expr, FieldKind, Stmt, Ty};
+use grafter_frontend::{compile, DataAccess, Expr, Stmt};
 
 /// The paper's Fig. 2 render-list example, transliterated to the DSL.
 const FIG2: &str = r#"
@@ -137,7 +137,9 @@ fn aliases_are_inlined() {
     let m = p.method_on_class(n, "go").unwrap();
     let body = &p.methods[m.index()].body;
     assert_eq!(body.len(), 2, "alias def disappears");
-    let Stmt::Traverse(t) = &body[0] else { panic!() };
+    let Stmt::Traverse(t) = &body[0] else {
+        panic!()
+    };
     let names: Vec<_> = t
         .receiver
         .fields()
@@ -189,7 +191,9 @@ fn new_and_delete_resolve() {
     let m = p.method_on_class(add, "simplify").unwrap();
     let body = &p.methods[m.index()].body;
     assert!(matches!(body[1], Stmt::Delete { .. }));
-    let Stmt::New { class, .. } = &body[2] else { panic!() };
+    let Stmt::New { class, .. } = &body[2] else {
+        panic!()
+    };
     assert_eq!(*class, p.class_by_name("Lit").unwrap());
 }
 

@@ -334,7 +334,12 @@ impl Heap {
     }
 
     /// Sets a child pointer by name.
-    pub fn set_child_by_name(&mut self, id: NodeId, field: &str, child: Option<NodeId>) -> Option<()> {
+    pub fn set_child_by_name(
+        &mut self,
+        id: NodeId,
+        field: &str,
+        child: Option<NodeId>,
+    ) -> Option<()> {
         self.set_by_name(id, field, Value::Ref(child))
     }
 

@@ -6,9 +6,7 @@ use std::rc::Rc;
 
 use grafter::{CallPart, FusedFnId, FusedProgram, ScheduledItem, StubId};
 use grafter_cachesim::CacheHierarchy;
-use grafter_frontend::{
-    BinOp, DataAccess, Expr, FieldKind, MethodId, NodePath, Stmt, Ty, UnOp,
-};
+use grafter_frontend::{BinOp, DataAccess, Expr, FieldKind, MethodId, NodePath, Stmt, Ty, UnOp};
 
 use crate::heap::{Heap, NodeId, NODE_HEADER_BYTES, SLOT_BYTES};
 use crate::metrics::{cost, Metrics};
@@ -224,7 +222,10 @@ impl<'a> Interp<'a> {
                 .iter()
                 .map(|m| fp.program.methods[m.index()].name.as_str())
                 .collect();
-            eprintln!("F {:?} {:?} flags={:b} args={:?}", node, names, flags, part_args);
+            eprintln!(
+                "F {:?} {:?} flags={:b} args={:?}",
+                node, names, flags, part_args
+            );
         }
         let multi = f.seq.len() > 1;
         let seq: &[MethodId] = &f.seq;
@@ -254,8 +255,7 @@ impl<'a> Interp<'a> {
                     if active & bit == 0 {
                         continue;
                     }
-                    let flow =
-                        self.exec_stmt(heap, seq, &mut frames, node, *traversal, stmt)?;
+                    let flow = self.exec_stmt(heap, seq, &mut frames, node, *traversal, stmt)?;
                     if matches!(flow, Flow::Returned) {
                         active &= !bit;
                         if active == 0 {
@@ -326,12 +326,7 @@ impl<'a> Interp<'a> {
 
     /// Follows a receiver path, counting pointer loads; `None` if any step
     /// is null.
-    fn navigate(
-        &mut self,
-        heap: &Heap,
-        node: NodeId,
-        path: &NodePath,
-    ) -> RResult<Option<NodeId>> {
+    fn navigate(&mut self, heap: &Heap, node: NodeId, path: &NodePath) -> RResult<Option<NodeId>> {
         let mut cur = node;
         for step in &path.steps {
             let class = heap.node(cur).class;
@@ -377,9 +372,7 @@ impl<'a> Interp<'a> {
                     .as_bool();
                 let branch = if c { then_branch } else { else_branch };
                 for s in branch {
-                    if let Flow::Returned =
-                        self.exec_stmt(heap, seq, frames, node, traversal, s)?
-                    {
+                    if let Flow::Returned = self.exec_stmt(heap, seq, frames, node, traversal, s)? {
                         return Ok(Flow::Returned);
                     }
                 }
@@ -462,7 +455,11 @@ impl<'a> Interp<'a> {
         node: NodeId,
         path: &NodePath,
     ) -> RResult<(Option<NodeId>, grafter_frontend::FieldId)> {
-        let last = path.steps.last().expect("topology targets have a step").field;
+        let last = path
+            .steps
+            .last()
+            .expect("topology targets have a step")
+            .field;
         let prefix = NodePath {
             base_cast: path.base_cast,
             steps: path.steps[..path.steps.len() - 1].to_vec(),
@@ -574,6 +571,9 @@ impl<'a> Interp<'a> {
         }
     }
 
+    // The interpreter threads its whole execution context (heap, fused
+    // sequence, per-traversal frames) through every access.
+    #[allow(clippy::too_many_arguments)]
     fn write_access(
         &mut self,
         heap: &mut Heap,

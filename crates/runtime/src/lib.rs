@@ -55,11 +55,13 @@
 mod heap;
 mod interp;
 mod metrics;
+pub mod pipeline;
 mod pure;
 
 pub use heap::{Heap, Layouts, NodeId, SnapValue};
 pub use interp::{Interp, RuntimeError};
 pub use metrics::{cost, Metrics};
+pub use pipeline::{Execute, Executor, RunReport};
 pub use pure::PureRegistry;
 
 /// Runs `f` on a dedicated thread with `bytes` of stack.

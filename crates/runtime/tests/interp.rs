@@ -204,8 +204,20 @@ fn tree_mutation_program_runs_identically() {
         tree class End : Node { }
     "#;
     let program = compile(src).unwrap();
-    let fused = fuse(&program, "Node", &["desugar", "tally"], &FuseOptions::default()).unwrap();
-    let unfused = fuse(&program, "Node", &["desugar", "tally"], &FuseOptions::unfused()).unwrap();
+    let fused = fuse(
+        &program,
+        "Node",
+        &["desugar", "tally"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
+    let unfused = fuse(
+        &program,
+        "Node",
+        &["desugar", "tally"],
+        &FuseOptions::unfused(),
+    )
+    .unwrap();
     assert!(fused.fully_fused());
 
     let build = |heap: &mut Heap| {
@@ -256,8 +268,20 @@ fn truncation_via_return_matches_unfused() {
         tree class End : Node { }
     "#;
     let program = compile(src).unwrap();
-    let fused = fuse(&program, "Node", &["markA", "markB"], &FuseOptions::default()).unwrap();
-    let unfused = fuse(&program, "Node", &["markA", "markB"], &FuseOptions::unfused()).unwrap();
+    let fused = fuse(
+        &program,
+        "Node",
+        &["markA", "markB"],
+        &FuseOptions::default(),
+    )
+    .unwrap();
+    let unfused = fuse(
+        &program,
+        "Node",
+        &["markA", "markB"],
+        &FuseOptions::unfused(),
+    )
+    .unwrap();
 
     for seed in 0..10u64 {
         let build = move |heap: &mut Heap| {

@@ -24,7 +24,8 @@
 
 use std::collections::HashMap;
 
-use grafter_frontend::{compile, Program};
+use grafter::pipeline::{Compiled, Pipeline};
+use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 
 /// Tag values of the collapsed node type.
@@ -231,9 +232,18 @@ pub const ROOT_CLASS: &str = "RNode";
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn program() -> Program {
-    match compile(SOURCE) {
-        Ok(p) => p,
-        Err(errs) => panic!("treefuser program: {}", errs[0].render(SOURCE)),
+    compiled().into_program()
+}
+
+/// Compiles the homogenised program through the staged pipeline.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn compiled() -> Compiled {
+    match Pipeline::compile(SOURCE) {
+        Ok(c) => c,
+        Err(bag) => panic!("treefuser program: {}", bag.render(SOURCE)),
     }
 }
 
@@ -258,7 +268,9 @@ fn convert_node(
     if let Some(&m) = map.get(&id) {
         return m;
     }
-    let class_name = src.program().classes[src.node(id).class.index()].name.clone();
+    let class_name = src.program().classes[src.node(id).class.index()]
+        .name
+        .clone();
     let node = dst.alloc_by_name(ROOT_CLASS).expect("RNode exists");
     map.insert(id, node);
 
@@ -270,7 +282,8 @@ fn convert_node(
     let kid = |dst: &mut Heap, map: &mut HashMap<NodeId, NodeId>, slot: &str, src_field: &str| {
         if let Some(Some(child)) = src.child_by_name(id, src_field) {
             let c = convert_node(src, child, dst, map);
-            dst.set_child_by_name(node, slot, Some(c)).expect("kid slot");
+            dst.set_child_by_name(node, slot, Some(c))
+                .expect("kid slot");
         }
     };
 
@@ -386,8 +399,13 @@ mod tests {
         // (TreeFuser) pipeline on mirrored documents; every element's
         // final geometry must agree.
         let het = render::program();
-        let het_fp = fuse(&het, render::ROOT_CLASS, &render::PASSES, &FuseOptions::default())
-            .unwrap();
+        let het_fp = fuse(
+            &het,
+            render::ROOT_CLASS,
+            &render::PASSES,
+            &FuseOptions::default(),
+        )
+        .unwrap();
         let mut het_heap = Heap::new(&het);
         let het_root = render::build_document(&mut het_heap, 4, 9);
 
@@ -395,9 +413,13 @@ mod tests {
         let mut hom_heap = Heap::new(&hom);
         let hom_root = convert_document(&het_heap, het_root, &mut hom_heap);
 
-        Interp::new(&het_fp).run(&mut het_heap, het_root, &[]).unwrap();
+        Interp::new(&het_fp)
+            .run(&mut het_heap, het_root, &[])
+            .unwrap();
         let hom_fp = fuse(&hom, ROOT_CLASS, &PASSES, &FuseOptions::default()).unwrap();
-        Interp::new(&hom_fp).run(&mut hom_heap, hom_root, &[]).unwrap();
+        Interp::new(&hom_fp)
+            .run(&mut hom_heap, hom_root, &[])
+            .unwrap();
 
         // Walk both trees in lockstep.
         let mut dst_map = HashMap::new();

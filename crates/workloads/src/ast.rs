@@ -14,7 +14,8 @@
 //! the condition into an unconditionally-invoked traversal that returns
 //! immediately when disabled.
 
-use grafter_frontend::{compile, Program};
+use grafter::pipeline::{Compiled, Pipeline};
+use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -331,9 +332,19 @@ pub const ROOT_CLASS: &str = "ProgramRoot";
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn program() -> Program {
-    match compile(SOURCE) {
-        Ok(p) => p,
-        Err(errs) => panic!("ast program: {}", errs[0].render(SOURCE)),
+    compiled().into_program()
+}
+
+/// Compiles the workload through the staged pipeline, keeping the source
+/// and any frontend warnings attached for later stages.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn compiled() -> Compiled {
+    match Pipeline::compile(SOURCE) {
+        Ok(c) => c,
+        Err(bag) => panic!("ast program: {}", bag.render(SOURCE)),
     }
 }
 
@@ -341,21 +352,24 @@ pub fn program() -> Program {
 
 fn constant(heap: &mut Heap, v: i64) -> NodeId {
     let c = heap.alloc_by_name("ConstantExpr").unwrap();
-    heap.set_by_name(c, "kind", Value::Int(kind::EXPR_CONST)).unwrap();
+    heap.set_by_name(c, "kind", Value::Int(kind::EXPR_CONST))
+        .unwrap();
     heap.set_by_name(c, "Value", Value::Int(v)).unwrap();
     c
 }
 
 fn var_ref(heap: &mut Heap, var: i64) -> NodeId {
     let v = heap.alloc_by_name("VarRefExpr").unwrap();
-    heap.set_by_name(v, "kind", Value::Int(kind::EXPR_VAR)).unwrap();
+    heap.set_by_name(v, "kind", Value::Int(kind::EXPR_VAR))
+        .unwrap();
     heap.set_by_name(v, "VarId", Value::Int(var)).unwrap();
     v
 }
 
 fn binary(heap: &mut Heap, op: i64, lhs: NodeId, rhs: NodeId) -> NodeId {
     let b = heap.alloc_by_name("BinaryExpr").unwrap();
-    heap.set_by_name(b, "kind", Value::Int(kind::EXPR_BIN)).unwrap();
+    heap.set_by_name(b, "kind", Value::Int(kind::EXPR_BIN))
+        .unwrap();
     heap.set_by_name(b, "Op", Value::Int(op)).unwrap();
     heap.set_child_by_name(b, "Lhs", Some(lhs)).unwrap();
     heap.set_child_by_name(b, "Rhs", Some(rhs)).unwrap();
@@ -372,7 +386,8 @@ fn random_expr(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
     } else if rng.gen_bool(0.15) {
         let operand = random_expr(heap, rng, depth - 1, n_vars);
         let u = heap.alloc_by_name("UnaryExpr").unwrap();
-        heap.set_by_name(u, "kind", Value::Int(kind::EXPR_UN)).unwrap();
+        heap.set_by_name(u, "kind", Value::Int(kind::EXPR_UN))
+            .unwrap();
         heap.set_child_by_name(u, "Operand", Some(operand)).unwrap();
         u
     } else {
@@ -384,7 +399,8 @@ fn random_expr(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
 
 fn assign(heap: &mut Heap, var: i64, rhs: NodeId) -> NodeId {
     let a = heap.alloc_by_name("AssignStmt").unwrap();
-    heap.set_by_name(a, "kind", Value::Int(kind::STMT_ASSIGN)).unwrap();
+    heap.set_by_name(a, "kind", Value::Int(kind::STMT_ASSIGN))
+        .unwrap();
     let lhs = var_ref(heap, var);
     heap.set_child_by_name(a, "Lhs", Some(lhs)).unwrap();
     heap.set_child_by_name(a, "Rhs", Some(rhs)).unwrap();
@@ -418,7 +434,11 @@ fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
         } else {
             heap.alloc_by_name("DecrStmt").unwrap()
         };
-        let k = if rng.gen_bool(0.5) { kind::STMT_INCR } else { kind::STMT_DECR };
+        let k = if rng.gen_bool(0.5) {
+            kind::STMT_INCR
+        } else {
+            kind::STMT_DECR
+        };
         // kind matches the allocated class.
         let k = if heap.program().classes[heap.node_raw(s).class.index()].name == "IncrStmt" {
             kind::STMT_INCR
@@ -427,7 +447,8 @@ fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
             kind::STMT_DECR
         };
         heap.set_by_name(s, "kind", Value::Int(k)).unwrap();
-        heap.set_by_name(s, "VarId", Value::Int(rng.gen_range(0..n_vars))).unwrap();
+        heap.set_by_name(s, "VarId", Value::Int(rng.gen_range(0..n_vars)))
+            .unwrap();
         s
     } else if roll < 0.7 && depth > 0 {
         let cond = random_expr(heap, rng, 2, n_vars);
@@ -442,7 +463,8 @@ fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
         let then_list = stmt_list(heap, then_stmts);
         let else_list = stmt_list(heap, else_stmts);
         let i = heap.alloc_by_name("IfStmt").unwrap();
-        heap.set_by_name(i, "kind", Value::Int(kind::STMT_IF)).unwrap();
+        heap.set_by_name(i, "kind", Value::Int(kind::STMT_IF))
+            .unwrap();
         heap.set_child_by_name(i, "Cond", Some(cond)).unwrap();
         heap.set_child_by_name(i, "Then", Some(then_list)).unwrap();
         heap.set_child_by_name(i, "Else", Some(else_list)).unwrap();
@@ -450,7 +472,8 @@ fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
     } else {
         let val = random_expr(heap, rng, 2, n_vars);
         let r = heap.alloc_by_name("ReturnStmt").unwrap();
-        heap.set_by_name(r, "kind", Value::Int(kind::STMT_RETURN)).unwrap();
+        heap.set_by_name(r, "kind", Value::Int(kind::STMT_RETURN))
+            .unwrap();
         heap.set_child_by_name(r, "Val", Some(val)).unwrap();
         r
     }
@@ -553,7 +576,7 @@ mod tests {
     #[test]
     fn fused_equals_unfused_on_random_programs() {
         for seed in [1, 7, 23] {
-            let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, move |heap| {
+            let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, move |heap| {
                 build_program(heap, 6, seed)
             });
             assert!(exp.check_equivalence(), "seed {seed}");
@@ -562,11 +585,11 @@ mod tests {
 
     #[test]
     fn fused_equals_unfused_on_prog_configs() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_prog2(heap, 40, 5)
         });
         assert!(exp.check_equivalence());
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_prog3(heap, 4, 20, 5)
         });
         assert!(exp.check_equivalence());
@@ -578,7 +601,8 @@ mod tests {
         let fp = grafter::fuse(&p, ROOT_CLASS, &PASSES, &grafter::FuseOptions::default()).unwrap();
         let mut heap = Heap::new(&p);
         let incr = heap.alloc_by_name("IncrStmt").unwrap();
-        heap.set_by_name(incr, "kind", Value::Int(kind::STMT_INCR)).unwrap();
+        heap.set_by_name(incr, "kind", Value::Int(kind::STMT_INCR))
+            .unwrap();
         heap.set_by_name(incr, "VarId", Value::Int(3)).unwrap();
         let body = stmt_list(&mut heap, vec![incr]);
         let f = heap.alloc_by_name("Function").unwrap();
@@ -596,7 +620,10 @@ mod tests {
         let s = heap.child_by_name(body, "S").unwrap().unwrap();
         let class = &p.classes[heap.node_raw(s).class.index()].name;
         assert_eq!(class, "AssignStmt");
-        assert_eq!(heap.get_by_name(s, "kind").unwrap(), Value::Int(kind::STMT_ASSIGN));
+        assert_eq!(
+            heap.get_by_name(s, "kind").unwrap(),
+            Value::Int(kind::STMT_ASSIGN)
+        );
         let rhs = heap.child_by_name(s, "Rhs").unwrap().unwrap();
         assert_eq!(
             heap.program().classes[heap.node_raw(rhs).class.index()].name,
@@ -626,10 +653,13 @@ mod tests {
         let then_list = stmt_list(&mut heap, vec![then_s]);
         let else_list = stmt_list(&mut heap, vec![else_s]);
         let ifs = heap.alloc_by_name("IfStmt").unwrap();
-        heap.set_by_name(ifs, "kind", Value::Int(kind::STMT_IF)).unwrap();
+        heap.set_by_name(ifs, "kind", Value::Int(kind::STMT_IF))
+            .unwrap();
         heap.set_child_by_name(ifs, "Cond", Some(cond)).unwrap();
-        heap.set_child_by_name(ifs, "Then", Some(then_list)).unwrap();
-        heap.set_child_by_name(ifs, "Else", Some(else_list)).unwrap();
+        heap.set_child_by_name(ifs, "Then", Some(then_list))
+            .unwrap();
+        heap.set_child_by_name(ifs, "Else", Some(else_list))
+            .unwrap();
         let body = stmt_list(&mut heap, vec![seed_assign, ifs]);
         let f = heap.alloc_by_name("Function").unwrap();
         heap.set_child_by_name(f, "Body", Some(body)).unwrap();
@@ -646,7 +676,10 @@ mod tests {
         let next = heap.child_by_name(body, "Next").unwrap().unwrap();
         let if_node = heap.child_by_name(next, "S").unwrap().unwrap();
         let cond = heap.child_by_name(if_node, "Cond").unwrap().unwrap();
-        assert_eq!(heap.get_by_name(cond, "kind").unwrap(), Value::Int(kind::EXPR_CONST));
+        assert_eq!(
+            heap.get_by_name(cond, "kind").unwrap(),
+            Value::Int(kind::EXPR_CONST)
+        );
         assert_eq!(heap.get_by_name(cond, "Value").unwrap(), Value::Int(0));
         let then_branch = heap.child_by_name(if_node, "Then").unwrap().unwrap();
         assert_eq!(
@@ -658,7 +691,7 @@ mod tests {
 
     #[test]
     fn fusion_reduces_visits() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_program(heap, 30, 2)
         });
         let cmp = exp.compare();

@@ -15,7 +15,8 @@
 //! native code, and the *relative* fused/unfused behaviour is
 //! size-stable).
 
-use grafter_frontend::{compile, Program};
+use grafter::pipeline::{Compiled, Pipeline};
+use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,9 +86,19 @@ pub const ROOT_CLASS: &str = "FmmNode";
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn program() -> Program {
-    match compile(SOURCE) {
-        Ok(p) => p,
-        Err(errs) => panic!("fmm program: {}", errs[0].render(SOURCE)),
+    compiled().into_program()
+}
+
+/// Compiles the workload through the staged pipeline, keeping the source
+/// and any frontend warnings attached for later stages.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn compiled() -> Compiled {
+    match Pipeline::compile(SOURCE) {
+        Ok(c) => c,
+        Err(bag) => panic!("fmm program: {}", bag.render(SOURCE)),
     }
 }
 
@@ -112,14 +123,16 @@ fn build_cell(heap: &mut Heap, points: &[(f64, f64)]) -> NodeId {
         heap.set_by_name(body, "Hi", Value::Float(x)).unwrap();
         heap.set_by_name(body, "Mass", Value::Float(mass)).unwrap();
         heap.set_by_name(body, "Center", Value::Float(x)).unwrap();
-        heap.set_by_name(body, "SelfPotential", Value::Float(0.25)).unwrap();
+        heap.set_by_name(body, "SelfPotential", Value::Float(0.25))
+            .unwrap();
         return body;
     }
     let mid = points.len() / 2;
     let left = build_cell(heap, &points[..mid]);
     let right = build_cell(heap, &points[mid..]);
     let cell = heap.alloc_by_name("FmmCell").unwrap();
-    heap.set_by_name(cell, "Lo", Value::Float(points[0].0)).unwrap();
+    heap.set_by_name(cell, "Lo", Value::Float(points[0].0))
+        .unwrap();
     heap.set_by_name(cell, "Hi", Value::Float(points[points.len() - 1].0))
         .unwrap();
     heap.set_child_by_name(cell, "Left", Some(left)).unwrap();
@@ -129,7 +142,7 @@ fn build_cell(heap: &mut Heap, points: &[(f64, f64)]) -> NodeId {
 
 /// Builds the FMM [`crate::harness::Experiment`] for `n_points`.
 pub fn experiment(n_points: usize, seed: u64) -> crate::harness::Experiment {
-    crate::harness::Experiment::new(program(), ROOT_CLASS, &PASSES, move |heap| {
+    crate::harness::Experiment::new(compiled(), ROOT_CLASS, &PASSES, move |heap| {
         build_tree(heap, n_points, seed)
     })
 }

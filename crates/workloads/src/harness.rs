@@ -1,12 +1,17 @@
 //! Measurement harness: runs a workload fused and unfused and reports the
 //! paper's four metrics.
+//!
+//! Built on the staged `grafter::pipeline` API: an [`Experiment`] holds a
+//! [`Compiled`] workload, fuses it with [`Compiled::fuse`], and executes
+//! the resulting [`Fused`] artifacts through the runtime's
+//! [`Execute`]/executor stage.
 
 use std::time::{Duration, Instant};
 
-use grafter::{fuse, FuseOptions, FusedProgram};
+use grafter::pipeline::{Compiled, Fused};
+use grafter::FuseOptions;
 use grafter_cachesim::CacheHierarchy;
-use grafter_frontend::Program;
-use grafter_runtime::{with_stack, Heap, Interp, NodeId, PureRegistry, Value};
+use grafter_runtime::{with_stack, Execute, Heap, NodeId, PureRegistry, Value};
 
 /// Stack size used for experiment runs (trees can be deep sibling chains).
 pub const RUN_STACK: usize = 1 << 31;
@@ -70,11 +75,12 @@ impl Comparison {
     }
 }
 
-/// A self-contained experiment: a program, an entry sequence and an input
-/// builder. `Send + 'static` so runs can move to a big-stack worker thread.
+/// A self-contained experiment: a compiled workload, an entry sequence and
+/// an input builder. `Send + 'static` so runs can move to a big-stack
+/// worker thread.
 pub struct Experiment {
-    /// The compiled DSL program.
-    pub program: Program,
+    /// The workload, compiled through the pipeline's frontend stage.
+    pub compiled: Compiled,
     /// Root class of the entry sequence.
     pub root_class: &'static str,
     /// Entry traversal names, in invocation order.
@@ -90,13 +96,13 @@ pub struct Experiment {
 impl Experiment {
     /// Creates an experiment with default math pures and no arguments.
     pub fn new(
-        program: Program,
+        compiled: Compiled,
         root_class: &'static str,
         passes: &[&'static str],
         build: impl Fn(&mut Heap) -> NodeId + Send + Sync + 'static,
     ) -> Self {
         Experiment {
-            program,
+            compiled,
             root_class,
             passes: passes.to_vec(),
             args: Vec::new(),
@@ -106,29 +112,35 @@ impl Experiment {
     }
 
     /// Fuses the experiment's entry sequence.
-    pub fn fuse_with(&self, opts: &FuseOptions) -> FusedProgram {
-        fuse(&self.program, self.root_class, &self.passes, opts)
+    pub fn fuse_with(&self, opts: &FuseOptions) -> Fused {
+        self.compiled
+            .fuse(self.root_class, &self.passes, opts)
             .expect("experiment entry sequence resolves")
     }
 
     /// Runs one configuration with the cache simulator attached.
-    pub fn run_stats(&self, fp: &FusedProgram) -> RunStats {
-        let mut heap = Heap::new(&self.program);
+    pub fn run_stats(&self, fused: &Fused) -> RunStats {
+        let mut heap = fused.new_heap();
         let root = (self.build)(&mut heap);
         let tree_bytes = heap.live_bytes();
-        let mut interp =
-            Interp::with_pures(fp, (self.pures)()).with_cache(CacheHierarchy::xeon());
+        // Build the executor (pures, cache, args) outside the timed region
+        // so `wall` measures only the interpreter run.
+        let executor = fused
+            .executor()
+            .pures((self.pures)())
+            .cache(CacheHierarchy::xeon())
+            .args(self.args.clone());
         let start = Instant::now();
-        interp.run(&mut heap, root, &self.args).expect("run succeeds");
+        let report = executor.run(&mut heap, root).expect("run succeeds");
         let wall = start.elapsed();
-        let cache = interp.cache.as_ref().expect("cache attached").stats();
+        let cache = report.cache.as_ref().expect("cache attached");
         RunStats {
-            visits: interp.metrics.visits,
-            instructions: interp.metrics.instructions,
+            visits: report.metrics.visits,
+            instructions: report.metrics.instructions,
             l1_misses: cache.misses(0),
             l2_misses: cache.misses(1),
             l3_misses: cache.misses(2),
-            cycles: interp.metrics.cycles(&cache),
+            cycles: report.cycles(),
             wall,
             tree_bytes,
         }
@@ -137,14 +149,7 @@ impl Experiment {
     /// Runs the experiment fused and unfused on identical inputs, on a
     /// dedicated large-stack thread.
     pub fn compare(self) -> Comparison {
-        with_stack(RUN_STACK, move || {
-            let fused = self.fuse_with(&FuseOptions::default());
-            let unfused = self.fuse_with(&FuseOptions::unfused());
-            Comparison {
-                fused: self.run_stats(&fused),
-                unfused: self.run_stats(&unfused),
-            }
-        })
+        self.compare_with(FuseOptions::default())
     }
 
     /// Like [`Experiment::compare`] but with custom fused options (used for
@@ -166,11 +171,15 @@ impl Experiment {
         with_stack(RUN_STACK, move || {
             let fused = self.fuse_with(&FuseOptions::default());
             let unfused = self.fuse_with(&FuseOptions::unfused());
-            let snap = |fp: &FusedProgram| {
-                let mut heap = Heap::new(&self.program);
+            let snap = |artifact: &Fused| {
+                let mut heap = artifact.new_heap();
                 let root = (self.build)(&mut heap);
-                let mut interp = Interp::with_pures(fp, (self.pures)());
-                interp.run(&mut heap, root, &self.args).expect("run succeeds");
+                artifact
+                    .executor()
+                    .pures((self.pures)())
+                    .args(self.args.clone())
+                    .run(&mut heap, root)
+                    .expect("run succeeds");
                 heap.snapshot(root)
             };
             snap(&fused) == snap(&unfused)

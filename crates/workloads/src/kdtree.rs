@@ -27,7 +27,8 @@
 //! then purely local to each leaf, which is what lets whole Table 6
 //! schedules fuse into one or two passes.
 
-use grafter_frontend::{compile, Program};
+use grafter::pipeline::{Compiled, Pipeline};
+use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -240,10 +241,7 @@ impl Op {
             Op::Scale(c) | Op::AddConst(c) => vec![Value::Float(c)],
             Op::Square | Op::Differentiate => vec![],
             Op::AddRange(c, a, b) => vec![Value::Float(c), Value::Float(a), Value::Float(b)],
-            Op::Refine(a, b)
-            | Op::MultXRange(a, b)
-            | Op::AddXRange(a, b)
-            | Op::Integrate(a, b) => {
+            Op::Refine(a, b) | Op::MultXRange(a, b) | Op::AddXRange(a, b) | Op::Integrate(a, b) => {
                 vec![Value::Float(a), Value::Float(b)]
             }
             Op::Project(x0) => vec![Value::Float(x0)],
@@ -309,9 +307,19 @@ pub fn equation_schedules() -> Vec<(&'static str, Vec<Op>)> {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn program() -> Program {
-    match compile(SOURCE) {
-        Ok(p) => p,
-        Err(errs) => panic!("kdtree program: {}", errs[0].render(SOURCE)),
+    compiled().into_program()
+}
+
+/// Compiles the workload through the staged pipeline, keeping the source
+/// and any frontend warnings attached for later stages.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn compiled() -> Compiled {
+    match Pipeline::compile(SOURCE) {
+        Ok(c) => c,
+        Err(bag) => panic!("kdtree program: {}", bag.render(SOURCE)),
     }
 }
 
@@ -351,7 +359,7 @@ fn build_node(heap: &mut Heap, rng: &mut StdRng, lo: f64, hi: f64, depth: usize)
 pub fn experiment(schedule: &[Op], depth: usize, seed: u64) -> crate::harness::Experiment {
     let passes: Vec<&'static str> = schedule.iter().map(Op::pass).collect();
     let args: Vec<Vec<Value>> = schedule.iter().map(Op::args).collect();
-    let mut exp = crate::harness::Experiment::new(program(), ROOT_CLASS, &passes, move |heap| {
+    let mut exp = crate::harness::Experiment::new(compiled(), ROOT_CLASS, &passes, move |heap| {
         build_balanced(heap, depth, seed)
     });
     exp.args = args;
@@ -362,7 +370,7 @@ pub fn experiment(schedule: &[Op], depth: usize, seed: u64) -> crate::harness::E
 mod tests {
     use super::*;
     use grafter::{fuse, FuseOptions};
-    use grafter_runtime::Interp;
+    use grafter_runtime::{Execute, Interp};
 
     #[test]
     fn program_compiles() {
@@ -373,8 +381,13 @@ mod tests {
     #[test]
     fn differentiation_and_scaling_are_correct() {
         let p = program();
-        let fp = fuse(&p, ROOT_CLASS, &["differentiate", "scale"], &FuseOptions::default())
-            .unwrap();
+        let fp = fuse(
+            &p,
+            ROOT_CLASS,
+            &["differentiate", "scale"],
+            &FuseOptions::default(),
+        )
+        .unwrap();
         let mut heap = Heap::new(&p);
         let leaf = heap.alloc_by_name("KdLeaf").unwrap();
         heap.set_by_name(leaf, "kind", Value::Int(1)).unwrap();
@@ -407,7 +420,11 @@ mod tests {
         heap.set_by_name(leaf, "C1", Value::Float(1.0)).unwrap();
         let mut interp = Interp::new(&fp);
         interp
-            .run(&mut heap, leaf, &[vec![Value::Float(0.0), Value::Float(2.0)]])
+            .run(
+                &mut heap,
+                leaf,
+                &[vec![Value::Float(0.0), Value::Float(2.0)]],
+            )
             .unwrap();
         assert_eq!(interp.global("INTEGRAL"), Some(Value::Float(2.0)));
     }
@@ -425,7 +442,11 @@ mod tests {
         let quarter = lo + (hi - lo) / 4.0;
         let mut interp = Interp::new(&fp);
         interp
-            .run(&mut heap, root, &[vec![Value::Float(lo), Value::Float(quarter)]])
+            .run(
+                &mut heap,
+                root,
+                &[vec![Value::Float(lo), Value::Float(quarter)]],
+            )
             .unwrap();
         assert!(
             heap.live_count() > live_before,
@@ -467,8 +488,7 @@ mod tests {
             leaf
         };
         let coeffs = |heap: &Heap, leaf| -> [f64; 4] {
-            ["C0", "C1", "C2", "C3"]
-                .map(|c| heap.get_by_name(leaf, c).unwrap().as_f64())
+            ["C0", "C1", "C2", "C3"].map(|c| heap.get_by_name(leaf, c).unwrap().as_f64())
         };
         let apply = |op: Op| {
             let fp = fuse(&p, ROOT_CLASS, &[op.pass()], &FuseOptions::default()).unwrap();
@@ -516,10 +536,10 @@ mod tests {
         let exp = experiment(&schedule, 5, 9);
         let fused = exp.fuse_with(&FuseOptions::default());
         let unfused = exp.fuse_with(&FuseOptions::unfused());
-        let run = |fp: &grafter::FusedProgram| {
-            let mut heap = Heap::new(&exp.program);
+        let run = |fp: &grafter::pipeline::Fused| {
+            let mut heap = fp.new_heap();
             let root = (exp.build)(&mut heap);
-            let mut interp = Interp::new(fp);
+            let mut interp = Interp::new(fp.fused_program());
             interp.run(&mut heap, root, &exp.args).unwrap();
             interp.global("INTEGRAL").unwrap()
         };

@@ -13,7 +13,8 @@
 //! 4. `computeHeights` — bottom-up heights (needs widths and fonts);
 //! 5. `computePositions` — top-down positions (needs heights).
 
-use grafter_frontend::{compile, Program};
+use grafter::pipeline::{Compiled, Pipeline};
+use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -326,9 +327,19 @@ pub const ROOT_CLASS: &str = "Document";
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn program() -> Program {
-    match compile(SOURCE) {
-        Ok(p) => p,
-        Err(errs) => panic!("render program: {}", errs[0].render(SOURCE)),
+    compiled().into_program()
+}
+
+/// Compiles the workload through the staged pipeline, keeping the source
+/// and any frontend warnings attached for later stages.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a bug in this crate).
+pub fn compiled() -> Compiled {
+    match Pipeline::compile(SOURCE) {
+        Ok(c) => c,
+        Err(bag) => panic!("render program: {}", bag.render(SOURCE)),
     }
 }
 
@@ -375,11 +386,13 @@ pub fn build_page(heap: &mut Heap, rng: &mut StdRng, page_no: i64) -> NodeId {
     heap.set_child_by_name(column, "Items", Some(column_list))
         .unwrap();
     heap.set_by_name(column, "WMode", Value::Int(1)).unwrap();
-    heap.set_by_name(column, "RelWidth", Value::Int(60)).unwrap();
+    heap.set_by_name(column, "RelWidth", Value::Int(60))
+        .unwrap();
 
     let band_list = element_list(heap, vec![image, column], true);
     let band = heap.alloc_by_name("HorizontalContainer").unwrap();
-    heap.set_child_by_name(band, "Items", Some(band_list)).unwrap();
+    heap.set_child_by_name(band, "Items", Some(band_list))
+        .unwrap();
 
     let list = heap.alloc_by_name("List").unwrap();
     heap.set_by_name(list, "Items", Value::Int(rng.gen_range(2..8)))
@@ -393,11 +406,13 @@ pub fn build_page(heap: &mut Heap, rng: &mut StdRng, page_no: i64) -> NodeId {
     let para = text_box(heap, rng.gen_range(100..600));
 
     let footer = heap.alloc_by_name("Footer").unwrap();
-    heap.set_by_name(footer, "PageNo", Value::Int(page_no)).unwrap();
+    heap.set_by_name(footer, "PageNo", Value::Int(page_no))
+        .unwrap();
 
     let body_list = element_list(heap, vec![header, band, list, para, link, footer], false);
     let body = heap.alloc_by_name("VerticalContainer").unwrap();
-    heap.set_child_by_name(body, "Items", Some(body_list)).unwrap();
+    heap.set_child_by_name(body, "Items", Some(body_list))
+        .unwrap();
 
     let page = heap.alloc_by_name("Page").unwrap();
     heap.set_child_by_name(page, "Content", Some(body)).unwrap();
@@ -430,7 +445,8 @@ pub fn build_dense_page(heap: &mut Heap, depth: usize, fanout: usize, seed: u64)
     let mut rng = StdRng::seed_from_u64(seed);
     let content = build_dense_element(heap, &mut rng, depth, fanout, false);
     let page = heap.alloc_by_name("Page").unwrap();
-    heap.set_child_by_name(page, "Content", Some(content)).unwrap();
+    heap.set_child_by_name(page, "Content", Some(content))
+        .unwrap();
     let cell = heap.alloc_by_name("PageListInner").unwrap();
     let end = heap.alloc_by_name("PageListEnd").unwrap();
     heap.set_child_by_name(cell, "P", Some(page)).unwrap();
@@ -460,7 +476,8 @@ fn build_dense_element(
     } else {
         heap.alloc_by_name("VerticalContainer").unwrap()
     };
-    heap.set_child_by_name(container, "Items", Some(list)).unwrap();
+    heap.set_child_by_name(container, "Items", Some(list))
+        .unwrap();
     container
 }
 
@@ -474,7 +491,8 @@ pub fn build_mixed_document(heap: &mut Heap, pages: usize, seed: u64) -> NodeId 
         let fanout = rng.gen_range(2..5);
         let content = build_dense_element(heap, &mut rng, depth, fanout, false);
         let page = heap.alloc_by_name("Page").unwrap();
-        heap.set_child_by_name(page, "Content", Some(content)).unwrap();
+        heap.set_child_by_name(page, "Content", Some(content))
+            .unwrap();
         page_ids.push(page);
         let _ = i;
     }
@@ -512,7 +530,7 @@ mod tests {
 
     #[test]
     fn fused_equals_unfused_on_documents() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_document(heap, 10, 42)
         });
         assert!(exp.check_equivalence());
@@ -520,7 +538,7 @@ mod tests {
 
     #[test]
     fn fused_equals_unfused_on_dense_page() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_dense_page(heap, 4, 3, 7)
         });
         assert!(exp.check_equivalence());
@@ -528,7 +546,7 @@ mod tests {
 
     #[test]
     fn fused_equals_unfused_on_mixed_documents() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_mixed_document(heap, 12, 3)
         });
         assert!(exp.check_equivalence());
@@ -536,7 +554,7 @@ mod tests {
 
     #[test]
     fn fusion_reduces_visits_substantially() {
-        let exp = Experiment::new(program(), ROOT_CLASS, &PASSES, |heap| {
+        let exp = Experiment::new(compiled(), ROOT_CLASS, &PASSES, |heap| {
             build_document(heap, 50, 1)
         });
         let cmp = exp.compare();

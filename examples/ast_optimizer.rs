@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example ast_optimizer`
 
-use grafter_runtime::{Heap, Interp, NodeId, Value};
+use grafter_runtime::{Execute, Heap, NodeId, Value};
 use grafter_workloads::ast::{self, kind};
 
 fn dump(heap: &Heap, id: NodeId, indent: usize) {
@@ -16,7 +16,10 @@ fn dump(heap: &Heap, id: NodeId, indent: usize) {
         "VarRefExpr" => {
             let k = heap.get_by_name(id, "kind").unwrap().as_i64();
             if k == kind::EXPR_CONST {
-                format!(" -> folded to {}", heap.get_by_name(id, "Value").unwrap().as_i64())
+                format!(
+                    " -> folded to {}",
+                    heap.get_by_name(id, "Value").unwrap().as_i64()
+                )
             } else {
                 format!(" var v{}", heap.get_by_name(id, "VarId").unwrap().as_i64())
             }
@@ -24,12 +27,17 @@ fn dump(heap: &Heap, id: NodeId, indent: usize) {
         "BinaryExpr" => {
             let k = heap.get_by_name(id, "kind").unwrap().as_i64();
             if k == kind::EXPR_CONST {
-                format!(" -> folded to {}", heap.get_by_name(id, "Value").unwrap().as_i64())
+                format!(
+                    " -> folded to {}",
+                    heap.get_by_name(id, "Value").unwrap().as_i64()
+                )
             } else {
                 format!(" op={}", heap.get_by_name(id, "Op").unwrap().as_i64())
             }
         }
-        "IncrStmt" | "DecrStmt" => format!(" var v{}", heap.get_by_name(id, "VarId").unwrap().as_i64()),
+        "IncrStmt" | "DecrStmt" => {
+            format!(" var v{}", heap.get_by_name(id, "VarId").unwrap().as_i64())
+        }
         _ => String::new(),
     };
     println!("{:indent$}{class}{extra}", "", indent = indent);
@@ -41,11 +49,10 @@ fn dump(heap: &Heap, id: NodeId, indent: usize) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = ast::program();
-    let fp = grafter::fuse(&program, ast::ROOT_CLASS, &ast::PASSES, &grafter::FuseOptions::default())?;
+    let fused = ast::compiled().fuse_default(ast::ROOT_CLASS, &ast::PASSES)?;
 
     // Hand-build:  x = 4; ++x; if (x - 5) { y = 1; } else { y = 2; }
-    let mut heap = Heap::new(&program);
+    let mut heap = fused.new_heap();
     let node = |heap: &mut Heap, class: &str, fields: &[(&str, i64)]| {
         let n = heap.alloc_by_name(class).unwrap();
         for (f, v) in fields {
@@ -53,23 +60,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         n
     };
-    let c4 = node(&mut heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", 4)]);
-    let lhs = node(&mut heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 0)]);
+    let c4 = node(
+        &mut heap,
+        "ConstantExpr",
+        &[("kind", kind::EXPR_CONST), ("Value", 4)],
+    );
+    let lhs = node(
+        &mut heap,
+        "VarRefExpr",
+        &[("kind", kind::EXPR_VAR), ("VarId", 0)],
+    );
     let s1 = node(&mut heap, "AssignStmt", &[("kind", kind::STMT_ASSIGN)]);
     heap.set_child_by_name(s1, "Lhs", Some(lhs)).unwrap();
     heap.set_child_by_name(s1, "Rhs", Some(c4)).unwrap();
 
-    let s2 = node(&mut heap, "IncrStmt", &[("kind", kind::STMT_INCR), ("VarId", 0)]);
+    let s2 = node(
+        &mut heap,
+        "IncrStmt",
+        &[("kind", kind::STMT_INCR), ("VarId", 0)],
+    );
 
-    let cl = node(&mut heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 0)]);
-    let cr = node(&mut heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", 5)]);
-    let cond = node(&mut heap, "BinaryExpr", &[("kind", kind::EXPR_BIN), ("Op", kind::OP_SUB)]);
+    let cl = node(
+        &mut heap,
+        "VarRefExpr",
+        &[("kind", kind::EXPR_VAR), ("VarId", 0)],
+    );
+    let cr = node(
+        &mut heap,
+        "ConstantExpr",
+        &[("kind", kind::EXPR_CONST), ("Value", 5)],
+    );
+    let cond = node(
+        &mut heap,
+        "BinaryExpr",
+        &[("kind", kind::EXPR_BIN), ("Op", kind::OP_SUB)],
+    );
     heap.set_child_by_name(cond, "Lhs", Some(cl)).unwrap();
     heap.set_child_by_name(cond, "Rhs", Some(cr)).unwrap();
 
     let mk_branch = |heap: &mut Heap, val: i64| {
-        let c = node(heap, "ConstantExpr", &[("kind", kind::EXPR_CONST), ("Value", val)]);
-        let l = node(heap, "VarRefExpr", &[("kind", kind::EXPR_VAR), ("VarId", 1)]);
+        let c = node(
+            heap,
+            "ConstantExpr",
+            &[("kind", kind::EXPR_CONST), ("Value", val)],
+        );
+        let l = node(
+            heap,
+            "VarRefExpr",
+            &[("kind", kind::EXPR_VAR), ("VarId", 1)],
+        );
         let a = node(heap, "AssignStmt", &[("kind", kind::STMT_ASSIGN)]);
         heap.set_child_by_name(a, "Lhs", Some(l)).unwrap();
         heap.set_child_by_name(a, "Rhs", Some(c)).unwrap();
@@ -106,14 +145,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- before ---");
     dump(&heap, root, 0);
 
-    let mut interp = Interp::new(&fp);
-    interp.run(&mut heap, root, &[])?;
+    let metrics = fused.interpret(&mut heap, root)?;
 
     println!("\n--- after desugar + const-prop + fold + branch removal ---");
     dump(&heap, root, 0);
     println!(
         "\n(x=4; ++x makes x=5; the condition x-5 folds to 0, so the then-branch was deleted)"
     );
-    println!("node visits: {}", interp.metrics.visits);
+    println!("node visits: {}", metrics.visits);
     Ok(())
 }

@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --example piecewise_calculus`
 
-use grafter_runtime::{Heap, Interp, Value};
+use grafter_runtime::{Execute, Heap, Interp, Value};
 use grafter_workloads::kdtree::{self, Op};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = kdtree::program();
+    let compiled = kdtree::compiled();
 
     // Schedule: f' = 2x, then scale by 3 -> 6x, then integral over [0, 10]
     // = 3 x^2 | 0..10 = 300, and projection at x = 2 -> 12.
@@ -21,17 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let passes: Vec<&str> = schedule.iter().map(Op::pass).collect();
     let args: Vec<Vec<Value>> = schedule.iter().map(Op::args).collect();
 
-    let fused = grafter::fuse(&program, kdtree::ROOT_CLASS, &passes, &grafter::FuseOptions::default())?;
+    let fused = compiled.fuse_default(kdtree::ROOT_CLASS, &passes)?;
+    let m = fused.metrics();
     println!(
         "schedule {:?}\nfused into {} functions; single pass: {}\n",
-        passes,
-        fused.n_functions(),
-        fused.fully_fused()
+        passes, m.functions, m.fully_fused
     );
 
     // Build a depth-6 tree over [-10, 10] representing f(x) = x^2 exactly
     // (every leaf holds the same cubic coefficients).
-    let mut heap = Heap::new(&program);
+    let mut heap = fused.new_heap();
     let root = {
         fn build(heap: &mut Heap, lo: f64, hi: f64, depth: usize) -> grafter_runtime::NodeId {
             if depth == 0 {
@@ -56,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         build(&mut heap, -10.0, 10.0, 6)
     };
 
-    let mut interp = Interp::new(&fused);
+    let mut interp = Interp::new(fused.fused_program());
     interp.run(&mut heap, root, &args)?;
 
     let integral = interp.global("INTEGRAL").unwrap().as_f64();
@@ -64,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("d/dx x^2 = 2x, scaled by 3 -> 6x");
     println!("integral of 6x over [0,10]  = {integral}   (analytic: 300)");
     println!("value at x=2                = {projection}   (analytic: 12)");
-    println!("node visits: {} (one fused pass over {} nodes)", interp.metrics.visits, heap.live_count());
+    println!(
+        "node visits: {} (one fused pass over {} nodes)",
+        interp.metrics.visits,
+        heap.live_count()
+    );
 
     assert!((integral - 300.0).abs() < 1e-6);
     assert!((projection - 12.0).abs() < 1e-6);

@@ -3,9 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use grafter::{cpp, fuse, FuseOptions};
-use grafter_frontend::compile;
-use grafter_runtime::{Heap, Interp, Value};
+use grafter::Pipeline;
+use grafter_runtime::{Execute, Heap, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Grafter program: a heterogeneous list of text boxes (the
@@ -37,37 +36,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         tree class End : Element { }
     "#;
-    let program = compile(source).map_err(|e| e[0].clone())?;
+    let compiled = Pipeline::compile(source)?;
 
     // 2. Fuse the two traversals (and build the unfused baseline).
-    let fused = fuse(&program, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())?;
-    let unfused = fuse(&program, "Element", &["computeWidth", "computeHeight"], &FuseOptions::unfused())?;
-    println!("fully fused: {}\n", fused.fully_fused());
+    let passes = ["computeWidth", "computeHeight"];
+    let fused = compiled.fuse_default("Element", &passes)?;
+    let unfused = compiled.fuse_unfused("Element", &passes)?;
+    println!("fusion: {}\n", fused.metrics());
 
     // 3. Inspect the generated code (the paper's Fig. 6 output style).
-    println!("--- generated fused code ---\n{}", cpp::emit(&fused));
+    println!("--- generated fused code ---\n{}", fused.render_cpp());
 
     // 4. Build a list of 1000 text boxes and execute both versions.
     let build = |heap: &mut Heap| {
         let mut cur = heap.alloc_by_name("End").unwrap();
         for i in 0..1000 {
             let t = heap.alloc_by_name("TextBox").unwrap();
-            heap.set_by_name(t, "Text.Length", Value::Int(8 + i % 64)).unwrap();
+            heap.set_by_name(t, "Text.Length", Value::Int(8 + i % 64))
+                .unwrap();
             heap.set_child_by_name(t, "Next", Some(cur)).unwrap();
             cur = t;
         }
         cur
     };
 
-    for (name, fp) in [("fused", &fused), ("unfused", &unfused)] {
-        let mut heap = Heap::new(&program);
+    for (name, artifact) in [("fused", &fused), ("unfused", &unfused)] {
+        let mut heap = artifact.new_heap();
         let root = build(&mut heap);
-        let mut interp = Interp::new(fp);
-        interp.run(&mut heap, root, &[])?;
+        let metrics = artifact.interpret(&mut heap, root)?;
         println!(
             "{name:>8}: visits = {:>5}, instructions = {:>6}, MaxHeight = {:?}",
-            interp.metrics.visits,
-            interp.metrics.instructions,
+            metrics.visits,
+            metrics.instructions,
             heap.get_by_name(root, "MaxHeight").unwrap(),
         );
     }

@@ -4,37 +4,42 @@
 //! Run with: `cargo run --release --example render_layout`
 
 use grafter_cachesim::CacheHierarchy;
-use grafter_runtime::{Heap, Interp};
+use grafter_runtime::Execute;
 use grafter_workloads::render;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = render::program();
-    let fused = grafter::fuse(&program, render::ROOT_CLASS, &render::PASSES, &grafter::FuseOptions::default())?;
-    let unfused = grafter::fuse(&program, render::ROOT_CLASS, &render::PASSES, &grafter::FuseOptions::unfused())?;
+    let compiled = render::compiled();
+    let fused = compiled.fuse_default(render::ROOT_CLASS, &render::PASSES)?;
+    let unfused = compiled.fuse_unfused(render::ROOT_CLASS, &render::PASSES)?;
 
     println!("five layout passes: {:?}", render::PASSES);
+    let m = fused.metrics();
     println!(
         "fused pipeline: {} generated functions, {} dispatch stubs\n",
-        fused.n_functions(),
-        fused.stubs.len()
+        m.functions, m.stubs
     );
 
-    for (name, fp) in [("fused", &fused), ("unfused", &unfused)] {
-        let mut heap = Heap::new(&program);
+    for (name, artifact) in [("fused", &fused), ("unfused", &unfused)] {
+        let mut heap = artifact.new_heap();
         let doc = render::build_document(&mut heap, 100, 7);
-        let mut interp = Interp::new(fp).with_cache(CacheHierarchy::xeon());
-        interp.run(&mut heap, doc, &[])?;
-        let cache = interp.cache.as_ref().unwrap().stats();
+        let report = artifact
+            .executor()
+            .cache(CacheHierarchy::xeon())
+            .run(&mut heap, doc)?;
+        let cache = report.cache.as_ref().unwrap();
         println!(
             "{name:>8}: visits={:>7} instructions={:>9} L2 misses={:>6} cycles={}",
-            interp.metrics.visits,
-            interp.metrics.instructions,
+            report.metrics.visits,
+            report.metrics.instructions,
             cache.misses(1),
-            interp.metrics.cycles(&cache),
+            report.cycles(),
         );
         if name == "fused" {
             // Show the geometry of the first page.
-            let pages = heap.child_by_name(doc, "Pages").flatten().ok_or("no pages")?;
+            let pages = heap
+                .child_by_name(doc, "Pages")
+                .flatten()
+                .ok_or("no pages")?;
             let page = heap.child_by_name(pages, "P").flatten().ok_or("no page")?;
             println!(
                 "          page 1: width={:?} height={:?} at ({:?}, {:?})",

@@ -1,13 +1,20 @@
 //! Umbrella crate for the Grafter reproduction workspace.
 //!
 //! This package exists to host workspace-level integration tests (`tests/`)
-//! and runnable examples (`examples/`). The actual library surface lives in
-//! the member crates, re-exported here for convenience:
+//! and runnable examples (`examples/`). See the repository `README.md` for
+//! the crate-by-crate architecture map, a quickstart of the staged
+//! [`Pipeline`](grafter::pipeline::Pipeline) API and how to run the paper's
+//! benchmarks.
 //!
-//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen)
+//! The actual library surface lives in the member crates, re-exported here
+//! for convenience:
+//!
+//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen) and the
+//!   staged `pipeline` API with unified diagnostics
 //! - [`grafter_frontend`] — the traversal language frontend
 //! - [`grafter_automata`] — access automata
-//! - [`grafter_runtime`] — tree runtime and IR interpreter
+//! - [`grafter_runtime`] — tree runtime, IR interpreter and the pipeline's
+//!   `Execute` stage
 //! - [`grafter_cachesim`] — cache hierarchy simulator
 //! - [`grafter_treefuser`] — TreeFuser-style baseline
 //! - [`grafter_workloads`] — the paper's four case studies

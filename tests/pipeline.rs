@@ -1,10 +1,12 @@
-//! Workspace-level integration tests: the full pipeline from DSL source
-//! through fusion to instrumented execution, spanning every crate.
+//! Workspace-level integration tests: the full staged pipeline from DSL
+//! source through fusion to instrumented execution, spanning every crate.
+//! All flows go through `grafter::pipeline::Pipeline` — the single
+//! compile→fuse→execute entry point — plus the runtime's `Execute` stage.
 
-use grafter::{cpp, fuse, FuseOptions};
+use grafter::pipeline::Pipeline;
+use grafter::{FuseOptions, Stage};
 use grafter_cachesim::CacheHierarchy;
-use grafter_frontend::compile;
-use grafter_runtime::{Heap, Interp, Value};
+use grafter_runtime::{Execute, Heap, Value};
 
 #[test]
 fn frontend_core_runtime_roundtrip() {
@@ -34,11 +36,13 @@ fn frontend_core_runtime_roundtrip() {
             traversal tally() { count = 1; }
         }
     "#;
-    let program = compile(src).unwrap();
-    let fp = fuse(&program, "T", &["mark", "tally"], &FuseOptions::default()).unwrap();
-    assert!(fp.fully_fused());
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("T", &["mark", "tally"])
+        .unwrap();
+    assert!(fused.metrics().fully_fused);
 
-    let mut heap = Heap::new(&program);
+    let mut heap = fused.new_heap();
     // Perfect binary tree of depth 4.
     fn build(heap: &mut Heap, d: usize) -> grafter_runtime::NodeId {
         if d == 0 {
@@ -52,12 +56,72 @@ fn frontend_core_runtime_roundtrip() {
         n
     }
     let root = build(&mut heap, 4);
-    let mut interp = Interp::new(&fp);
-    interp.run(&mut heap, root, &[vec![Value::Int(0)], vec![]]).unwrap();
+    let metrics = fused
+        .interpret_with_args(&mut heap, root, vec![vec![Value::Int(0)], vec![]])
+        .unwrap();
     assert_eq!(heap.get_by_name(root, "count").unwrap(), Value::Int(31));
     assert_eq!(heap.get_by_name(root, "depth").unwrap(), Value::Int(0));
     // One fused pass over 31 nodes.
-    assert_eq!(interp.metrics.visits, 31);
+    assert_eq!(metrics.visits, 31);
+}
+
+#[test]
+fn diagnostics_accumulate_across_stages() {
+    // Errors from different pipeline stages arrive in one DiagnosticBag,
+    // each tagged with the stage that produced it.
+    let bag = Pipeline::compile("tree class X { child }").unwrap_err();
+    assert!(bag.has_errors());
+    assert!(bag.iter().all(|d| d.stage == Stage::Parse), "{bag}");
+
+    let bag = Pipeline::compile("tree class X { child Missing* c; }").unwrap_err();
+    assert!(bag.iter().all(|d| d.stage == Stage::Sema), "{bag}");
+
+    let src = r#"
+        tree class N {
+            child N* next;
+            int a = 0;
+            virtual traversal t() {}
+        }
+        tree class C : N {
+            traversal t() { a = this->next.a + 1; this->next->t(); }
+        }
+        tree class E : N { }
+    "#;
+    let compiled = Pipeline::compile(src).unwrap();
+    let bag = compiled.fuse_default("N", &["missing"]).unwrap_err();
+    assert_eq!(bag[0].stage, Stage::Fuse);
+
+    // Runtime failures surface through the same type: `C` reads through
+    // `next`, which we leave null.
+    let fused = compiled.fuse_default("N", &["t"]).unwrap();
+    let mut heap = fused.new_heap();
+    let root = heap.alloc_by_name("C").unwrap();
+    let bag = fused.interpret(&mut heap, root).unwrap_err();
+    assert_eq!(bag[0].stage, Stage::Runtime);
+    assert!(bag[0].message.contains("null"), "{bag}");
+}
+
+#[test]
+fn warnings_flow_through_the_pipeline() {
+    let src = r#"
+        pure float unused_helper(float x);
+        tree class N {
+            child N* next;
+            int a = 0;
+            virtual traversal t() {}
+        }
+        tree class C : N { traversal t() { a = a + 1; this->next->t(); } }
+        tree class E : N { }
+    "#;
+    let compiled = Pipeline::compile(src).unwrap();
+    assert_eq!(compiled.warnings().len(), 1);
+    assert!(compiled.warnings()[0].message.contains("unused_helper"));
+    let fused = compiled.fuse_default("N", &["t"]).unwrap();
+    assert_eq!(
+        fused.warnings().len(),
+        1,
+        "warnings survive to the artifact"
+    );
 }
 
 #[test]
@@ -88,10 +152,11 @@ fn emitted_code_matches_figure6_structure() {
         }
         tree class End : Element { }
     "#;
-    let program = compile(src).unwrap();
-    let fp = fuse(&program, "Element", &["computeWidth", "computeHeight"], &FuseOptions::default())
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("Element", &["computeWidth", "computeHeight"])
         .unwrap();
-    let code = cpp::emit(&fp);
+    let code = fused.render_cpp();
     // The structural landmarks of the paper's Fig. 6.
     for landmark in [
         "active_flags",
@@ -119,22 +184,27 @@ fn cache_simulator_integrates_with_interpreter() {
         }
         tree class E : L { }
     "#;
-    let program = compile(src).unwrap();
-    let fp = fuse(&program, "L", &["touch"], &FuseOptions::default()).unwrap();
-    let mut heap = Heap::new(&program);
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("L", &["touch"])
+        .unwrap();
+    let mut heap = fused.new_heap();
     let mut cur = heap.alloc_by_name("E").unwrap();
     for _ in 0..100 {
         let c = heap.alloc_by_name("C").unwrap();
         heap.set_child_by_name(c, "next", Some(cur)).unwrap();
         cur = c;
     }
-    let mut interp = Interp::new(&fp).with_cache(CacheHierarchy::xeon());
-    interp.run(&mut heap, cur, &[]).unwrap();
-    let stats = interp.cache.as_ref().unwrap().stats();
+    let report = fused
+        .executor()
+        .cache(CacheHierarchy::xeon())
+        .run(&mut heap, cur)
+        .unwrap();
+    let stats = report.cache.as_ref().unwrap();
     assert!(stats.accesses > 0);
     assert_eq!(
         stats.accesses,
-        interp.metrics.loads + interp.metrics.stores,
+        report.metrics.loads + report.metrics.stores,
         "every memory op reaches the cache"
     );
 }
@@ -145,31 +215,37 @@ fn treefuser_baseline_is_slower_than_grafter_baseline() {
     // faster than TreeFuser's homogenised one. Verify with the cycle model.
     use grafter_workloads::render;
     let run = |hetero: bool| {
-        let (program, root) = if hetero {
-            let p = render::program();
-            let mut heap = Heap::new(&p);
-            let root = render::build_document(&mut heap, 20, 5);
-            (p, (heap, root))
+        let (compiled, root_class, passes) = if hetero {
+            (
+                render::compiled(),
+                render::ROOT_CLASS,
+                render::PASSES.to_vec(),
+            )
         } else {
-            let hp = grafter_treefuser::program();
-            let het = render::program();
-            let mut src = Heap::new(&het);
+            (
+                grafter_treefuser::compiled(),
+                grafter_treefuser::ROOT_CLASS,
+                grafter_treefuser::PASSES.to_vec(),
+            )
+        };
+        let unfused = compiled
+            .fuse(root_class, &passes, &FuseOptions::unfused())
+            .unwrap();
+        let mut heap = unfused.new_heap();
+        let root = if hetero {
+            render::build_document(&mut heap, 20, 5)
+        } else {
+            let het = render::compiled();
+            let mut src = Heap::new(het.program());
             let hroot = render::build_document(&mut src, 20, 5);
-            let mut heap = Heap::new(&hp);
-            let root = grafter_treefuser::convert_document(&src, hroot, &mut heap);
-            (hp, (heap, root))
+            grafter_treefuser::convert_document(&src, hroot, &mut heap)
         };
-        let (mut heap, root) = root;
-        let (root_class, passes) = if hetero {
-            (render::ROOT_CLASS, render::PASSES)
-        } else {
-            (grafter_treefuser::ROOT_CLASS, grafter_treefuser::PASSES)
-        };
-        let fp = fuse(&program, root_class, &passes, &FuseOptions::unfused()).unwrap();
-        let mut interp = Interp::new(&fp).with_cache(CacheHierarchy::xeon());
-        interp.run(&mut heap, root, &[]).unwrap();
-        let cache = interp.cache.as_ref().unwrap().stats();
-        interp.metrics.cycles(&cache)
+        let report = unfused
+            .executor()
+            .cache(CacheHierarchy::xeon())
+            .run(&mut heap, root)
+            .unwrap();
+        report.cycles()
     };
     let grafter_cycles = run(true);
     let treefuser_cycles = run(false);
@@ -182,20 +258,28 @@ fn treefuser_baseline_is_slower_than_grafter_baseline() {
 #[test]
 fn all_four_case_studies_compile_and_fuse() {
     use grafter_workloads::{ast, fmm, kdtree, render};
-    let checks: Vec<(grafter_frontend::Program, &str, Vec<&str>)> = vec![
-        (render::program(), render::ROOT_CLASS, render::PASSES.to_vec()),
-        (ast::program(), ast::ROOT_CLASS, ast::PASSES.to_vec()),
-        (fmm::program(), fmm::ROOT_CLASS, fmm::PASSES.to_vec()),
+    let checks: Vec<(grafter::Compiled, &str, Vec<&str>)> = vec![
         (
-            kdtree::program(),
+            render::compiled(),
+            render::ROOT_CLASS,
+            render::PASSES.to_vec(),
+        ),
+        (ast::compiled(), ast::ROOT_CLASS, ast::PASSES.to_vec()),
+        (fmm::compiled(), fmm::ROOT_CLASS, fmm::PASSES.to_vec()),
+        (
+            kdtree::compiled(),
             kdtree::ROOT_CLASS,
-            kdtree::equation_schedules()[0].1.iter().map(|op| op.pass()).collect(),
+            kdtree::equation_schedules()[0]
+                .1
+                .iter()
+                .map(|op| op.pass())
+                .collect(),
         ),
     ];
-    for (program, root, passes) in checks {
-        let fp = fuse(&program, root, &passes, &FuseOptions::default()).unwrap();
-        assert!(fp.n_functions() > 0);
+    for (compiled, root, passes) in checks {
+        let fused = compiled.fuse_default(root, &passes).unwrap();
+        assert!(fused.metrics().functions > 0);
         // Generated code renders without panicking and mentions a stub.
-        assert!(cpp::emit(&fp).contains("__stub"));
+        assert!(fused.render_cpp().contains("__stub"));
     }
 }

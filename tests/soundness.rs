@@ -1,4 +1,4 @@
-//! Property-based soundness testing: for randomly generated traversal
+//! Randomised soundness testing: for randomly generated traversal
 //! programs and random input trees, the fused execution must leave the
 //! tree in exactly the state the unfused execution does (the paper's
 //! central soundness claim, §3.3).
@@ -9,11 +9,16 @@
 //! (possibly mutually recursive into the other generated traversals, and
 //! placed pre-, mid- or post-order). This exercises statement reordering,
 //! call grouping, type-specific partial fusion and truncation together.
+//!
+//! Originally written against proptest; the build environment is offline,
+//! so cases are drawn from the vendored deterministic `rand` shim with
+//! fixed seeds, and every run is identical. The whole flow goes through
+//! the staged `grafter::pipeline` API.
 
-use grafter::{fuse, FuseOptions};
-use grafter_frontend::compile;
-use grafter_runtime::{Heap, Interp, Value};
-use proptest::prelude::*;
+use grafter::pipeline::{Fused, Pipeline};
+use grafter_runtime::{Execute, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One generated simple statement.
 #[derive(Clone, Debug)]
@@ -33,16 +38,37 @@ enum Tmpl {
 const FIELDS: [&str; 3] = ["a", "b", "c"];
 
 impl Tmpl {
+    fn random(rng: &mut StdRng) -> Tmpl {
+        match rng.gen_range(0..5usize) {
+            0 => Tmpl::SelfRmw(
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+                rng.gen_range(-3..4),
+            ),
+            1 => Tmpl::PullUp(
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+                rng.gen_range(-3..4),
+            ),
+            2 => Tmpl::PushDown(rng.gen_range(0..3), rng.gen_range(0..3)),
+            3 => Tmpl::CondReturn,
+            _ => Tmpl::CondUpdate(
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+                rng.gen_range(-2..6),
+            ),
+        }
+    }
+
     fn render(&self) -> String {
         match *self {
             Tmpl::SelfRmw(f1, f2, k) => {
                 format!("{} = {} + {k};", FIELDS[f1 % 3], FIELDS[f2 % 3])
             }
-            Tmpl::PullUp(f1, f2, k) => format!(
-                "{} = this->next.{} + {k};",
-                FIELDS[f1 % 3],
-                FIELDS[f2 % 3]
-            ),
+            Tmpl::PullUp(f1, f2, k) => {
+                format!("{} = this->next.{} + {k};", FIELDS[f1 % 3], FIELDS[f2 % 3])
+            }
             Tmpl::PushDown(f1, f2) => {
                 format!("this->next.{} = {};", FIELDS[f1 % 3], FIELDS[f2 % 3])
             }
@@ -57,17 +83,6 @@ impl Tmpl {
     }
 }
 
-fn tmpl_strategy() -> impl Strategy<Value = Tmpl> {
-    prop_oneof![
-        (0..3usize, 0..3usize, -3..4i64).prop_map(|(a, b, k)| Tmpl::SelfRmw(a, b, k)),
-        (0..3usize, 0..3usize, -3..4i64).prop_map(|(a, b, k)| Tmpl::PullUp(a, b, k)),
-        (0..3usize, 0..3usize).prop_map(|(a, b)| Tmpl::PushDown(a, b)),
-        Just(Tmpl::CondReturn),
-        (0..3usize, 0..3usize, 0..3usize, -2..6i64)
-            .prop_map(|(a, b, c, k)| Tmpl::CondUpdate(a, b, c, k)),
-    ]
-}
-
 /// A generated traversal: statements plus recursion positions.
 #[derive(Clone, Debug)]
 struct GenTraversal {
@@ -78,17 +93,19 @@ struct GenTraversal {
     also_call: Option<usize>,
 }
 
-fn traversal_strategy() -> impl Strategy<Value = GenTraversal> {
-    (
-        proptest::collection::vec(tmpl_strategy(), 1..5),
-        0..5usize,
-        proptest::option::of(0..3usize),
-    )
-        .prop_map(|(stmts, recurse_at, also_call)| GenTraversal {
-            stmts,
-            recurse_at,
-            also_call,
-        })
+impl GenTraversal {
+    fn random(rng: &mut StdRng) -> GenTraversal {
+        let n = rng.gen_range(1..5usize);
+        GenTraversal {
+            stmts: (0..n).map(|_| Tmpl::random(rng)).collect(),
+            recurse_at: rng.gen_range(0..5usize),
+            also_call: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0..3usize))
+            } else {
+                None
+            },
+        }
+    }
 }
 
 /// Renders the whole program for `n` generated traversals.
@@ -126,31 +143,42 @@ fn render_program(traversals: &[GenTraversal]) -> String {
     src
 }
 
-fn list_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64, bool)>> {
-    proptest::collection::vec(
-        (-5..6i64, -5..6i64, -5..6i64, proptest::bool::weighted(0.15)),
-        1..10,
-    )
+fn random_list(rng: &mut StdRng) -> Vec<(i64, i64, i64, bool)> {
+    let n = rng.gen_range(1..10usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(-5..6),
+                rng.gen_range(-5..6),
+                rng.gen_range(-5..6),
+                rng.gen_bool(0.15),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_traversals(rng: &mut StdRng, max: usize) -> Vec<GenTraversal> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| GenTraversal::random(rng)).collect()
+}
 
-    #[test]
-    fn fused_equals_unfused_on_random_programs(
-        traversals in proptest::collection::vec(traversal_strategy(), 1..4),
-        list in list_strategy(),
-    ) {
+#[test]
+fn fused_equals_unfused_on_random_programs() {
+    let mut rng = StdRng::seed_from_u64(0x5041_4C44);
+    for case in 0..48 {
+        let traversals = random_traversals(&mut rng, 4);
+        let list = random_list(&mut rng);
+
         let src = render_program(&traversals);
-        let program = compile(&src).expect("generated programs are valid");
+        let compiled = Pipeline::compile(src.as_str()).expect("generated programs are valid");
         let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
 
-        let fused = fuse(&program, "Node", &name_refs, &FuseOptions::default()).unwrap();
-        let unfused = fuse(&program, "Node", &name_refs, &FuseOptions::unfused()).unwrap();
+        let fused = compiled.fuse_default("Node", &name_refs).unwrap();
+        let unfused = compiled.fuse_unfused("Node", &name_refs).unwrap();
 
-        let snapshot = |fp: &grafter::FusedProgram| {
-            let mut heap = Heap::new(&program);
+        let snapshot = |artifact: &Fused| {
+            let mut heap = artifact.new_heap();
             let mut cur = heap.alloc_by_name("End").unwrap();
             for &(a, b, c, stop) in list.iter().rev() {
                 let n = heap.alloc_by_name("Cons").unwrap();
@@ -161,28 +189,33 @@ proptest! {
                 heap.set_child_by_name(n, "next", Some(cur)).unwrap();
                 cur = n;
             }
-            let mut interp = Interp::new(fp);
-            interp.run(&mut heap, cur, &[]).unwrap();
-            (heap.snapshot(cur), interp.metrics.visits)
+            let metrics = artifact.interpret(&mut heap, cur).unwrap();
+            (heap.snapshot(cur), metrics.visits)
         };
 
         let (snap_f, visits_f) = snapshot(&fused);
         let (snap_u, visits_u) = snapshot(&unfused);
-        prop_assert_eq!(snap_f, snap_u, "program:\n{}", src);
-        prop_assert!(visits_f <= visits_u, "fusion never increases visits");
+        assert_eq!(snap_f, snap_u, "case {case} diverged; program:\n{src}");
+        assert!(
+            visits_f <= visits_u,
+            "fusion never increases visits (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn fusion_terminates_on_recursive_schedules(
-        traversals in proptest::collection::vec(traversal_strategy(), 1..3),
-    ) {
-        // Even adversarial multi-call programs must terminate fusion with
-        // a bounded function count (the §4 cutoffs).
+#[test]
+fn fusion_terminates_on_recursive_schedules() {
+    // Even adversarial multi-call programs must terminate fusion with
+    // a bounded function count (the §4 cutoffs).
+    let mut rng = StdRng::seed_from_u64(0x4652_4545);
+    for case in 0..48 {
+        let traversals = random_traversals(&mut rng, 3);
         let src = render_program(&traversals);
-        let program = compile(&src).expect("generated programs are valid");
+        let compiled = Pipeline::compile(src.as_str()).expect("generated programs are valid");
         let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let fp = fuse(&program, "Node", &name_refs, &FuseOptions::default()).unwrap();
-        prop_assert!(fp.n_functions() < 2_000, "got {}", fp.n_functions());
+        let fused = compiled.fuse_default("Node", &name_refs).unwrap();
+        let n = fused.metrics().functions;
+        assert!(n < 2_000, "case {case}: got {n}");
     }
 }

@@ -1,0 +1,104 @@
+//! Pipeline API coverage over the paper's four case studies: for each
+//! workload, the fused execution must produce exactly the tree (and
+//! fewer node visits) of the unfused execution, end to end through
+//! `grafter::pipeline::Pipeline` and the runtime's `Execute` stage.
+
+use grafter::pipeline::{Compiled, Fused};
+use grafter_runtime::{with_stack, Execute, Heap, NodeId, SnapValue, Value};
+use grafter_workloads::{ast, fmm, kdtree, render};
+
+/// Runs one artifact on a freshly built tree; returns the final tree
+/// snapshot and the visit count.
+fn run(
+    artifact: &Fused,
+    args: &[Vec<Value>],
+    build: &dyn Fn(&mut Heap) -> NodeId,
+) -> (Vec<(String, Vec<SnapValue>)>, u64) {
+    let mut heap = artifact.new_heap();
+    let root = build(&mut heap);
+    let metrics = artifact
+        .interpret_with_args(&mut heap, root, args.to_vec())
+        .unwrap();
+    (heap.snapshot(root), metrics.visits)
+}
+
+/// Fuses `passes` both ways and checks the soundness + profitability pair.
+fn check_workload(
+    name: &str,
+    compiled: &Compiled,
+    root_class: &str,
+    passes: &[&str],
+    args: &[Vec<Value>],
+    build: &dyn Fn(&mut Heap) -> NodeId,
+) {
+    let fused = compiled.fuse_default(root_class, passes).unwrap();
+    let unfused = compiled.fuse_unfused(root_class, passes).unwrap();
+    let (snap_f, visits_f) = run(&fused, args, build);
+    let (snap_u, visits_u) = run(&unfused, args, build);
+    assert_eq!(snap_f, snap_u, "{name}: fused and unfused trees diverge");
+    assert!(
+        visits_f < visits_u,
+        "{name}: fusion should reduce node visits ({visits_f} vs {visits_u})"
+    );
+}
+
+#[test]
+fn ast_fused_matches_unfused_with_fewer_visits() {
+    with_stack(64 << 20, || {
+        check_workload(
+            "ast",
+            &ast::compiled(),
+            ast::ROOT_CLASS,
+            &ast::PASSES,
+            &[],
+            &|heap| ast::build_program(heap, 20, 42),
+        );
+    });
+}
+
+#[test]
+fn kdtree_fused_matches_unfused_with_fewer_visits() {
+    with_stack(64 << 20, || {
+        let compiled = kdtree::compiled();
+        for (eq_name, schedule) in kdtree::equation_schedules() {
+            let passes: Vec<&str> = schedule.iter().map(|op| op.pass()).collect();
+            let args: Vec<Vec<Value>> = schedule.iter().map(|op| op.args()).collect();
+            check_workload(
+                &format!("kdtree/{eq_name}"),
+                &compiled,
+                kdtree::ROOT_CLASS,
+                &passes,
+                &args,
+                &|heap| kdtree::build_balanced(heap, 8, 42),
+            );
+        }
+    });
+}
+
+#[test]
+fn render_fused_matches_unfused_with_fewer_visits() {
+    with_stack(64 << 20, || {
+        check_workload(
+            "render",
+            &render::compiled(),
+            render::ROOT_CLASS,
+            &render::PASSES,
+            &[],
+            &|heap| render::build_document(heap, 30, 42),
+        );
+    });
+}
+
+#[test]
+fn fmm_fused_matches_unfused_with_fewer_visits() {
+    with_stack(64 << 20, || {
+        check_workload(
+            "fmm",
+            &fmm::compiled(),
+            fmm::ROOT_CLASS,
+            &fmm::PASSES,
+            &[],
+            &|heap| fmm::build_tree(heap, 1_000, 42),
+        );
+    });
+}
