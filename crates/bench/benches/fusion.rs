@@ -1,49 +1,61 @@
-//! Criterion wall-clock benchmarks: fused vs unfused interpreter runs for
-//! all four case studies. These complement the deterministic cycle-model
-//! numbers printed by the figure/table binaries with real elapsed time.
+//! Criterion wall-clock benchmarks: fused vs unfused runs of all four
+//! case studies, on both execution backends (interpreter and `grafter-vm`
+//! bytecode VM). These complement the deterministic cycle-model numbers
+//! printed by the figure/table binaries with real elapsed time; the
+//! `vm/...` vs `interp/...` ids inside each group measure the compiled
+//! tier's dispatch-overhead win on identical inputs (the two backends
+//! produce identical metrics by construction).
 //!
-//! Everything goes through the staged `grafter::pipeline` API: each case
-//! study compiles once, fuses twice (default and unfused baseline), and the
-//! timed region executes the artifacts through the runtime's `Execute`
-//! stage.
+//! The workload matrix comes from `grafter_workloads::case_studies()` —
+//! one descriptor shared with `vm_compare` and the differential tests.
+//! Each case study compiles once, fuses twice (default and unfused
+//! baseline), the VM artifacts lower once, and the timed region executes
+//! alone.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grafter::pipeline::{Compiled, Fused};
+use grafter::pipeline::Fused;
 use grafter_runtime::{Execute, Heap, NodeId, Value};
-use grafter_workloads::{ast, fmm, kdtree, render};
+use grafter_vm::{lower, Module, Vm};
+use grafter_workloads::{case_studies, render, CaseStudy};
 
 struct Prepared {
     fused: Fused,
     unfused: Fused,
+    vm_fused: Module,
+    vm_unfused: Module,
     heap: Heap,
     root: NodeId,
     args: Vec<Vec<Value>>,
 }
 
-fn prepare(
-    compiled: &Compiled,
-    root_class: &str,
-    passes: &[&str],
-    args: Vec<Vec<Value>>,
-    build: impl Fn(&mut Heap) -> NodeId,
-) -> Prepared {
-    let fused = compiled.fuse_default(root_class, passes).unwrap();
-    let unfused = compiled.fuse_unfused(root_class, passes).unwrap();
+fn prepare(case: &CaseStudy) -> Prepared {
+    let fused = case
+        .compiled
+        .fuse_default(case.root_class, &case.passes)
+        .unwrap();
+    let unfused = case
+        .compiled
+        .fuse_unfused(case.root_class, &case.passes)
+        .unwrap();
+    let vm_fused = lower(fused.fused_program());
+    let vm_unfused = lower(unfused.fused_program());
     let mut heap = fused.new_heap();
-    let root = build(&mut heap);
+    let root = case.build_bench(&mut heap);
     Prepared {
         fused,
         unfused,
+        vm_fused,
+        vm_unfused,
         heap,
         root,
-        args,
+        args: case.args.clone(),
     }
 }
 
 fn bench_pair(c: &mut Criterion, group: &str, p: &Prepared) {
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
-    for (name, artifact) in [("fused", &p.fused), ("unfused", &p.unfused)] {
+    for (name, artifact) in [("interp/fused", &p.fused), ("interp/unfused", &p.unfused)] {
         g.bench_with_input(
             BenchmarkId::from_parameter(name),
             artifact,
@@ -63,55 +75,28 @@ fn bench_pair(c: &mut Criterion, group: &str, p: &Prepared) {
             },
         );
     }
+    for (name, module) in [("vm/fused", &p.vm_fused), ("vm/unfused", &p.vm_unfused)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), module, |b, module| {
+            b.iter_batched(
+                || (p.heap.clone(), p.args.clone()),
+                |(mut heap, args)| {
+                    let mut vm = Vm::new(module);
+                    vm.run(&mut heap, p.root, &args).unwrap();
+                    vm.metrics.visits
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
     g.finish();
 }
 
-fn bench_render(c: &mut Criterion) {
-    let p = prepare(
-        &render::compiled(),
-        render::ROOT_CLASS,
-        &render::PASSES,
-        vec![],
-        |heap| render::build_document(heap, 300, 42),
-    );
-    bench_pair(c, "render_300_pages", &p);
-}
-
-fn bench_ast(c: &mut Criterion) {
-    let p = prepare(
-        &ast::compiled(),
-        ast::ROOT_CLASS,
-        &ast::PASSES,
-        vec![],
-        |heap| ast::build_program(heap, 100, 42),
-    );
-    bench_pair(c, "ast_100_functions", &p);
-}
-
-fn bench_kdtree(c: &mut Criterion) {
-    let schedules = kdtree::equation_schedules();
-    let (_, schedule) = &schedules[0];
-    let args = schedule.iter().map(|op| op.args()).collect();
-    let passes: Vec<&str> = schedule.iter().map(|op| op.pass()).collect();
-    let p = prepare(
-        &kdtree::compiled(),
-        kdtree::ROOT_CLASS,
-        &passes,
-        args,
-        |heap| kdtree::build_balanced(heap, 12, 42),
-    );
-    bench_pair(c, "kdtree_eq1_depth12", &p);
-}
-
-fn bench_fmm(c: &mut Criterion) {
-    let p = prepare(
-        &fmm::compiled(),
-        fmm::ROOT_CLASS,
-        &fmm::PASSES,
-        vec![],
-        |heap| fmm::build_tree(heap, 20_000, 42),
-    );
-    bench_pair(c, "fmm_20k_points", &p);
+fn bench_workloads(c: &mut Criterion) {
+    for case in case_studies() {
+        let p = prepare(&case);
+        let group = format!("{}_{}", case.name, case.bench_size);
+        bench_pair(c, &group, &p);
+    }
 }
 
 fn bench_compile(c: &mut Criterion) {
@@ -130,12 +115,5 @@ fn bench_compile(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_render,
-    bench_ast,
-    bench_kdtree,
-    bench_fmm,
-    bench_compile
-);
+criterion_group!(benches, bench_workloads, bench_compile);
 criterion_main!(benches);

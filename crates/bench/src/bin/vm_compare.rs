@@ -1,0 +1,177 @@
+//! Interp-vs-VM wall-clock comparison over the four case-study workloads,
+//! fused and unfused, recorded to `BENCH_vm.json`.
+//!
+//! For each workload the input tree is built once; every configuration
+//! (backend × fusion) runs `--samples` times (default 5, plus one warmup)
+//! on cloned heaps and reports the median wall time. Both backends'
+//! `visits` are cross-checked — a mismatch is a hard error, so the JSON
+//! can only ever record a like-for-like comparison.
+//!
+//! ```text
+//! cargo run --release --bin vm_compare [--samples N] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use grafter::pipeline::Fused;
+use grafter_bench::arg_value;
+use grafter_runtime::{with_stack, Execute, Heap, NodeId, Value};
+use grafter_vm::{lower, Vm};
+use grafter_workloads::harness::RUN_STACK;
+use grafter_workloads::{case_studies, CaseStudy};
+
+struct Config {
+    interp_ns: u128,
+    vm_ns: u128,
+    visits: u64,
+}
+
+impl Config {
+    fn speedup(&self) -> f64 {
+        if self.vm_ns == 0 {
+            1.0
+        } else {
+            self.interp_ns as f64 / self.vm_ns as f64
+        }
+    }
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    fused: Config,
+    unfused: Config,
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Median wall time of `samples` runs of `run` on cloned heaps; also
+/// returns the visit count (identical across runs).
+fn time_runs(samples: usize, heap: &Heap, run: &dyn Fn(&mut Heap) -> u64) -> (u128, u64) {
+    let mut visits = 0;
+    let mut times = Vec::with_capacity(samples);
+    for i in 0..=samples {
+        let mut h = heap.clone();
+        let start = Instant::now();
+        visits = run(&mut h);
+        let elapsed = start.elapsed().as_nanos();
+        if i > 0 {
+            // Sample 0 is warmup.
+            times.push(elapsed);
+        }
+    }
+    (median(times), visits)
+}
+
+fn compare(
+    samples: usize,
+    artifact: &Fused,
+    heap: &Heap,
+    root: NodeId,
+    args: &[Vec<Value>],
+) -> Config {
+    let module = lower(artifact.fused_program());
+    let (interp_ns, v_interp) = time_runs(samples, heap, &|h| {
+        artifact
+            .interpret_with_args(h, root, args.to_vec())
+            .expect("interp run succeeds")
+            .visits
+    });
+    let (vm_ns, v_vm) = time_runs(samples, heap, &|h| {
+        let mut vm = Vm::new(&module);
+        vm.run(h, root, args).expect("vm run succeeds");
+        vm.metrics.visits
+    });
+    assert_eq!(v_interp, v_vm, "backends disagree on visit counts");
+    Config {
+        interp_ns,
+        vm_ns,
+        visits: v_vm,
+    }
+}
+
+fn workload(samples: usize, case: &CaseStudy) -> WorkloadRow {
+    let fused = case
+        .compiled
+        .fuse_default(case.root_class, &case.passes)
+        .unwrap();
+    let unfused = case
+        .compiled
+        .fuse_unfused(case.root_class, &case.passes)
+        .unwrap();
+    let mut heap = fused.new_heap();
+    let root = case.build_bench(&mut heap);
+    WorkloadRow {
+        name: case.name,
+        fused: compare(samples, &fused, &heap, root, &case.args),
+        unfused: compare(samples, &unfused, &heap, root, &case.args),
+    }
+}
+
+fn json_config(c: &Config) -> String {
+    format!(
+        r#"{{"interp_ns": {}, "vm_ns": {}, "speedup": {:.3}, "visits": {}}}"#,
+        c.interp_ns,
+        c.vm_ns,
+        c.speedup(),
+        c.visits
+    )
+}
+
+fn main() {
+    let samples: usize = arg_value("--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_vm.json".to_string());
+
+    let rows = with_stack(RUN_STACK, move || {
+        case_studies()
+            .iter()
+            .map(|case| workload(samples, case))
+            .collect::<Vec<_>>()
+    });
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}   {:>14} {:>14} {:>9}",
+        "workload",
+        "interp fused",
+        "vm fused",
+        "speedup",
+        "interp unfused",
+        "vm unfused",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12}ns {:>12}ns {:>8.2}x   {:>12}ns {:>12}ns {:>8.2}x",
+            r.name,
+            r.fused.interp_ns,
+            r.fused.vm_ns,
+            r.fused.speedup(),
+            r.unfused.interp_ns,
+            r.unfused.vm_ns,
+            r.unfused.speedup(),
+        );
+    }
+
+    let mut json = String::from("{\n  \"generated_by\": \"vm_compare\",\n");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"fused\": {}, \"unfused\": {}}}{}",
+            r.name,
+            json_config(&r.fused),
+            json_config(&r.unfused),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_vm.json");
+    println!("\nwrote {out}");
+}

@@ -109,13 +109,18 @@ fn report(name: &str, median: Duration) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets how many samples each benchmark in the group collects.
+    /// Sets how many samples each benchmark in the group collects
+    /// (ignored under `--test`, which pins every benchmark to one
+    /// sample, mirroring real criterion's smoke mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -153,27 +158,35 @@ impl BenchmarkGroup<'_> {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+        }
     }
 }
 
 impl Criterion {
     /// Sets the default number of samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     /// Opens a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            test_mode,
             _criterion: self,
         }
     }
@@ -187,8 +200,14 @@ impl Criterion {
         self
     }
 
-    /// Hook kept for API parity with criterion's config chaining.
-    pub fn configure_from_args(self) -> Self {
+    /// Applies CLI configuration. Like real criterion, `--test` switches
+    /// to smoke mode: every benchmark runs once, just to prove it works
+    /// (`cargo bench -- --test`, the CI bench-smoke gate).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+            self.sample_size = 1;
+        }
         self
     }
 

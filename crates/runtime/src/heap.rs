@@ -51,7 +51,7 @@ fn ty_slots(program: &Program, ty: Ty) -> usize {
 }
 
 /// Default value of a primitive/child slot, honouring a declared literal.
-pub(crate) fn default_literal(ty: Ty, lit: Option<Literal>) -> Value {
+pub fn default_literal(ty: Ty, lit: Option<Literal>) -> Value {
     match (ty, lit) {
         (Ty::Int, Some(Literal::Int(v))) => Value::Int(v),
         (Ty::Float, Some(Literal::Int(v))) => Value::Float(v as f64),

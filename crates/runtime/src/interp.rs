@@ -6,10 +6,11 @@ use std::rc::Rc;
 
 use grafter::{CallPart, FusedFnId, FusedProgram, ScheduledItem, StubId};
 use grafter_cachesim::CacheHierarchy;
-use grafter_frontend::{BinOp, DataAccess, Expr, FieldKind, MethodId, NodePath, Stmt, Ty, UnOp};
+use grafter_frontend::{BinOp, DataAccess, Expr, MethodId, NodePath, Stmt, UnOp};
 
 use crate::heap::{Heap, NodeId, NODE_HEADER_BYTES, SLOT_BYTES};
 use crate::metrics::{cost, Metrics};
+use crate::ops::{binop, coerce, field_ty, flatten_globals, local_frame_layout};
 use crate::pure::PureRegistry;
 use crate::Value;
 
@@ -76,24 +77,7 @@ impl<'a> Interp<'a> {
 
     /// Creates an interpreter with a custom pure-function registry.
     pub fn with_pures(fp: &'a FusedProgram, pures: PureRegistry) -> Self {
-        let program = &fp.program;
-        let mut globals = Vec::new();
-        let mut global_offsets = Vec::new();
-        for g in &program.globals {
-            global_offsets.push(globals.len());
-            match g.ty {
-                Ty::Struct(s) => {
-                    for &m in &program.structs[s.index()].members {
-                        let ty = match program.fields[m.index()].kind {
-                            FieldKind::Data(t) => t,
-                            FieldKind::Child(_) => unreachable!("struct members are data"),
-                        };
-                        globals.push(zero_of(ty));
-                    }
-                }
-                ty => globals.push(crate::heap::default_literal(ty, g.default)),
-            }
-        }
+        let (globals, global_offsets) = flatten_globals(&fp.program);
         Interp {
             fp,
             metrics: Metrics::default(),
@@ -165,18 +149,7 @@ impl<'a> Interp<'a> {
         if let Some(l) = self.local_layouts.get(&method) {
             return Rc::clone(l);
         }
-        let program = &self.fp.program;
-        let m = &program.methods[method.index()];
-        let mut offsets = Vec::new();
-        let mut cur = 0usize;
-        for lv in &m.locals {
-            offsets.push(cur);
-            cur += match lv.ty {
-                Ty::Struct(s) => program.structs[s.index()].members.len(),
-                _ => 1,
-            };
-        }
-        let layout = Rc::new((offsets, cur));
+        let layout = Rc::new(local_frame_layout(&self.fp.program, method));
         self.local_layouts.insert(method, Rc::clone(&layout));
         layout
     }
@@ -633,96 +606,5 @@ impl<'a> Interp<'a> {
             }
         }
         Ok(())
-    }
-}
-
-/// The value type of the final element of a data chain.
-fn field_ty(program: &grafter_frontend::Program, chain: &[grafter_frontend::FieldId]) -> Ty {
-    let last = chain.last().expect("nonempty data chain");
-    match program.fields[last.index()].kind {
-        FieldKind::Data(t) => t,
-        FieldKind::Child(_) => unreachable!("data chains end at data fields"),
-    }
-}
-
-/// Coerces a value to a declared type (C++-style implicit int<->float).
-fn coerce(ty: Ty, v: Value) -> Value {
-    match (ty, v) {
-        (Ty::Int, Value::Float(f)) => Value::Int(f as i64),
-        (Ty::Float, Value::Int(i)) => Value::Float(i as f64),
-        _ => v,
-    }
-}
-
-fn zero_of(ty: Ty) -> Value {
-    match ty {
-        Ty::Int => Value::Int(0),
-        Ty::Float => Value::Float(0.0),
-        Ty::Bool => Value::Bool(false),
-        Ty::Struct(_) | Ty::Node(_) => Value::Int(0),
-    }
-}
-
-fn binop(op: BinOp, l: Value, r: Value) -> Value {
-    use Value::*;
-    let both_int = matches!((l, r), (Int(_), Int(_)));
-    match op {
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-            if both_int {
-                let (a, b) = (l.as_i64(), r.as_i64());
-                Int(match op {
-                    BinOp::Add => a.wrapping_add(b),
-                    BinOp::Sub => a.wrapping_sub(b),
-                    BinOp::Mul => a.wrapping_mul(b),
-                    BinOp::Div => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a.wrapping_div(b)
-                        }
-                    }
-                    BinOp::Rem => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a.wrapping_rem(b)
-                        }
-                    }
-                    _ => unreachable!(),
-                })
-            } else {
-                let (a, b) = (l.as_f64(), r.as_f64());
-                Float(match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
-                    BinOp::Div => a / b,
-                    BinOp::Rem => a % b,
-                    _ => unreachable!(),
-                })
-            }
-        }
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let (a, b) = (l.as_f64(), r.as_f64());
-            Bool(match op {
-                BinOp::Lt => a < b,
-                BinOp::Le => a <= b,
-                BinOp::Gt => a > b,
-                BinOp::Ge => a >= b,
-                _ => unreachable!(),
-            })
-        }
-        BinOp::Eq => Bool(values_equal(l, r)),
-        BinOp::Ne => Bool(!values_equal(l, r)),
-        BinOp::And | BinOp::Or => unreachable!("short-circuited by eval"),
-    }
-}
-
-fn values_equal(l: Value, r: Value) -> bool {
-    match (l, r) {
-        (Value::Int(a), Value::Int(b)) => a == b,
-        (Value::Bool(a), Value::Bool(b)) => a == b,
-        (Value::Ref(a), Value::Ref(b)) => a == b,
-        _ => l.as_f64() == r.as_f64(),
     }
 }

@@ -55,14 +55,15 @@
 mod heap;
 mod interp;
 mod metrics;
+pub mod ops;
 pub mod pipeline;
 mod pure;
 
-pub use heap::{Heap, Layouts, NodeId, SnapValue};
+pub use heap::{default_literal, Heap, Layouts, NodeId, SnapValue, NODE_HEADER_BYTES, SLOT_BYTES};
 pub use interp::{Interp, RuntimeError};
 pub use metrics::{cost, Metrics};
 pub use pipeline::{Execute, Executor, RunReport};
-pub use pure::PureRegistry;
+pub use pure::{NativeFn, PureRegistry};
 
 /// Runs `f` on a dedicated thread with `bytes` of stack.
 ///

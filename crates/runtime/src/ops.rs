@@ -1,0 +1,157 @@
+//! Value-semantics kernel shared by the interpreter and the bytecode VM.
+//!
+//! Both execution backends must agree bit-for-bit on arithmetic,
+//! comparison and implicit conversion; keeping the kernel in one place
+//! makes the differential guarantees (`tests/vm_differential.rs`) a
+//! property of dispatch, not of duplicated arithmetic.
+
+use grafter_frontend::{BinOp, FieldId, FieldKind, MethodId, Program, Ty};
+
+use crate::heap::default_literal;
+use crate::Value;
+
+/// The value type of the final element of a data chain.
+///
+/// Determines the store coercion of every tree/local/global write; both
+/// backends must resolve it identically.
+///
+/// # Panics
+///
+/// Panics if the chain is empty or ends at a child field (sema
+/// guarantees neither happens).
+pub fn field_ty(program: &Program, chain: &[FieldId]) -> Ty {
+    let last = chain.last().expect("nonempty data chain");
+    match program.fields[last.index()].kind {
+        FieldKind::Data(t) => t,
+        FieldKind::Child(_) => unreachable!("data chains end at data fields"),
+    }
+}
+
+/// Per-method local frame layout: the slot offset of each local (struct
+/// locals flattened to one slot per member) and the total slot count.
+///
+/// The interpreter sizes its frame vectors and the VM numbers its
+/// registers from this one function, so local indices correspond across
+/// backends by construction.
+pub fn local_frame_layout(program: &Program, method: MethodId) -> (Vec<usize>, usize) {
+    let m = &program.methods[method.index()];
+    let mut offsets = Vec::with_capacity(m.locals.len());
+    let mut cur = 0usize;
+    for lv in &m.locals {
+        offsets.push(cur);
+        cur += match lv.ty {
+            Ty::Struct(s) => program.structs[s.index()].members.len(),
+            _ => 1,
+        };
+    }
+    (offsets, cur)
+}
+
+/// Flattened global frame: initial values (structs expanded to one slot
+/// per member, declared literals honoured) and each global's first slot.
+///
+/// Both backends index globals through these offsets.
+pub fn flatten_globals(program: &Program) -> (Vec<Value>, Vec<usize>) {
+    let mut values = Vec::new();
+    let mut offsets = Vec::with_capacity(program.globals.len());
+    for g in &program.globals {
+        offsets.push(values.len());
+        match g.ty {
+            Ty::Struct(s) => {
+                for &m in &program.structs[s.index()].members {
+                    let ty = match program.fields[m.index()].kind {
+                        FieldKind::Data(t) => t,
+                        FieldKind::Child(_) => unreachable!("struct members are data"),
+                    };
+                    values.push(default_literal(ty, None));
+                }
+            }
+            ty => values.push(default_literal(ty, g.default)),
+        }
+    }
+    (values, offsets)
+}
+
+/// Coerces a value to a declared type (C++-style implicit int<->float).
+pub fn coerce(ty: Ty, v: Value) -> Value {
+    match (ty, v) {
+        (Ty::Int, Value::Float(f)) => Value::Int(f as i64),
+        (Ty::Float, Value::Int(i)) => Value::Float(i as f64),
+        _ => v,
+    }
+}
+
+/// Applies a non-short-circuiting binary operator.
+///
+/// Integer division and remainder by zero yield 0 (the deterministic
+/// stand-in both backends share); mixed int/float operands promote to
+/// float, mirroring the C++ the paper's generated code runs as.
+///
+/// # Panics
+///
+/// Panics if an operand has a type the operator cannot accept (the same
+/// ill-typed programs panic identically in both backends).
+pub fn binop(op: BinOp, l: Value, r: Value) -> Value {
+    use Value::*;
+    let both_int = matches!((l, r), (Int(_), Int(_)));
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            if both_int {
+                let (a, b) = (l.as_i64(), r.as_i64());
+                Int(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            } else {
+                let (a, b) = (l.as_f64(), r.as_f64());
+                Float(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                })
+            }
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (a, b) = (l.as_f64(), r.as_f64());
+            Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        BinOp::Eq => Bool(values_equal(l, r)),
+        BinOp::Ne => Bool(!values_equal(l, r)),
+        BinOp::And | BinOp::Or => unreachable!("short-circuited before binop"),
+    }
+}
+
+/// Equality across the value kinds (numeric values compare numerically).
+pub fn values_equal(l: Value, r: Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Bool(a), Value::Bool(b)) => a == b,
+        (Value::Ref(a), Value::Ref(b)) => a == b,
+        _ => l.as_f64() == r.as_f64(),
+    }
+}

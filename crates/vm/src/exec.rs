@@ -1,0 +1,425 @@
+//! The register-VM execution engine.
+//!
+//! [`Vm`] executes a lowered [`Module`] against the same
+//! [`grafter_runtime::Heap`] the interpreter uses, with a single
+//! `match`-dispatch loop over the module's contiguous op vector. One
+//! activation = one register window on a shared register stack (no
+//! per-call `Vec<Vec<Value>>` frames), dispatch is a jump-table index (no
+//! `HashMap` probes), and pure functions are resolved to function pointers
+//! once at construction.
+//!
+//! Cost accounting is bit-compatible with [`grafter_runtime::Interp`]:
+//! the same [`cost`] constants are charged at the same execution points
+//! and every field access touches the same simulated byte address, so
+//! `Metrics` and cache statistics of the two backends are identical on
+//! identical inputs.
+
+use grafter_cachesim::CacheHierarchy;
+use grafter_frontend::{ClassId, UnOp};
+use grafter_runtime::ops::binop;
+use grafter_runtime::{
+    cost, Heap, Metrics, NativeFn, NodeId, PureRegistry, RuntimeError, Value, NODE_HEADER_BYTES,
+    SLOT_BYTES,
+};
+
+use crate::module::{Module, Op, NO_TARGET};
+
+/// Base address of the flattened global frame (identical to the
+/// interpreter's, so global accesses hit the same cache lines).
+const GLOBALS_BASE_ADDR: u64 = 0x1000;
+
+type RResult<T> = Result<T, RuntimeError>;
+
+/// Executes a lowered [`Module`] against a [`Heap`], collecting
+/// [`Metrics`] and (optionally) driving a cache simulator — the VM
+/// counterpart of [`grafter_runtime::Interp`].
+pub struct Vm<'a> {
+    module: &'a Module,
+    /// Counters for the current run (reset with [`Metrics::reset`]).
+    pub metrics: Metrics,
+    /// Optional simulated memory hierarchy fed with every field access.
+    pub cache: Option<CacheHierarchy>,
+    /// Pure implementations resolved to function pointers by pure id.
+    pures: Vec<Option<NativeFn>>,
+    /// Flattened global frame.
+    globals: Vec<Value>,
+    /// Shared register stack; each activation owns one window.
+    regs: Vec<Value>,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM with the default math pures and no cache.
+    pub fn new(module: &'a Module) -> Self {
+        Vm::with_pures(module, PureRegistry::with_math())
+    }
+
+    /// Creates a VM with a custom pure-function registry (resolved to
+    /// function pointers once, here).
+    pub fn with_pures(module: &'a Module, pures: PureRegistry) -> Self {
+        let pures = module
+            .pure_names
+            .iter()
+            .map(|name| pures.get(name))
+            .collect();
+        Vm {
+            module,
+            metrics: Metrics::default(),
+            cache: None,
+            pures,
+            globals: module.globals_init.clone(),
+            regs: Vec::new(),
+        }
+    }
+
+    /// Attaches a cache hierarchy (all subsequent accesses are simulated).
+    pub fn with_cache(mut self, cache: CacheHierarchy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets a global variable by name before a run.
+    pub fn set_global(&mut self, name: &str, value: Value) -> Option<()> {
+        let &(_, idx) = self.module.global_names.iter().find(|(n, _)| n == name)?;
+        self.globals[idx as usize] = value;
+        Some(())
+    }
+
+    /// Reads a global variable by name.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        let &(_, idx) = self.module.global_names.iter().find(|(n, _)| n == name)?;
+        Some(self.globals[idx as usize])
+    }
+
+    /// Runs the module's entry sequence on `root`.
+    ///
+    /// `args[i]` are the arguments of the `i`-th entry traversal, exactly
+    /// as for [`grafter_runtime::Interp::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if execution dereferences a null child in
+    /// a data access, calls an unregistered pure, or dispatch fails.
+    pub fn run(&mut self, heap: &mut Heap, root: NodeId, args: &[Vec<Value>]) -> RResult<()> {
+        let entries = self.module.entries.clone();
+        if entries.len() == 1 {
+            let n = self.module.stubs[entries[0] as usize].n_parts as usize;
+            let flags: u64 = (1u64 << n) - 1;
+            self.enter(heap, entries[0], root, flags, args)?;
+        } else {
+            let empty: Vec<Value> = Vec::new();
+            for (i, &entry) in entries.iter().enumerate() {
+                let part = std::slice::from_ref(args.get(i).unwrap_or(&empty));
+                self.enter(heap, entry, root, 0b1, part)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn touch(&mut self, addr: u64) {
+        if let Some(cache) = &mut self.cache {
+            cache.access(addr);
+        }
+    }
+
+    #[inline]
+    fn slot_addr(heap: &Heap, node: NodeId, slot: usize) -> u64 {
+        heap.node_raw(node).addr + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
+    }
+
+    /// Virtual dispatch through a stub jump table; charges the dispatch
+    /// costs and counts the visit.
+    fn dispatch(&mut self, heap: &Heap, stub: u16, node: NodeId) -> RResult<u32> {
+        self.metrics.instructions += cost::DISPATCH;
+        self.metrics.loads += 1;
+        self.touch(heap.node_raw(node).addr);
+        let class = heap.node(node).class;
+        let target = self.module.stubs[stub as usize].targets[class.index()];
+        if target == NO_TARGET {
+            return Err(RuntimeError::MissingTarget(
+                self.module.class_names[class.index()].clone(),
+            ));
+        }
+        self.metrics.visits += 1;
+        Ok(target)
+    }
+
+    /// Pushes a zeroed register window for function `fidx`.
+    fn push_frame(&mut self, fidx: u32) -> usize {
+        let base = self.regs.len();
+        let total = self.module.funcs[fidx as usize].total_regs as usize;
+        self.regs.resize(base + total, Value::Int(0));
+        base
+    }
+
+    /// Entry-point dispatch: arguments arrive as caller-provided vectors
+    /// (one per entry part), as in [`grafter_runtime::Interp::run`].
+    fn enter(
+        &mut self,
+        heap: &mut Heap,
+        stub: u16,
+        node: NodeId,
+        flags: u64,
+        args: &[Vec<Value>],
+    ) -> RResult<()> {
+        let fidx = self.dispatch(heap, stub, node)?;
+        let base = self.push_frame(fidx);
+        let m = self.module;
+        for (ti, params) in m.funcs[fidx as usize].params.iter().enumerate() {
+            let a = args.get(ti).map(Vec::as_slice).unwrap_or(&[]);
+            for (k, &preg) in params.iter().enumerate().take(a.len()) {
+                self.regs[base + preg as usize] = a[k];
+            }
+        }
+        let r = self.exec(heap, fidx, node, flags, base);
+        self.regs.truncate(base);
+        r
+    }
+
+    /// Follows a pooled path, counting pointer loads; `None` if any step
+    /// is null.
+    fn navigate(&mut self, heap: &Heap, node: NodeId, path: u16) -> RResult<Option<NodeId>> {
+        let m = self.module;
+        let mut cur = node;
+        for &field in m.paths[path as usize].iter() {
+            let class = heap.node(cur).class;
+            let slot = m.offset_of(class.index(), field);
+            self.metrics.instructions += 1;
+            self.metrics.loads += 1;
+            self.touch(Self::slot_addr(heap, cur, slot));
+            match heap.node(cur).slots[slot] {
+                Value::Ref(Some(c)) => cur = c,
+                Value::Ref(None) => return Ok(None),
+                _ => return Err(RuntimeError::NotARef),
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    /// The dispatch loop: executes one activation of function `fidx`.
+    fn exec(
+        &mut self,
+        heap: &mut Heap,
+        fidx: u32,
+        node: NodeId,
+        mut active: u64,
+        base: usize,
+    ) -> RResult<()> {
+        let m = self.module;
+        let mut pc = m.funcs[fidx as usize].entry as usize;
+        loop {
+            let op = m.ops[pc];
+            pc += 1;
+            match op {
+                Op::Const { dst, c } => {
+                    self.regs[base + dst as usize] = m.consts[c as usize];
+                }
+                Op::Mov { dst, src } => {
+                    self.metrics.instructions += 1;
+                    self.regs[base + dst as usize] = self.regs[base + src as usize];
+                }
+                Op::StoreLocal { dst, src, co } => {
+                    self.metrics.instructions += 1;
+                    self.regs[base + dst as usize] = co.apply(self.regs[base + src as usize]);
+                }
+                Op::Un { op, dst, src } => {
+                    self.metrics.instructions += 1;
+                    let v = self.regs[base + src as usize];
+                    self.regs[base + dst as usize] = match op {
+                        UnOp::Neg => match v {
+                            Value::Int(i) => Value::Int(-i),
+                            Value::Float(f) => Value::Float(-f),
+                            other => panic!("cannot negate {other:?}"),
+                        },
+                        UnOp::Not => Value::Bool(!v.as_bool()),
+                    };
+                }
+                Op::Bin { op, dst, a, b } => {
+                    self.metrics.instructions += 1;
+                    let (l, r) = (self.regs[base + a as usize], self.regs[base + b as usize]);
+                    self.regs[base + dst as usize] = binop(op, l, r);
+                }
+                Op::Jump { target } => pc = target as usize,
+                Op::Branch { cond, target } => {
+                    self.metrics.instructions += 1;
+                    if !self.regs[base + cond as usize].as_bool() {
+                        pc = target as usize;
+                    }
+                }
+                Op::ShortCircuit {
+                    reg,
+                    jump_if,
+                    target,
+                } => {
+                    let b = self.regs[base + reg as usize].as_bool();
+                    self.regs[base + reg as usize] = Value::Bool(b);
+                    self.metrics.instructions += 1;
+                    if b == jump_if {
+                        pc = target as usize;
+                    }
+                }
+                Op::CastBool { reg } => {
+                    let b = self.regs[base + reg as usize].as_bool();
+                    self.regs[base + reg as usize] = Value::Bool(b);
+                }
+                Op::Guard { mask, target } => {
+                    self.metrics.instructions += cost::GUARD;
+                    if active & mask == 0 {
+                        pc = target as usize;
+                    }
+                }
+                Op::SkipInactive { traversal, target } => {
+                    if active & (1u64 << traversal) == 0 {
+                        pc = target as usize;
+                    }
+                }
+                Op::Deactivate { traversal, target } => {
+                    active &= !(1u64 << traversal);
+                    if active == 0 {
+                        return Ok(());
+                    }
+                    pc = target as usize;
+                }
+                Op::Ret => return Ok(()),
+                Op::ReadTree {
+                    dst,
+                    path,
+                    field,
+                    addend,
+                } => {
+                    let Some(target) = self.navigate(heap, node, path)? else {
+                        return Err(RuntimeError::NullDeref);
+                    };
+                    let class = heap.node(target).class;
+                    let slot = m.offset_of(class.index(), field) + addend as usize;
+                    self.metrics.instructions += 1;
+                    self.metrics.loads += 1;
+                    self.touch(Self::slot_addr(heap, target, slot));
+                    self.regs[base + dst as usize] = heap.node(target).slots[slot];
+                }
+                Op::WriteTree {
+                    src,
+                    path,
+                    field,
+                    addend,
+                    co,
+                } => {
+                    let Some(target) = self.navigate(heap, node, path)? else {
+                        return Err(RuntimeError::NullDeref);
+                    };
+                    let class = heap.node(target).class;
+                    let slot = m.offset_of(class.index(), field) + addend as usize;
+                    self.metrics.instructions += 1;
+                    self.metrics.stores += 1;
+                    self.touch(Self::slot_addr(heap, target, slot));
+                    heap.node_mut(target).slots[slot] = co.apply(self.regs[base + src as usize]);
+                }
+                Op::ReadGlobal { dst, idx } => {
+                    self.metrics.instructions += 1;
+                    self.metrics.loads += 1;
+                    self.touch(GLOBALS_BASE_ADDR + SLOT_BYTES * idx as u64);
+                    self.regs[base + dst as usize] = self.globals[idx as usize];
+                }
+                Op::WriteGlobal { src, idx, co } => {
+                    self.metrics.instructions += 1;
+                    self.metrics.stores += 1;
+                    self.touch(GLOBALS_BASE_ADDR + SLOT_BYTES * idx as u64);
+                    self.globals[idx as usize] = co.apply(self.regs[base + src as usize]);
+                }
+                Op::Nav {
+                    dst,
+                    path,
+                    null_target,
+                } => match self.navigate(heap, node, path)? {
+                    Some(child) => {
+                        self.regs[base + dst as usize] = Value::Ref(Some(child));
+                    }
+                    None => pc = null_target as usize, // traversal stops here
+                },
+                Op::Call {
+                    call,
+                    child,
+                    argbase,
+                } => {
+                    let info = &m.calls[call as usize];
+                    let mut call_flags = 0u64;
+                    for (i, part) in info.parts.iter().enumerate() {
+                        if info.charge_flags {
+                            self.metrics.instructions += cost::FLAG_SHUFFLE;
+                        }
+                        if active & (1u64 << part.traversal) != 0 {
+                            call_flags |= 1u64 << i;
+                        }
+                    }
+                    let Value::Ref(Some(child_node)) = self.regs[base + child as usize] else {
+                        unreachable!("Nav always precedes Call with a live child")
+                    };
+                    let target = self.dispatch(heap, info.stub, child_node)?;
+                    let cbase = self.push_frame(target);
+                    for (i, part) in info.parts.iter().enumerate() {
+                        let params = &m.funcs[target as usize].params[i];
+                        let n = (part.nargs as usize).min(params.len());
+                        for k in 0..n {
+                            self.regs[cbase + params[k] as usize] =
+                                self.regs[base + (argbase + part.argbase) as usize + k];
+                        }
+                    }
+                    let r = self.exec(heap, target, child_node, call_flags, cbase);
+                    self.regs.truncate(cbase);
+                    r?;
+                }
+                Op::New { path, field, class } => {
+                    if let Some(parent) = self.navigate(heap, node, path)? {
+                        let class = ClassId(class as u32);
+                        let fresh = heap.alloc(class);
+                        self.metrics.instructions += cost::ALLOC;
+                        // Constructor initialises the node: touch its lines.
+                        let bytes = m.node_bytes[class.index()];
+                        let addr = heap.node(fresh).addr;
+                        if let Some(cache) = &mut self.cache {
+                            cache.access_range(addr, bytes);
+                        }
+                        self.metrics.stores += 1 + bytes / SLOT_BYTES;
+                        let pclass = heap.node(parent).class;
+                        let slot = m.offset_of(pclass.index(), field);
+                        self.touch(Self::slot_addr(heap, parent, slot));
+                        heap.node_mut(parent).slots[slot] = Value::Ref(Some(fresh));
+                    }
+                }
+                Op::Delete { path, field } => {
+                    if let Some(parent) = self.navigate(heap, node, path)? {
+                        let pclass = heap.node(parent).class;
+                        let slot = m.offset_of(pclass.index(), field);
+                        self.metrics.loads += 1;
+                        self.touch(Self::slot_addr(heap, parent, slot));
+                        if let Value::Ref(Some(victim)) = heap.node(parent).slots[slot] {
+                            let before = heap.live_count();
+                            heap.delete_subtree(victim);
+                            let freed = before - heap.live_count();
+                            self.metrics.instructions += cost::FREE * freed as u64;
+                        }
+                        heap.node_mut(parent).slots[slot] = Value::Ref(None);
+                        self.metrics.stores += 1;
+                    }
+                }
+                Op::CallPure {
+                    dst,
+                    pure,
+                    base: abase,
+                    n,
+                    co,
+                } => {
+                    let Some(f) = self.pures[pure as usize] else {
+                        return Err(RuntimeError::MissingPure(
+                            m.pure_names[pure as usize].clone(),
+                        ));
+                    };
+                    self.metrics.instructions += 1 + n as u64;
+                    let lo = base + abase as usize;
+                    let out = f(&self.regs[lo..lo + n as usize]);
+                    self.regs[base + dst as usize] = co.apply(out);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! Lowering: compiles a [`FusedProgram`] into a flat bytecode [`Module`].
+//!
+//! This is the compile-once step that removes every per-visit lookup the
+//! tree-walking interpreter performs:
+//!
+//! - each fused function's scheduled body flattens into one contiguous op
+//!   range with resolved jump targets (guards, `if` branches, short
+//!   circuits, per-traversal `return`s);
+//! - locals get frame-relative **registers** (traversal frames
+//!   concatenated, parameters first, struct locals flattened), and
+//!   expressions compile to a register window above the locals;
+//! - every data access resolves its member chain to a constant slot
+//!   addend, every global to a flat frame index, and the `class × field`
+//!   slot table is densified so dynamic-type navigation is two array
+//!   indexes;
+//! - each dispatch stub becomes a jump table indexed by dynamic class id;
+//! - literals are interned into a deduplicated constant pool.
+//!
+//! The lowering mirrors the interpreter's cost accounting exactly: ops
+//! charge the same [`grafter_runtime::cost`] constants at the same
+//! execution points, so `Metrics` (and simulated cache traffic) of the two
+//! backends are bit-identical — see `tests/vm_differential.rs`.
+
+use std::collections::HashMap;
+
+use grafter::{CallPart, FusedProgram, ScheduledItem, StubId};
+use grafter_frontend::{
+    BinOp, DataAccess, Expr, GlobalId, LocalId, MethodId, NodePath, Program, Stmt, Ty,
+};
+use grafter_runtime::ops::{field_ty, flatten_globals, local_frame_layout};
+use grafter_runtime::{Layouts, Value};
+
+use crate::module::{CallInfo, CallPartInfo, Co, FuncInfo, Module, Op, StubInfo, NO_TARGET};
+
+/// Lowers a fused program into an executable bytecode [`Module`].
+pub fn lower(fp: &FusedProgram) -> Module {
+    let program = &fp.program;
+    let layouts = Layouts::new(program);
+
+    // Dense class × field slot table (u32::MAX where the field is absent).
+    let n_fields = program.fields.len();
+    let n_classes = program.classes.len();
+    let mut field_offsets = vec![u32::MAX; n_classes * n_fields];
+    let mut node_bytes = Vec::with_capacity(n_classes);
+    for ci in 0..n_classes {
+        let class = grafter_frontend::ClassId(ci as u32);
+        for f in program.all_fields(class) {
+            field_offsets[ci * n_fields + f.index()] = layouts.slot_of(class, f) as u32;
+        }
+        node_bytes.push(layouts.node_bytes(class));
+    }
+
+    // Flattened global frame — the same shared layout the interpreter
+    // builds its global vector from, so indices correspond by
+    // construction.
+    let (globals_init, offsets) = flatten_globals(program);
+    let global_offsets: Vec<u32> = offsets.iter().map(|&o| o as u32).collect();
+    let global_names = program
+        .globals
+        .iter()
+        .zip(&global_offsets)
+        .map(|(g, &o)| (g.name.clone(), o))
+        .collect();
+
+    let mut lo = Lowerer {
+        program,
+        layouts: &layouts,
+        global_offsets,
+        ops: Vec::new(),
+        consts: Vec::new(),
+        const_keys: HashMap::new(),
+        paths: Vec::new(),
+        path_keys: HashMap::new(),
+        calls: Vec::new(),
+        local_layouts: HashMap::new(),
+        frame_bases: Vec::new(),
+        scratch_base: 0,
+        max_reg: 0,
+        multi: false,
+        item_fixups: Vec::new(),
+    };
+
+    let mut funcs = Vec::with_capacity(fp.functions.len());
+    for f in &fp.functions {
+        funcs.push(lo.lower_fn(f));
+    }
+
+    let stubs = fp
+        .stubs
+        .iter()
+        .map(|s| {
+            let mut targets = vec![NO_TARGET; n_classes];
+            for &(class, fid) in &s.targets {
+                targets[class.index()] = fid.0;
+            }
+            StubInfo {
+                n_parts: s.slots.len() as u8,
+                targets: targets.into_boxed_slice(),
+                name: s.name.clone(),
+            }
+        })
+        .collect();
+
+    Module {
+        ops: lo.ops,
+        funcs,
+        stubs,
+        calls: lo.calls,
+        consts: lo.consts,
+        paths: lo.paths,
+        field_offsets,
+        n_fields,
+        node_bytes,
+        globals_init,
+        global_names,
+        pure_names: program.pures.iter().map(|p| p.name.clone()).collect(),
+        class_names: program.classes.iter().map(|c| c.name.clone()).collect(),
+        field_names: program.fields.iter().map(|f| f.name.clone()).collect(),
+        entries: fp.entries.iter().map(|&StubId(i)| i as u16).collect(),
+    }
+}
+
+/// Coercion tag of a declared type.
+fn co_of(ty: Ty) -> Co {
+    match ty {
+        Ty::Int => Co::Int,
+        Ty::Float => Co::Float,
+        _ => Co::No,
+    }
+}
+
+/// Jump-target placeholder patched once the target pc is known.
+const PENDING: u32 = u32::MAX;
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    layouts: &'p Layouts,
+    global_offsets: Vec<u32>,
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    const_keys: HashMap<(u8, u64), u16>,
+    paths: Vec<Box<[u32]>>,
+    path_keys: HashMap<Vec<u32>, u16>,
+    calls: Vec<CallInfo>,
+    /// Per-method local frame layout: slot offset of each local, total size.
+    local_layouts: HashMap<MethodId, (Vec<usize>, usize)>,
+    /// Per-traversal first register of the current function's frames.
+    frame_bases: Vec<u16>,
+    scratch_base: u16,
+    max_reg: u16,
+    multi: bool,
+    /// Ops whose jump target is the end of the current scheduled item.
+    item_fixups: Vec<usize>,
+}
+
+impl Lowerer<'_> {
+    // ---- pools -----------------------------------------------------------
+
+    fn intern_const(&mut self, v: Value) -> u16 {
+        let key = match v {
+            Value::Int(i) => (0u8, i as u64),
+            Value::Float(f) => (1, f.to_bits()),
+            Value::Bool(b) => (2, b as u64),
+            Value::Ref(_) => unreachable!("no ref literals"),
+        };
+        if let Some(&i) = self.const_keys.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u16;
+        self.consts.push(v);
+        self.const_keys.insert(key, i);
+        i
+    }
+
+    fn intern_path(&mut self, fields: &[u32]) -> u16 {
+        if let Some(&i) = self.path_keys.get(fields) {
+            return i;
+        }
+        let i = self.paths.len() as u16;
+        self.paths.push(fields.to_vec().into_boxed_slice());
+        self.path_keys.insert(fields.to_vec(), i);
+        i
+    }
+
+    fn node_path(&mut self, path: &NodePath) -> u16 {
+        let fields: Vec<u32> = path.fields().map(|f| f.0).collect();
+        self.intern_path(&fields)
+    }
+
+    // ---- emission helpers ------------------------------------------------
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump { target: t }
+            | Op::Branch { target: t, .. }
+            | Op::ShortCircuit { target: t, .. }
+            | Op::Guard { target: t, .. }
+            | Op::SkipInactive { target: t, .. }
+            | Op::Deactivate { target: t, .. }
+            | Op::Nav { null_target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn note(&mut self, reg: u16) {
+        self.max_reg = self.max_reg.max(reg);
+    }
+
+    // ---- frame layout ----------------------------------------------------
+
+    fn local_layout(&mut self, method: MethodId) -> (Vec<usize>, usize) {
+        if let Some(l) = self.local_layouts.get(&method) {
+            return l.clone();
+        }
+        let layout = local_frame_layout(self.program, method);
+        self.local_layouts.insert(method, layout.clone());
+        layout
+    }
+
+    fn local_reg(
+        &mut self,
+        seq: &[MethodId],
+        traversal: usize,
+        local: LocalId,
+        members: &[grafter_frontend::FieldId],
+    ) -> u16 {
+        let (offsets, _) = self.local_layout(seq[traversal]);
+        let mut slot = offsets[local.index()];
+        for m in members {
+            slot += self.layouts.member_offset(*m);
+        }
+        self.frame_bases[traversal] + slot as u16
+    }
+
+    fn global_idx(&self, global: GlobalId, members: &[grafter_frontend::FieldId]) -> u16 {
+        let mut idx = self.global_offsets[global.index()] as usize;
+        for m in members {
+            idx += self.layouts.member_offset(*m);
+        }
+        idx as u16
+    }
+
+    /// The static slot addend of a data chain's member suffix.
+    fn chain_addend(&self, chain: &[grafter_frontend::FieldId]) -> u16 {
+        chain[1..]
+            .iter()
+            .map(|m| self.layouts.member_offset(*m))
+            .sum::<usize>() as u16
+    }
+
+    // ---- function lowering -----------------------------------------------
+
+    fn lower_fn(&mut self, f: &grafter::FusedFn) -> FuncInfo {
+        let seq = &f.seq;
+        self.multi = seq.len() > 1;
+        self.frame_bases.clear();
+        let mut cur = 0u16;
+        let mut params: Vec<Box<[u16]>> = Vec::with_capacity(seq.len());
+        for &m in seq {
+            self.frame_bases.push(cur);
+            let (offsets, size) = self.local_layout(m);
+            let method = &self.program.methods[m.index()];
+            params.push(
+                offsets
+                    .iter()
+                    .take(method.n_params)
+                    .map(|&o| cur + o as u16)
+                    .collect(),
+            );
+            cur += size as u16;
+        }
+        let frame_regs = cur;
+        self.scratch_base = frame_regs;
+        self.max_reg = frame_regs;
+        let entry = self.here();
+
+        for item in &f.body {
+            self.item_fixups.clear();
+            match item {
+                ScheduledItem::Stmt { traversal, stmt } => {
+                    if self.multi {
+                        let g = self.emit(Op::Guard {
+                            mask: 1u64 << traversal,
+                            target: PENDING,
+                        });
+                        self.item_fixups.push(g);
+                    }
+                    self.stmt(seq, *traversal, stmt);
+                }
+                ScheduledItem::Call {
+                    receiver,
+                    stub,
+                    parts,
+                } => {
+                    self.call_item(seq, receiver, *stub, parts);
+                }
+            }
+            let end = self.here();
+            let fixups = std::mem::take(&mut self.item_fixups);
+            for at in fixups {
+                self.patch(at, end);
+            }
+        }
+        self.emit(Op::Ret);
+
+        FuncInfo {
+            entry,
+            end: self.here(),
+            n_traversals: seq.len() as u8,
+            frame_regs,
+            total_regs: self.max_reg + 1,
+            params: params.into_boxed_slice(),
+            name: f.name.clone(),
+        }
+    }
+
+    fn call_item(
+        &mut self,
+        seq: &[MethodId],
+        receiver: &NodePath,
+        stub: StubId,
+        parts: &[CallPart],
+    ) {
+        if self.multi {
+            let mask = parts.iter().fold(0u64, |m, p| m | (1u64 << p.traversal));
+            let g = self.emit(Op::Guard {
+                mask,
+                target: PENDING,
+            });
+            self.item_fixups.push(g);
+        }
+        let child = self.scratch_base;
+        self.note(child);
+        let path = self.node_path(receiver);
+        let nav = self.emit(Op::Nav {
+            dst: child,
+            path,
+            null_target: PENDING,
+        });
+        self.item_fixups.push(nav);
+
+        let argbase = child + 1;
+        let zero = self.intern_const(Value::Int(0));
+        let mut rel = 0u16;
+        let mut infos = Vec::with_capacity(parts.len());
+        for part in parts {
+            let pbase = argbase + rel;
+            infos.push(CallPartInfo {
+                traversal: part.traversal as u8,
+                argbase: rel,
+                nargs: part.args.len() as u8,
+            });
+            if part.args.is_empty() {
+                // Nothing to evaluate or zero-fill.
+            } else if self.multi {
+                // Truncated traversal: skip evaluation, pass unobservable
+                // zero placeholders (exactly the interpreter's behaviour).
+                let skip = self.emit(Op::SkipInactive {
+                    traversal: part.traversal as u8,
+                    target: PENDING,
+                });
+                for (k, a) in part.args.iter().enumerate() {
+                    self.expr(seq, part.traversal, a, pbase + k as u16);
+                }
+                let over = self.emit(Op::Jump { target: PENDING });
+                let skip_to = self.here();
+                self.patch(skip, skip_to);
+                for k in 0..part.args.len() {
+                    self.emit(Op::Const {
+                        dst: pbase + k as u16,
+                        c: zero,
+                    });
+                }
+                let after = self.here();
+                self.patch(over, after);
+            } else {
+                for (k, a) in part.args.iter().enumerate() {
+                    self.expr(seq, part.traversal, a, pbase + k as u16);
+                }
+            }
+            rel += part.args.len() as u16;
+            self.note(pbase + part.args.len() as u16);
+        }
+        let call = self.calls.len() as u16;
+        self.calls.push(CallInfo {
+            stub: stub.0 as u16,
+            charge_flags: self.multi,
+            parts: infos.into_boxed_slice(),
+        });
+        self.emit(Op::Call {
+            call,
+            child,
+            argbase,
+        });
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, seq: &[MethodId], traversal: usize, stmt: &Stmt) {
+        let s0 = self.scratch_base;
+        match stmt {
+            Stmt::Traverse(_) => {
+                unreachable!("traversing calls are scheduled as Call items")
+            }
+            Stmt::Assign { target, value } => {
+                self.expr(seq, traversal, value, s0);
+                self.write(seq, traversal, target, s0);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(seq, traversal, cond, s0);
+                let b = self.emit(Op::Branch {
+                    cond: s0,
+                    target: PENDING,
+                });
+                for s in then_branch {
+                    self.stmt(seq, traversal, s);
+                }
+                if else_branch.is_empty() {
+                    let here = self.here();
+                    self.patch(b, here);
+                } else {
+                    let over = self.emit(Op::Jump { target: PENDING });
+                    let here = self.here();
+                    self.patch(b, here);
+                    for s in else_branch {
+                        self.stmt(seq, traversal, s);
+                    }
+                    let after = self.here();
+                    self.patch(over, after);
+                }
+            }
+            Stmt::LocalDef { local, init } => {
+                if let Some(init) = init {
+                    self.expr(seq, traversal, init, s0);
+                    let ty = self.program.methods[seq[traversal].index()].locals[local.index()].ty;
+                    let dst = self.local_reg(seq, traversal, *local, &[]);
+                    self.emit(Op::StoreLocal {
+                        dst,
+                        src: s0,
+                        co: co_of(ty),
+                    });
+                }
+            }
+            Stmt::New { target, class } => {
+                let (path, field) = self.parent_path(target);
+                self.emit(Op::New {
+                    path,
+                    field,
+                    class: class.0 as u16,
+                });
+            }
+            Stmt::Delete { target } => {
+                let (path, field) = self.parent_path(target);
+                self.emit(Op::Delete { path, field });
+            }
+            Stmt::Return => {
+                let d = self.emit(Op::Deactivate {
+                    traversal: traversal as u8,
+                    target: PENDING,
+                });
+                self.item_fixups.push(d);
+            }
+            Stmt::PureStmt { pure, args } => {
+                for (k, a) in args.iter().enumerate() {
+                    self.expr(seq, traversal, a, s0 + k as u16);
+                }
+                let sink = s0 + args.len() as u16;
+                self.note(sink);
+                self.emit(Op::CallPure {
+                    dst: sink,
+                    pure: pure.0 as u16,
+                    base: s0,
+                    n: args.len() as u8,
+                    co: Co::No,
+                });
+            }
+        }
+    }
+
+    /// Splits a topology target into (parent path, final child field).
+    fn parent_path(&mut self, target: &NodePath) -> (u16, u32) {
+        let last = target
+            .steps
+            .last()
+            .expect("topology targets have a step")
+            .field;
+        let prefix: Vec<u32> = target.steps[..target.steps.len() - 1]
+            .iter()
+            .map(|s| s.field.0)
+            .collect();
+        (self.intern_path(&prefix), last.0)
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, seq: &[MethodId], traversal: usize, e: &Expr, dst: u16) {
+        self.note(dst);
+        match e {
+            Expr::Int(v) => {
+                let c = self.intern_const(Value::Int(*v));
+                self.emit(Op::Const { dst, c });
+            }
+            Expr::Float(v) => {
+                let c = self.intern_const(Value::Float(*v));
+                self.emit(Op::Const { dst, c });
+            }
+            Expr::Bool(v) => {
+                let c = self.intern_const(Value::Bool(*v));
+                self.emit(Op::Const { dst, c });
+            }
+            Expr::Read(access) => self.read(seq, traversal, access, dst),
+            Expr::Unary(op, sub) => {
+                self.expr(seq, traversal, sub, dst);
+                self.emit(Op::Un {
+                    op: *op,
+                    dst,
+                    src: dst,
+                });
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), l, r) => {
+                self.expr(seq, traversal, l, dst);
+                let sc = self.emit(Op::ShortCircuit {
+                    reg: dst,
+                    jump_if: matches!(op, BinOp::Or),
+                    target: PENDING,
+                });
+                self.expr(seq, traversal, r, dst);
+                self.emit(Op::CastBool { reg: dst });
+                let after = self.here();
+                self.patch(sc, after);
+            }
+            Expr::Binary(op, l, r) => {
+                self.expr(seq, traversal, l, dst);
+                self.expr(seq, traversal, r, dst + 1);
+                self.note(dst + 1);
+                self.emit(Op::Bin {
+                    op: *op,
+                    dst,
+                    a: dst,
+                    b: dst + 1,
+                });
+            }
+            Expr::PureCall(pure, args) => {
+                for (k, a) in args.iter().enumerate() {
+                    self.expr(seq, traversal, a, dst + k as u16);
+                }
+                self.note(dst + args.len() as u16);
+                let decl = &self.program.pures[pure.index()];
+                self.emit(Op::CallPure {
+                    dst,
+                    pure: pure.0 as u16,
+                    base: dst,
+                    n: args.len() as u8,
+                    co: co_of(decl.return_type),
+                });
+            }
+        }
+    }
+
+    fn read(&mut self, seq: &[MethodId], traversal: usize, access: &DataAccess, dst: u16) {
+        match access {
+            DataAccess::OnTree { path, data } => {
+                let p = self.node_path(path);
+                let addend = self.chain_addend(data);
+                self.emit(Op::ReadTree {
+                    dst,
+                    path: p,
+                    field: data[0].0,
+                    addend,
+                });
+            }
+            DataAccess::Local { local, members } => {
+                let src = self.local_reg(seq, traversal, *local, members);
+                self.emit(Op::Mov { dst, src });
+            }
+            DataAccess::Global { global, members } => {
+                let idx = self.global_idx(*global, members);
+                self.emit(Op::ReadGlobal { dst, idx });
+            }
+        }
+    }
+
+    fn write(&mut self, seq: &[MethodId], traversal: usize, access: &DataAccess, src: u16) {
+        match access {
+            DataAccess::OnTree { path, data } => {
+                let p = self.node_path(path);
+                let addend = self.chain_addend(data);
+                let co = co_of(field_ty(self.program, data));
+                self.emit(Op::WriteTree {
+                    src,
+                    path: p,
+                    field: data[0].0,
+                    addend,
+                    co,
+                });
+            }
+            DataAccess::Local { local, members } => {
+                let mut ty = self.program.methods[seq[traversal].index()].locals[local.index()].ty;
+                for m in members {
+                    ty = field_ty(self.program, &[*m]);
+                }
+                let dst = self.local_reg(seq, traversal, *local, members);
+                self.emit(Op::StoreLocal {
+                    dst,
+                    src,
+                    co: co_of(ty),
+                });
+            }
+            DataAccess::Global { global, members } => {
+                let mut ty = self.program.globals[global.index()].ty;
+                for m in members {
+                    ty = field_ty(self.program, &[*m]);
+                }
+                let idx = self.global_idx(*global, members);
+                self.emit(Op::WriteGlobal {
+                    src,
+                    idx,
+                    co: co_of(ty),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The lowered bytecode representation: a flat, arena-style module.
+//!
+//! A [`Module`] is what [`crate::lower`] produces from a
+//! [`grafter::FusedProgram`]: every fused function's scheduled body becomes
+//! a contiguous range of [`Op`]s in one shared `Vec`, every name lookup the
+//! interpreter performs at runtime is resolved to a dense index here —
+//!
+//! - **registers** replace the interpreter's per-traversal local frames
+//!   (one contiguous register window per activation, parameters first,
+//!   expression scratch above the locals);
+//! - **field offsets** are resolved into a dense `class × field` table, so
+//!   a data access is two array indexes instead of a `HashMap` probe;
+//! - **dispatch stubs** become per-stub jump tables indexed by the
+//!   receiver's dynamic [`ClassId`], replacing the interpreter's linear
+//!   `target_for` scan;
+//! - **constants** are folded into a deduplicated pool at lowering time.
+//!
+//! The module is inert data: [`crate::Vm`] executes it against a
+//! [`grafter_runtime::Heap`]. [`Module::disassemble`] pretty-prints the
+//! whole thing (the `grafterc --emit bytecode` output).
+
+use std::fmt::Write as _;
+
+use grafter_frontend::{BinOp, UnOp};
+use grafter_runtime::Value;
+
+/// Coercion applied when a value is stored into a typed location
+/// (C++-style implicit int<->float conversion, resolved at lowering time
+/// from the declared type of the target).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Co {
+    /// Store as-is.
+    No,
+    /// Truncate floats to int.
+    Int,
+    /// Promote ints to float.
+    Float,
+}
+
+impl Co {
+    /// Applies the coercion.
+    #[inline]
+    pub fn apply(self, v: Value) -> Value {
+        match (self, v) {
+            (Co::Int, Value::Float(f)) => Value::Int(f as i64),
+            (Co::Float, Value::Int(i)) => Value::Float(i as f64),
+            _ => v,
+        }
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Register operands are indices into the current activation's register
+/// window; `target` operands are absolute program counters within
+/// [`Module::ops`]. Pool operands (`path`, `call`, `c`) index the module's
+/// side tables.
+#[derive(Clone, Copy, Debug)]
+pub enum Op {
+    /// `r[dst] ← consts[c]` (free: literals cost nothing in the
+    /// instruction model).
+    Const { dst: u16, c: u16 },
+    /// `r[dst] ← r[src]`, charging one instruction (a local-variable read).
+    Mov { dst: u16, src: u16 },
+    /// `r[dst] ← co(r[src])`, charging one instruction (a local write).
+    StoreLocal { dst: u16, src: u16, co: Co },
+    /// `r[dst] ← op r[src]`, charging one instruction.
+    Un { op: UnOp, dst: u16, src: u16 },
+    /// `r[dst] ← r[a] op r[b]`, charging one instruction.
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+    /// Unconditional jump (free — the interpreter charges the `if` branch
+    /// once, on [`Op::Branch`]).
+    Jump { target: u32 },
+    /// `if` branch: charge one instruction, jump when `r[cond]` is false.
+    Branch { cond: u16, target: u32 },
+    /// Short-circuit point of `&&`/`||`: normalise `r[reg]` to its boolean,
+    /// charge one instruction, and jump when the lhs alone decides the
+    /// result (`jump_if` = false for `&&`, true for `||`).
+    ShortCircuit {
+        reg: u16,
+        jump_if: bool,
+        target: u32,
+    },
+    /// Normalise `r[reg]` to `Bool` after a short-circuit rhs (free).
+    CastBool { reg: u16 },
+    /// Active-flags guard of one scheduled item in a multi-traversal
+    /// function: charge [`grafter_runtime::cost::GUARD`], skip the item
+    /// when no guarded traversal is active.
+    Guard { mask: u64, target: u32 },
+    /// Skip argument evaluation of an inactive call part (free).
+    SkipInactive { traversal: u8, target: u32 },
+    /// `return` of traversal copy `traversal`: clear its active bit; leave
+    /// the function when none remain, otherwise skip to the next item.
+    Deactivate { traversal: u8, target: u32 },
+    /// End of a fused function's body.
+    Ret,
+    /// Navigate `paths[path]`, then read slot `field (+ addend)` of the
+    /// target node into `r[dst]`. Null navigation is a `NullDeref` error.
+    ReadTree {
+        dst: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+    },
+    /// Navigate and write `co(r[src])` into the target slot.
+    WriteTree {
+        src: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+        co: Co,
+    },
+    /// `r[dst] ← globals[idx]` (flattened global frame, fully resolved).
+    ReadGlobal { dst: u16, idx: u16 },
+    /// `globals[idx] ← co(r[src])`.
+    WriteGlobal { src: u16, idx: u16, co: Co },
+    /// Navigate a grouped call's receiver path into `r[dst]`; a null step
+    /// skips the whole item (the traversal stops at this child).
+    Nav {
+        dst: u16,
+        path: u16,
+        null_target: u32,
+    },
+    /// Dispatch `calls[call]` on the child in `r[child]`, with evaluated
+    /// arguments starting at `r[argbase]`.
+    Call { call: u16, child: u16, argbase: u16 },
+    /// `new`: navigate `paths[path]`, allocate `class` into slot `field`
+    /// of the parent (no-op when the parent path is null).
+    New { path: u16, field: u32, class: u16 },
+    /// `delete`: navigate, free the subtree in slot `field`, null it.
+    Delete { path: u16, field: u32 },
+    /// Call pure `pure` with `n` arguments at `r[base..]`, result (after
+    /// `co`) into `r[dst]`.
+    CallPure {
+        dst: u16,
+        pure: u16,
+        base: u16,
+        n: u8,
+        co: Co,
+    },
+}
+
+/// Sentinel for an absent jump-table entry.
+pub(crate) const NO_TARGET: u32 = u32::MAX;
+
+/// Per-function metadata of the lowered module.
+#[derive(Clone, Debug)]
+pub(crate) struct FuncInfo {
+    /// First op of the body.
+    pub entry: u32,
+    /// One past the last op (for disassembly).
+    pub end: u32,
+    /// Number of fused traversal copies (`> 1` means guards are emitted).
+    pub n_traversals: u8,
+    /// Registers holding locals (all traversal frames, concatenated).
+    pub frame_regs: u16,
+    /// Total register window (locals + expression scratch).
+    pub total_regs: u16,
+    /// Per traversal copy: frame-relative register of each parameter.
+    pub params: Box<[Box<[u16]>]>,
+    /// Generated name (mirrors the fused function's).
+    pub name: String,
+}
+
+/// A lowered dispatch stub: a jump table keyed by dynamic class id.
+#[derive(Clone, Debug)]
+pub(crate) struct StubInfo {
+    /// Number of dispatch slots (= callee traversal copies / entry parts).
+    pub n_parts: u8,
+    /// Dense `ClassId → function index` table (`NO_TARGET` = unresolvable).
+    pub targets: Box<[u32]>,
+    /// Generated name (mirrors the stub's).
+    pub name: String,
+}
+
+/// One part of a lowered grouped call.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CallPartInfo {
+    /// Active-flag index in the *caller*.
+    pub traversal: u8,
+    /// Offset of the part's first argument from the call's `argbase`.
+    pub argbase: u16,
+    /// Number of arguments evaluated at the call site.
+    pub nargs: u8,
+}
+
+/// A lowered grouped traversing call.
+#[derive(Clone, Debug)]
+pub(crate) struct CallInfo {
+    /// The stub jump table to dispatch through.
+    pub stub: u16,
+    /// Whether the caller is multi-traversal (charges flag shuffling).
+    pub charge_flags: bool,
+    /// The grouped parts; part `i` drives callee flag bit `i`.
+    pub parts: Box<[CallPartInfo]>,
+}
+
+/// A flat bytecode module lowered from a [`grafter::FusedProgram`].
+///
+/// Produced by [`crate::lower`]; executed by [`crate::Vm`]. All tables are
+/// index-resolved at lowering time so execution performs no name lookups.
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) funcs: Vec<FuncInfo>,
+    pub(crate) stubs: Vec<StubInfo>,
+    pub(crate) calls: Vec<CallInfo>,
+    pub(crate) consts: Vec<Value>,
+    /// Navigation paths as raw field-id sequences (casts are a
+    /// compile-time fiction; navigation only follows child slots).
+    pub(crate) paths: Vec<Box<[u32]>>,
+    /// Dense `class * n_fields + field → slot` table (`u32::MAX` absent).
+    pub(crate) field_offsets: Vec<u32>,
+    pub(crate) n_fields: usize,
+    /// Byte footprint per class (header + slots), for `new` accounting.
+    pub(crate) node_bytes: Vec<u64>,
+    /// Initial values of the flattened global frame.
+    pub(crate) globals_init: Vec<Value>,
+    /// Global name → flat offset (for [`crate::Vm::set_global`]).
+    pub(crate) global_names: Vec<(String, u32)>,
+    /// Pure-function names by [`grafter_frontend::PureId`] index.
+    pub(crate) pure_names: Vec<String>,
+    /// Class names by id (diagnostics, disassembly).
+    pub(crate) class_names: Vec<String>,
+    /// Field names by id (disassembly).
+    pub(crate) field_names: Vec<String>,
+    /// Entry stubs, in invocation order (one for a fused sequence, one per
+    /// traversal for the unfused baseline).
+    pub(crate) entries: Vec<u16>,
+}
+
+impl Module {
+    /// Number of bytecode instructions across all functions.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of lowered functions.
+    pub fn n_functions(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Number of dispatch jump tables.
+    pub fn n_stubs(&self) -> usize {
+        self.stubs.len()
+    }
+
+    /// Slot offset of `field` within dynamic class `class`.
+    #[inline]
+    pub(crate) fn offset_of(&self, class: usize, field: u32) -> usize {
+        let off = self.field_offsets[class * self.n_fields + field as usize];
+        debug_assert_ne!(off, u32::MAX, "field not present on class");
+        off as usize
+    }
+
+    /// Pretty-prints the whole module: functions with addressed ops, stub
+    /// jump tables and the constant pool (the `--emit bytecode` format).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; grafter-vm module: {} op(s), {} function(s), {} stub(s), {} const(s)",
+            self.ops.len(),
+            self.funcs.len(),
+            self.stubs.len(),
+            self.consts.len()
+        );
+        let _ = writeln!(
+            out,
+            "; entries: {}",
+            self.entries
+                .iter()
+                .map(|&s| self.stubs[s as usize].name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        for (i, f) in self.funcs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "\nfn {i} {} (traversals={}, locals=r0..r{}, scratch=r{}..r{})",
+                f.name,
+                f.n_traversals,
+                f.frame_regs.saturating_sub(1),
+                f.frame_regs,
+                f.total_regs.saturating_sub(1),
+            );
+            for pc in f.entry..f.end {
+                let _ = writeln!(out, "  {pc:04}  {}", self.render_op(self.ops[pc as usize]));
+            }
+        }
+        for (i, s) in self.stubs.iter().enumerate() {
+            let _ = writeln!(out, "\nstub {i} {} (slots={})", s.name, s.n_parts);
+            for (class, &t) in s.targets.iter().enumerate() {
+                if t != NO_TARGET {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} -> fn {} {}",
+                        self.class_names[class], t, self.funcs[t as usize].name
+                    );
+                }
+            }
+        }
+        if !self.consts.is_empty() {
+            let _ = writeln!(out, "\nconsts");
+            for (i, c) in self.consts.iter().enumerate() {
+                let _ = writeln!(out, "  #{i:<3} {c:?}");
+            }
+        }
+        out
+    }
+
+    fn render_path(&self, path: u16) -> String {
+        let p = &self.paths[path as usize];
+        if p.is_empty() {
+            "this".to_string()
+        } else {
+            let mut s = "this".to_string();
+            for &f in p.iter() {
+                let _ = write!(s, "->{}", self.field_names[f as usize]);
+            }
+            s
+        }
+    }
+
+    fn render_op(&self, op: Op) -> String {
+        match op {
+            Op::Const { dst, c } => {
+                format!("const    r{dst} <- #{c} ({:?})", self.consts[c as usize])
+            }
+            Op::Mov { dst, src } => format!("mov      r{dst} <- r{src}"),
+            Op::StoreLocal { dst, src, co } => {
+                format!("stloc    r{dst} <- {co:?}(r{src})")
+            }
+            Op::Un { op, dst, src } => format!("un       r{dst} <- {op:?} r{src}"),
+            Op::Bin { op, dst, a, b } => {
+                format!("bin      r{dst} <- r{a} {} r{b}", op.symbol())
+            }
+            Op::Jump { target } => format!("jump     -> {target:04}"),
+            Op::Branch { cond, target } => format!("brfalse  r{cond} -> {target:04}"),
+            Op::ShortCircuit {
+                reg,
+                jump_if,
+                target,
+            } => format!(
+                "sc{}     r{reg} -> {target:04}",
+                if jump_if { "or " } else { "and" }
+            ),
+            Op::CastBool { reg } => format!("bool     r{reg}"),
+            Op::Guard { mask, target } => format!("guard    mask={mask:#b} else -> {target:04}"),
+            Op::SkipInactive { traversal, target } => {
+                format!("skipoff  t{traversal} -> {target:04}")
+            }
+            Op::Deactivate { traversal, target } => {
+                format!("retrav   t{traversal} next -> {target:04}")
+            }
+            Op::Ret => "ret".to_string(),
+            Op::ReadTree {
+                dst,
+                path,
+                field,
+                addend,
+            } => format!(
+                "rdtree   r{dst} <- [{}.{}{}]",
+                self.render_path(path),
+                self.field_names[field as usize],
+                if addend > 0 {
+                    format!("+{addend}")
+                } else {
+                    String::new()
+                }
+            ),
+            Op::WriteTree {
+                src,
+                path,
+                field,
+                addend,
+                co,
+            } => format!(
+                "wrtree   [{}.{}{}] <- {co:?}(r{src})",
+                self.render_path(path),
+                self.field_names[field as usize],
+                if addend > 0 {
+                    format!("+{addend}")
+                } else {
+                    String::new()
+                }
+            ),
+            Op::ReadGlobal { dst, idx } => format!("rdglob   r{dst} <- g{idx}"),
+            Op::WriteGlobal { src, idx, co } => format!("wrglob   g{idx} <- {co:?}(r{src})"),
+            Op::Nav {
+                dst,
+                path,
+                null_target,
+            } => format!(
+                "nav      r{dst} <- {} null-> {null_target:04}",
+                self.render_path(path)
+            ),
+            Op::Call {
+                call,
+                child,
+                argbase,
+            } => {
+                let info = &self.calls[call as usize];
+                format!(
+                    "call     {} child=r{child} args@r{argbase} parts={}",
+                    self.stubs[info.stub as usize].name,
+                    info.parts.len()
+                )
+            }
+            Op::New { path, field, class } => format!(
+                "new      [{}.{}] <- {}",
+                self.render_path(path),
+                self.field_names[field as usize],
+                self.class_names[class as usize]
+            ),
+            Op::Delete { path, field } => format!(
+                "delete   [{}.{}]",
+                self.render_path(path),
+                self.field_names[field as usize]
+            ),
+            Op::CallPure {
+                dst,
+                pure,
+                base,
+                n,
+                co,
+            } => format!(
+                "pure     r{dst} <- {co:?}({}(r{base}..+{n}))",
+                self.pure_names[pure as usize]
+            ),
+        }
+    }
+}

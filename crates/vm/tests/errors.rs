@@ -1,0 +1,145 @@
+//! Runtime error parity: the VM must surface every [`RuntimeError`]
+//! variant through the same `DiagnosticBag` `Stage::Runtime` path as the
+//! interpreter — one test per variant, each asserting both backends
+//! produce the identical diagnostic.
+
+use grafter::pipeline::{Fused, Pipeline};
+use grafter::{DiagnosticBag, Stage};
+use grafter_runtime::{Execute, Heap, NodeId, Value};
+use grafter_vm::{Backend, ExecuteBackend};
+
+/// Runs both backends on identical fresh trees and returns the two
+/// diagnostic bags (both runs must fail).
+fn both_fail(fused: &Fused, build: &dyn Fn(&mut Heap) -> NodeId) -> (DiagnosticBag, DiagnosticBag) {
+    let run = |backend: Backend| {
+        let mut heap = fused.new_heap();
+        let root = build(&mut heap);
+        fused
+            .run(&mut heap, root, backend)
+            .expect_err("run must fail")
+    };
+    (run(Backend::Interp), run(Backend::Vm))
+}
+
+fn assert_runtime_diag(bag: &DiagnosticBag, needle: &str) {
+    assert!(bag.has_errors(), "{bag}");
+    assert_eq!(bag[0].stage, Stage::Runtime, "{bag}");
+    assert!(
+        bag[0].message.contains(needle),
+        "expected `{needle}` in `{}`",
+        bag[0].message
+    );
+}
+
+#[test]
+fn null_deref_surfaces_identically() {
+    // `Next.Width` reads through a null child pointer.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int w = 0;
+            virtual traversal sum() {}
+        }
+        tree class Cons : Node {
+            traversal sum() {
+                this->next->sum();
+                w = next.w + 1;
+            }
+        }
+        tree class End : Node { }
+    "#;
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("Node", &["sum"])
+        .unwrap();
+    let build = |heap: &mut Heap| heap.alloc_by_name("Cons").unwrap();
+    let (interp, vm) = both_fail(&fused, &build);
+    assert_runtime_diag(&vm, "null child dereferenced");
+    assert_eq!(interp[0].message, vm[0].message);
+}
+
+#[test]
+fn missing_pure_surfaces_identically() {
+    let src = r#"
+        pure int mystery(int x);
+        tree class Node {
+            child Node* next;
+            int v = 0;
+            virtual traversal go() {}
+        }
+        tree class Cons : Node {
+            traversal go() { v = mystery(v); this->next->go(); }
+        }
+        tree class End : Node { }
+    "#;
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("Node", &["go"])
+        .unwrap();
+    let build = |heap: &mut Heap| {
+        let end = heap.alloc_by_name("End").unwrap();
+        let c = heap.alloc_by_name("Cons").unwrap();
+        heap.set_child_by_name(c, "next", Some(end)).unwrap();
+        c
+    };
+    let (interp, vm) = both_fail(&fused, &build);
+    assert_runtime_diag(&vm, "pure function `mystery` has no native implementation");
+    assert_eq!(interp[0].message, vm[0].message);
+}
+
+#[test]
+fn missing_target_surfaces_identically() {
+    // `Stray` lives in a disjoint hierarchy: the entry stub's jump table
+    // has no row for it, so dispatching on a Stray root fails.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int a = 0;
+            virtual traversal go() {}
+        }
+        tree class Cons : Node {
+            traversal go() { a = a + 1; this->next->go(); }
+        }
+        tree class End : Node { }
+        tree class Stray {
+            int b = 0;
+            virtual traversal other() {}
+        }
+    "#;
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("Node", &["go"])
+        .unwrap();
+    let build = |heap: &mut Heap| heap.alloc_by_name("Stray").unwrap();
+    let (interp, vm) = both_fail(&fused, &build);
+    assert_runtime_diag(&vm, "no fused function for dynamic type `Stray`");
+    assert_eq!(interp[0].message, vm[0].message);
+}
+
+#[test]
+fn not_a_ref_surfaces_identically() {
+    // Heap corruption: a child slot overwritten with an integer.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int a = 0;
+            virtual traversal go() {}
+        }
+        tree class Cons : Node {
+            traversal go() { a = a + 1; this->next->go(); }
+        }
+        tree class End : Node { }
+    "#;
+    let fused = Pipeline::compile(src)
+        .unwrap()
+        .fuse_default("Node", &["go"])
+        .unwrap();
+    let build = |heap: &mut Heap| {
+        let c = heap.alloc_by_name("Cons").unwrap();
+        heap.set_by_name(c, "next", Value::Int(7)).unwrap();
+        c
+    };
+    let (interp, vm) = both_fail(&fused, &build);
+    assert_runtime_diag(&vm, "child slot does not hold a reference");
+    assert_eq!(interp[0].message, vm[0].message);
+}

@@ -1,0 +1,93 @@
+//! The four case studies as uniform descriptors.
+//!
+//! Every driver that sweeps "all the workloads" — the Criterion bench,
+//! the `vm_compare` backend comparison, the backend differential tests —
+//! reads this one matrix, so a change to a workload's entry sequence (or
+//! to the kd-tree schedule selection) propagates to every driver at once
+//! instead of requiring three copies to be edited in lockstep.
+
+use grafter::pipeline::Compiled;
+use grafter_runtime::{Heap, NodeId, Value};
+
+use crate::{ast, fmm, kdtree, render};
+
+/// One case study's full entry configuration.
+pub struct CaseStudy {
+    /// Short name (`ast`, `render`, `kdtree`, `fmm`).
+    pub name: &'static str,
+    /// The workload compiled through the pipeline's frontend stage.
+    pub compiled: Compiled,
+    /// Root class of the entry sequence.
+    pub root_class: &'static str,
+    /// Entry traversal names, in invocation order.
+    pub passes: Vec<&'static str>,
+    /// Per-traversal entry arguments.
+    pub args: Vec<Vec<Value>>,
+    /// Deterministic input builder: `(heap, size, seed) -> root`.
+    pub build: fn(&mut Heap, usize, u64) -> NodeId,
+    /// Input size used by wall-clock benches.
+    pub bench_size: usize,
+    /// Smaller input size used by differential test suites.
+    pub test_size: usize,
+}
+
+impl CaseStudy {
+    /// Builds the benchmark-sized input tree (seed 42).
+    pub fn build_bench(&self, heap: &mut Heap) -> NodeId {
+        (self.build)(heap, self.bench_size, 42)
+    }
+
+    /// Builds the test-sized input tree (seed 42).
+    pub fn build_test(&self, heap: &mut Heap) -> NodeId {
+        (self.build)(heap, self.test_size, 42)
+    }
+}
+
+/// The four case studies of the paper's evaluation (§5), with the
+/// kd-tree running its first equation's schedule.
+pub fn case_studies() -> Vec<CaseStudy> {
+    let schedules = kdtree::equation_schedules();
+    let (_, schedule) = &schedules[0];
+    vec![
+        CaseStudy {
+            name: "ast",
+            compiled: ast::compiled(),
+            root_class: ast::ROOT_CLASS,
+            passes: ast::PASSES.to_vec(),
+            args: Vec::new(),
+            build: ast::build_program,
+            bench_size: 100,
+            test_size: 20,
+        },
+        CaseStudy {
+            name: "render",
+            compiled: render::compiled(),
+            root_class: render::ROOT_CLASS,
+            passes: render::PASSES.to_vec(),
+            args: Vec::new(),
+            build: render::build_document,
+            bench_size: 300,
+            test_size: 30,
+        },
+        CaseStudy {
+            name: "kdtree",
+            compiled: kdtree::compiled(),
+            root_class: kdtree::ROOT_CLASS,
+            passes: schedule.iter().map(|op| op.pass()).collect(),
+            args: schedule.iter().map(|op| op.args()).collect(),
+            build: kdtree::build_balanced,
+            bench_size: 12,
+            test_size: 8,
+        },
+        CaseStudy {
+            name: "fmm",
+            compiled: fmm::compiled(),
+            root_class: fmm::ROOT_CLASS,
+            passes: fmm::PASSES.to_vec(),
+            args: Vec::new(),
+            build: fmm::build_tree,
+            bench_size: 20_000,
+            test_size: 1_000,
+        },
+    ]
+}

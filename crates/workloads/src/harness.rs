@@ -3,8 +3,11 @@
 //!
 //! Built on the staged `grafter::pipeline` API: an [`Experiment`] holds a
 //! [`Compiled`] workload, fuses it with [`Compiled::fuse`], and executes
-//! the resulting [`Fused`] artifacts through the runtime's
-//! [`Execute`]/executor stage.
+//! the resulting [`Fused`] artifacts through the backend-selecting
+//! executor stage — [`Experiment::with_backend`] switches every run of
+//! the experiment between the instrumented interpreter and the
+//! `grafter-vm` bytecode VM with one argument (both produce identical
+//! metrics; only wall-clock differs).
 
 use std::time::{Duration, Instant};
 
@@ -12,6 +15,7 @@ use grafter::pipeline::{Compiled, Fused};
 use grafter::FuseOptions;
 use grafter_cachesim::CacheHierarchy;
 use grafter_runtime::{with_stack, Execute, Heap, NodeId, PureRegistry, Value};
+use grafter_vm::{Backend, ExecuteBackend};
 
 /// Stack size used for experiment runs (trees can be deep sibling chains).
 pub const RUN_STACK: usize = 1 << 31;
@@ -91,6 +95,8 @@ pub struct Experiment {
     pub build: Box<dyn Fn(&mut Heap) -> NodeId + Send + Sync>,
     /// Extra pure functions (besides the math defaults).
     pub pures: fn() -> PureRegistry,
+    /// Which execution tier runs the experiment (default: interpreter).
+    pub backend: Backend,
 }
 
 impl Experiment {
@@ -108,7 +114,14 @@ impl Experiment {
             args: Vec::new(),
             build: Box::new(build),
             pures: PureRegistry::with_math,
+            backend: Backend::default(),
         }
+    }
+
+    /// Selects the execution backend for every run of this experiment.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Fuses the experiment's entry sequence.
@@ -123,10 +136,11 @@ impl Experiment {
         let mut heap = fused.new_heap();
         let root = (self.build)(&mut heap);
         let tree_bytes = heap.live_bytes();
-        // Build the executor (pures, cache, args) outside the timed region
-        // so `wall` measures only the interpreter run.
+        // Build the executor (pures, cache, args — and, on the VM tier,
+        // the lowered bytecode module) outside the timed region so `wall`
+        // measures only the execution run.
         let executor = fused
-            .executor()
+            .backend_executor(self.backend)
             .pures((self.pures)())
             .cache(CacheHierarchy::xeon())
             .args(self.args.clone());
@@ -175,7 +189,7 @@ impl Experiment {
                 let mut heap = artifact.new_heap();
                 let root = (self.build)(&mut heap);
                 artifact
-                    .executor()
+                    .backend_executor(self.backend)
                     .pures((self.pures)())
                     .args(self.args.clone())
                     .run(&mut heap, root)

@@ -14,7 +14,10 @@
 //! paper's tables and figures.
 
 pub mod ast;
+pub mod cases;
 pub mod fmm;
 pub mod harness;
 pub mod kdtree;
 pub mod render;
+
+pub use cases::{case_studies, CaseStudy};

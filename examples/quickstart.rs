@@ -1,10 +1,11 @@
 //! Quickstart: write two traversals, fuse them, inspect the generated
-//! code, and execute both versions.
+//! code, and execute both versions — on both execution backends.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use grafter::Pipeline;
 use grafter_runtime::{Execute, Heap, Value};
+use grafter_vm::{Backend, ExecuteBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Grafter program: a heterogeneous list of text boxes (the
@@ -60,16 +61,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cur
     };
 
+    // Backend selection is one argument: `Backend::Interp` walks the
+    // statement trees (`.interpret(..)` is its thin alias),
+    // `Backend::Vm` executes the program lowered to `grafter-vm`
+    // bytecode. Both produce identical metrics and heap states; the VM
+    // just gets there with far less dispatch overhead.
     for (name, artifact) in [("fused", &fused), ("unfused", &unfused)] {
-        let mut heap = artifact.new_heap();
-        let root = build(&mut heap);
-        let metrics = artifact.interpret(&mut heap, root)?;
-        println!(
-            "{name:>8}: visits = {:>5}, instructions = {:>6}, MaxHeight = {:?}",
-            metrics.visits,
-            metrics.instructions,
-            heap.get_by_name(root, "MaxHeight").unwrap(),
-        );
+        for backend in [Backend::Interp, Backend::Vm] {
+            let mut heap = artifact.new_heap();
+            let root = build(&mut heap);
+            let metrics = artifact.run(&mut heap, root, backend)?;
+            println!(
+                "{name:>8} on {backend:>6}: visits = {:>5}, instructions = {:>6}, MaxHeight = {:?}",
+                metrics.visits,
+                metrics.instructions,
+                heap.get_by_name(root, "MaxHeight").unwrap(),
+            );
+        }
     }
     Ok(())
 }

@@ -1,0 +1,117 @@
+//! Differential backend testing over the paper's four case studies: for
+//! each workload, fused and unfused, the `grafter-vm` bytecode VM must
+//! produce exactly the heap state and exactly the metrics (visits,
+//! instructions, loads, stores) of the instrumented interpreter.
+//!
+//! This is the executable statement of the VM's contract: lowering is a
+//! pure representation change — same semantics, same cost model, less
+//! dispatch overhead. The workload matrix is the shared
+//! `grafter_workloads::case_studies()` descriptor, so these tests always
+//! cover exactly the configurations the benches measure.
+
+use grafter::pipeline::{Compiled, Fused};
+use grafter_runtime::{with_stack, Execute, Heap, Metrics, NodeId, SnapValue, Value};
+use grafter_vm::{Backend, ExecuteBackend};
+use grafter_workloads::{case_studies, kdtree};
+
+/// Runs one artifact on one backend on a freshly built tree.
+fn run(
+    artifact: &Fused,
+    backend: Backend,
+    args: &[Vec<Value>],
+    build: &dyn Fn(&mut Heap) -> NodeId,
+) -> (Vec<(String, Vec<SnapValue>)>, Metrics) {
+    let mut heap = artifact.new_heap();
+    let root = build(&mut heap);
+    let metrics = artifact
+        .run_with_args(&mut heap, root, args.to_vec(), backend)
+        .unwrap();
+    (heap.snapshot(root), metrics)
+}
+
+/// Fuses `passes` both ways; for each artifact the two backends must
+/// agree on the final tree and on every counter.
+fn check_workload(
+    name: &str,
+    compiled: &Compiled,
+    root_class: &str,
+    passes: &[&str],
+    args: &[Vec<Value>],
+    build: &dyn Fn(&mut Heap) -> NodeId,
+) {
+    let artifacts = [
+        ("fused", compiled.fuse_default(root_class, passes).unwrap()),
+        (
+            "unfused",
+            compiled.fuse_unfused(root_class, passes).unwrap(),
+        ),
+    ];
+    for (kind, artifact) in &artifacts {
+        let (snap_i, m_i) = run(artifact, Backend::Interp, args, build);
+        let (snap_v, m_v) = run(artifact, Backend::Vm, args, build);
+        assert_eq!(
+            snap_i, snap_v,
+            "{name}/{kind}: interp and vm heap states diverge"
+        );
+        assert_eq!(
+            m_i.visits, m_v.visits,
+            "{name}/{kind}: visit counts diverge"
+        );
+        assert_eq!(m_i, m_v, "{name}/{kind}: metrics diverge");
+    }
+}
+
+#[test]
+fn all_case_studies_match_interp_fused_and_unfused() {
+    with_stack(64 << 20, || {
+        for case in case_studies() {
+            check_workload(
+                case.name,
+                &case.compiled,
+                case.root_class,
+                &case.passes,
+                &case.args,
+                &|heap| case.build_test(heap),
+            );
+        }
+    });
+}
+
+#[test]
+fn kdtree_vm_matches_interp_on_every_equation() {
+    // Beyond the shared matrix's first equation: all three piecewise
+    // schedules of Table 6.
+    with_stack(64 << 20, || {
+        let compiled = kdtree::compiled();
+        for (eq_name, schedule) in kdtree::equation_schedules() {
+            let passes: Vec<&str> = schedule.iter().map(|op| op.pass()).collect();
+            let args: Vec<Vec<Value>> = schedule.iter().map(|op| op.args()).collect();
+            check_workload(
+                &format!("kdtree/{eq_name}"),
+                &compiled,
+                kdtree::ROOT_CLASS,
+                &passes,
+                &args,
+                &|heap| kdtree::build_balanced(heap, 8, 42),
+            );
+        }
+    });
+}
+
+#[test]
+fn harness_equivalence_holds_on_the_vm_backend() {
+    // The workloads harness itself, switched to the VM tier with one
+    // argument: fused and unfused VM runs leave identical trees.
+    let cases = case_studies();
+    let render = &cases[1];
+    assert_eq!(render.name, "render");
+    let build = render.build;
+    let exp = grafter_workloads::harness::Experiment::new(
+        render.compiled.clone(),
+        render.root_class,
+        &render.passes,
+        move |heap| build(heap, 10, 7),
+    )
+    .with_backend(Backend::Vm);
+    assert!(exp.check_equivalence());
+}
