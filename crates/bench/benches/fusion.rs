@@ -12,6 +12,10 @@
 //! baseline), the VM artifacts lower once, and the timed region executes
 //! alone.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grafter::pipeline::Fused;
 use grafter_runtime::{Execute, Heap, NodeId, Value};

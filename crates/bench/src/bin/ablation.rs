@@ -27,7 +27,7 @@ fn main() {
         let exp = Experiment::new(ast::compiled(), ast::ROOT_CLASS, &ast::PASSES, |heap| {
             ast::build_program(heap, 100, 42)
         });
-        let generated = exp.fuse_with(&opts).n_functions();
+        let generated = exp.engine_with(&opts).fusion_metrics().functions;
         let cmp = exp.compare_with(opts);
         let n = cmp.normalized();
         println!(

@@ -1,25 +1,33 @@
 //! Interp-vs-VM wall-clock comparison over the four case-study workloads,
-//! fused and unfused, recorded to `BENCH_vm.json`.
+//! fused and unfused, plus batch throughput of the fused VM engine at 1,
+//! 4 and 8 worker threads — recorded to `BENCH_vm.json`.
 //!
-//! For each workload the input tree is built once; every configuration
-//! (backend × fusion) runs `--samples` times (default 5, plus one warmup)
-//! on cloned heaps and reports the median wall time. Both backends'
-//! `visits` are cross-checked — a mismatch is a hard error, so the JSON
-//! can only ever record a like-for-like comparison.
+//! Every configuration (backend × fusion) is one immutable
+//! `grafter_engine::Engine`, built once — compile, fusion and bytecode
+//! lowering are outside every measured region. For the latency table the
+//! input tree is built once; every configuration runs `--samples` times
+//! (default 5, plus one warmup) on cloned heaps and reports the median
+//! wall time. Both backends' `visits` are cross-checked — a mismatch is a
+//! hard error, so the JSON can only ever record a like-for-like
+//! comparison. The throughput section fans `--batch-trees` identical
+//! trees (default 16) through `Engine::run_batch` per worker count.
 //!
 //! ```text
-//! cargo run --release --bin vm_compare [--samples N] [--out PATH]
+//! cargo run --release --bin vm_compare [--samples N] [--batch-trees N] [--out PATH]
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use grafter::pipeline::Fused;
+use grafter::FusionOptions;
 use grafter_bench::arg_value;
-use grafter_runtime::{with_stack, Execute, Heap, NodeId, Value};
-use grafter_vm::{lower, Vm};
-use grafter_workloads::harness::RUN_STACK;
+use grafter_engine::{Backend, Engine};
+use grafter_runtime::{with_stack, Heap};
+use grafter_workloads::harness::{batch_throughput, Throughput, RUN_STACK};
 use grafter_workloads::{case_studies, CaseStudy};
+
+/// Worker-thread counts swept by the throughput experiment.
+const BATCH_WORKERS: [usize; 3] = [1, 4, 8];
 
 struct Config {
     interp_ns: u128,
@@ -41,6 +49,7 @@ struct WorkloadRow {
     name: &'static str,
     fused: Config,
     unfused: Config,
+    batch: Vec<Throughput>,
 }
 
 fn median(mut xs: Vec<u128>) -> u128 {
@@ -48,16 +57,22 @@ fn median(mut xs: Vec<u128>) -> u128 {
     xs[xs.len() / 2]
 }
 
-/// Median wall time of `samples` runs of `run` on cloned heaps; also
+/// Median wall time of `samples` runs of `engine` on cloned heaps; also
 /// returns the visit count (identical across runs).
-fn time_runs(samples: usize, heap: &Heap, run: &dyn Fn(&mut Heap) -> u64) -> (u128, u64) {
+fn time_runs(
+    samples: usize,
+    engine: &Engine,
+    heap: &Heap,
+    root: grafter_runtime::NodeId,
+) -> (u128, u64) {
     let mut visits = 0;
     let mut times = Vec::with_capacity(samples);
     for i in 0..=samples {
-        let mut h = heap.clone();
+        let mut session = engine.session_on(heap.clone());
         let start = Instant::now();
-        visits = run(&mut h);
+        let report = session.run(root).expect("run succeeds");
         let elapsed = start.elapsed().as_nanos();
+        visits = report.metrics.visits;
         if i > 0 {
             // Sample 0 is warmup.
             times.push(elapsed);
@@ -68,23 +83,15 @@ fn time_runs(samples: usize, heap: &Heap, run: &dyn Fn(&mut Heap) -> u64) -> (u1
 
 fn compare(
     samples: usize,
-    artifact: &Fused,
+    case: &CaseStudy,
+    opts: &FusionOptions,
     heap: &Heap,
-    root: NodeId,
-    args: &[Vec<Value>],
+    root: grafter_runtime::NodeId,
 ) -> Config {
-    let module = lower(artifact.fused_program());
-    let (interp_ns, v_interp) = time_runs(samples, heap, &|h| {
-        artifact
-            .interpret_with_args(h, root, args.to_vec())
-            .expect("interp run succeeds")
-            .visits
-    });
-    let (vm_ns, v_vm) = time_runs(samples, heap, &|h| {
-        let mut vm = Vm::new(&module);
-        vm.run(h, root, args).expect("vm run succeeds");
-        vm.metrics.visits
-    });
+    let interp = case.engine_with(opts.clone(), Backend::Interp);
+    let vm = case.engine_with(opts.clone(), Backend::Vm);
+    let (interp_ns, v_interp) = time_runs(samples, &interp, heap, root);
+    let (vm_ns, v_vm) = time_runs(samples, &vm, heap, root);
     assert_eq!(v_interp, v_vm, "backends disagree on visit counts");
     Config {
         interp_ns,
@@ -93,21 +100,32 @@ fn compare(
     }
 }
 
-fn workload(samples: usize, case: &CaseStudy) -> WorkloadRow {
-    let fused = case
-        .compiled
-        .fuse_default(case.root_class, &case.passes)
-        .unwrap();
-    let unfused = case
-        .compiled
-        .fuse_unfused(case.root_class, &case.passes)
-        .unwrap();
-    let mut heap = fused.new_heap();
+fn workload(samples: usize, batch_trees: usize, case: &CaseStudy) -> WorkloadRow {
+    let fused_opts = FusionOptions::default();
+    let mut heap = Heap::new(case.compiled.program());
     let root = case.build_bench(&mut heap);
+    let fused = compare(samples, case, &fused_opts, &heap, root);
+    let unfused = compare(samples, case, &FusionOptions::unfused(), &heap, root);
+
+    // Throughput: one shared fused VM engine, a batch of identical trees,
+    // swept over worker counts.
+    let engine = case.engine_with(fused_opts, Backend::Vm);
+    let batch = BATCH_WORKERS
+        .iter()
+        .map(|&workers| {
+            batch_throughput(
+                &engine,
+                &|heap| case.build_bench(heap),
+                batch_trees,
+                workers,
+            )
+        })
+        .collect();
     WorkloadRow {
         name: case.name,
-        fused: compare(samples, &fused, &heap, root, &case.args),
-        unfused: compare(samples, &unfused, &heap, root, &case.args),
+        fused,
+        unfused,
+        batch,
     }
 }
 
@@ -121,17 +139,38 @@ fn json_config(c: &Config) -> String {
     )
 }
 
+fn json_batch(batch: &[Throughput]) -> String {
+    let items = batch
+        .iter()
+        .map(|t| {
+            format!(
+                r#"{{"workers": {}, "trees": {}, "wall_ns": {}, "trees_per_sec": {:.3}}}"#,
+                t.workers,
+                t.trees,
+                t.wall.as_nanos(),
+                t.trees_per_sec()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{items}]")
+}
+
 fn main() {
     let samples: usize = arg_value("--samples")
         .and_then(|s| s.parse().ok())
         .unwrap_or(5)
+        .max(1);
+    let batch_trees: usize = arg_value("--batch-trees")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
         .max(1);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_vm.json".to_string());
 
     let rows = with_stack(RUN_STACK, move || {
         case_studies()
             .iter()
-            .map(|case| workload(samples, case))
+            .map(|case| workload(samples, batch_trees, case))
             .collect::<Vec<_>>()
     });
 
@@ -157,17 +196,39 @@ fn main() {
             r.unfused.speedup(),
         );
     }
+    println!(
+        "\n{:<10} {:>6} {}",
+        "workload",
+        "trees",
+        BATCH_WORKERS
+            .iter()
+            .map(|w| format!("{:>16}", format!("{w} worker(s)")))
+            .collect::<String>()
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {}",
+            r.name,
+            batch_trees,
+            r.batch
+                .iter()
+                .map(|t| format!("{:>12.1}/s", t.trees_per_sec()))
+                .collect::<String>()
+        );
+    }
 
     let mut json = String::from("{\n  \"generated_by\": \"vm_compare\",\n");
     let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"batch_trees\": {batch_trees},");
     let _ = writeln!(json, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"fused\": {}, \"unfused\": {}}}{}",
+            "    {{\"name\": \"{}\", \"fused\": {}, \"unfused\": {}, \"batch\": {}}}{}",
             r.name,
             json_config(&r.fused),
             json_config(&r.unfused),
+            json_batch(&r.batch),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

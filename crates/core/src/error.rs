@@ -1,0 +1,187 @@
+//! The typed error of the Engine API.
+//!
+//! The staged pipeline surfaces problems as bare [`DiagnosticBag`]s, which
+//! carry everything but force every caller to re-derive "what failed" and
+//! to keep the source text around for rendering. [`Error`] packages a
+//! failed operation once, at the failure site: the [`Stage`] that failed,
+//! the primary source [`Span`] (when known), the full diagnostic list, and
+//! a pre-rendered caret snippet — so the error is self-contained long
+//! after the source string is gone, and implements [`std::error::Error`]
+//! for idiomatic `?` propagation and `anyhow`-style chaining.
+
+use std::fmt;
+
+use grafter_frontend::{Diag, DiagnosticBag, Span, Stage};
+
+/// A typed, self-contained pipeline/engine error.
+///
+/// Construct with [`Error::new`] at the point where the source text is
+/// still available; the caret snippet is rendered eagerly so `Display`
+/// needs no further context.
+///
+/// ```
+/// use grafter::{Error, Stage};
+///
+/// let src = "tree class X {\n    child Missing* c;\n}";
+/// let bag = grafter_frontend::compile(src).unwrap_err();
+/// let err = Error::new(bag, src);
+/// assert_eq!(err.stage(), Stage::Sema);
+/// assert!(err.is_compile() && !err.is_runtime());
+/// assert!(err.to_string().contains("^^^"), "{err}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Error {
+    stage: Stage,
+    span: Option<Span>,
+    diags: DiagnosticBag,
+    rendered: String,
+}
+
+impl Error {
+    /// Wraps a diagnostic bag, resolving spans against `src` and
+    /// pre-rendering the caret snippet. Exact duplicate diagnostics are
+    /// collapsed.
+    ///
+    /// The error's stage/span are those of the first *error* in the bag
+    /// (falling back to the first diagnostic for all-warning bags).
+    pub fn new(mut diags: DiagnosticBag, src: &str) -> Self {
+        diags.dedup();
+        let primary = diags
+            .iter()
+            .find(|d| d.is_error())
+            .or_else(|| diags.iter().next());
+        let (stage, span) = match primary {
+            Some(d) => (d.stage, d.span),
+            None => (Stage::Config, None),
+        };
+        let rendered = if diags.is_empty() {
+            "error[config]: empty diagnostic bag".to_string()
+        } else {
+            diags.render(src)
+        };
+        Error {
+            stage,
+            span,
+            diags,
+            rendered,
+        }
+    }
+
+    /// Wraps a single diagnostic.
+    pub fn from_diag(diag: Diag, src: &str) -> Self {
+        Error::new(DiagnosticBag::from(diag), src)
+    }
+
+    /// A configuration error (builder misuse), tagged [`Stage::Config`].
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::from_diag(Diag::error_global(Stage::Config, message), "")
+    }
+
+    /// The stage that produced the primary (first error) diagnostic.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The primary diagnostic's source span, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// Every diagnostic behind this error, in emission order.
+    pub fn diagnostics(&self) -> &DiagnosticBag {
+        &self.diags
+    }
+
+    /// Whether the failure happened before execution (lex, parse, sema,
+    /// fuse, or engine configuration).
+    pub fn is_compile(&self) -> bool {
+        self.stage.is_compile()
+    }
+
+    /// Whether the failure happened while executing a program.
+    pub fn is_runtime(&self) -> bool {
+        self.stage == Stage::Runtime
+    }
+
+    /// The pre-rendered report (also what `Display` prints): one block
+    /// per diagnostic, spanned ones with their source-line caret snippet.
+    pub fn rendered(&self) -> &str {
+        &self.rendered
+    }
+
+    /// The diagnostics as a JSON array, with positions resolved against
+    /// `src` (the `grafterc --json` format).
+    pub fn render_json(&self, src: &str) -> String {
+        self.diags.render_json(src)
+    }
+
+    /// Consumes the error back into its diagnostic bag (the shim path:
+    /// old `Result<_, DiagnosticBag>` signatures delegate here).
+    pub fn into_bag(self) -> DiagnosticBag {
+        self.diags
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for DiagnosticBag {
+    fn from(e: Error) -> DiagnosticBag {
+        e.into_bag()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafter_frontend::Severity;
+
+    #[test]
+    fn error_carries_stage_span_and_snippet() {
+        let src = "tree class X {\n    child Missing* c;\n}";
+        let bag = grafter_frontend::compile(src).unwrap_err();
+        let err = Error::new(bag, src);
+        assert_eq!(err.stage(), Stage::Sema);
+        assert!(err.span().is_some());
+        assert!(err.is_compile());
+        let text = err.to_string();
+        assert!(text.contains("error[sema]"), "{text}");
+        assert!(text.contains("child Missing* c;"), "{text}");
+        assert!(text.contains('^'), "{text}");
+    }
+
+    #[test]
+    fn error_dedupes_and_prefers_the_first_error() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diag::warning_global(Stage::Sema, "w"));
+        bag.push(Diag::error_global(Stage::Fuse, "boom"));
+        bag.push(Diag::error_global(Stage::Fuse, "boom"));
+        let err = Error::new(bag, "");
+        assert_eq!(err.stage(), Stage::Fuse);
+        assert_eq!(err.diagnostics().len(), 2, "duplicates collapsed");
+        assert_eq!(err.diagnostics()[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn config_errors_are_compile_side() {
+        let err = Error::config("missing source");
+        assert_eq!(err.stage(), Stage::Config);
+        assert!(err.is_compile());
+        assert_eq!(err.to_string(), "error[config]: missing source");
+        assert!(err.render_json("").contains(r#""stage": "config""#));
+    }
+
+    #[test]
+    fn error_round_trips_to_a_bag() {
+        let bag: DiagnosticBag = Diag::error_global(Stage::Runtime, "null deref").into();
+        let err = Error::new(bag.clone(), "");
+        assert!(err.is_runtime());
+        let back: DiagnosticBag = err.into();
+        assert_eq!(back, bag);
+    }
+}

@@ -37,18 +37,46 @@ pub struct FusedFnId(pub u32);
 pub struct StubId(pub u32);
 
 /// Tuning knobs of the fusion engine (paper §4).
+///
+/// The Engine API names this [`FusionOptions`]; both names refer to the
+/// same struct. Every knob bounds the type-specific partial fusion
+/// algorithm:
+///
+/// | Knob | Default | Effect |
+/// |---|---|---|
+/// | `max_group_size` | 8 | longest sequence of traversal functions fused into one |
+/// | `max_occurrences` | 5 | how often one static function may repeat within a group |
+/// | `grouping` | `true` | `false` disables fusion entirely (the unfused baseline) |
+///
+/// Construct the baseline with [`FuseOptions::unfused`], or tighten
+/// cutoffs with struct-update syntax:
+///
+/// ```
+/// use grafter::FusionOptions;
+///
+/// let tight = FusionOptions { max_group_size: 2, ..FusionOptions::default() };
+/// assert!(tight.grouping);
+/// assert!(!FusionOptions::unfused().grouping);
+/// ```
 #[derive(Clone, Debug)]
 pub struct FuseOptions {
     /// Maximum number of traversal functions fused into one sequence
     /// ("limiting the length of a sequence of functions to fuse").
+    /// Longer entry sequences split into multiple passes.
     pub max_group_size: usize,
     /// Maximum number of times one static function may appear in a group
-    /// ("limiting the number of times any one static function can appear").
+    /// ("limiting the number of times any one static function can
+    /// appear"). Bounds code growth under mutual recursion.
     pub max_occurrences: usize,
     /// When `false`, no call grouping is performed: the output is the
-    /// unfused baseline expressed in the same runtime representation.
+    /// unfused baseline expressed in the same runtime representation
+    /// (one pass over the tree per entry traversal).
     pub grouping: bool,
 }
+
+/// The Engine API's name for [`FuseOptions`] (see
+/// `Engine::builder().fusion(..)`).
+pub type FusionOptions = FuseOptions;
 
 impl Default for FuseOptions {
     fn default() -> Self {

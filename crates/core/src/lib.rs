@@ -49,14 +49,18 @@
 pub mod access;
 pub mod cpp;
 pub mod depgraph;
+pub mod error;
 pub mod fusion;
 pub mod pipeline;
 
 pub use access::{AccessSummary, ProgramAccesses};
 pub use depgraph::{DepGraph, MergedStmt};
+pub use error::Error;
 pub use fusion::{
     fuse, fuse_slots, CallPart, FuseError, FuseOptions, FusedFn, FusedFnId, FusedProgram,
-    ScheduledItem, Stub, StubId,
+    FusionOptions, ScheduledItem, Stub, StubId,
 };
 pub use grafter_frontend::{Diag, DiagnosticBag, Severity, Stage};
-pub use pipeline::{Compiled, Fused, FusionMetrics, Pipeline};
+#[allow(deprecated)]
+pub use pipeline::Pipeline;
+pub use pipeline::{Compiled, Fused, FusionMetrics};

@@ -37,6 +37,7 @@ use std::fmt;
 use grafter_frontend::{Diag, DiagnosticBag, Program, Stage};
 
 use crate::cpp;
+use crate::error::Error;
 use crate::fusion::{fuse, FuseError, FuseOptions, FusedProgram};
 
 impl From<FuseError> for Diag {
@@ -55,8 +56,20 @@ impl From<FuseError> for DiagnosticBag {
 ///
 /// `Pipeline` is a namespace for the first stage; the value flow is
 /// `Pipeline::compile(src)? → Compiled → .fuse(..)? → Fused`.
+///
+/// Deprecated: the one-shot staged flow re-threads source → fused program
+/// → backend on every run and shares nothing across threads. Build an
+/// `Engine` once instead (`grafter_engine::Engine::builder()`), then open
+/// per-request sessions — see the README migration guide. `Pipeline`
+/// remains as a thin shim over the same machinery.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `grafter_engine::Engine` once and open per-request sessions; \
+            `Pipeline::compile` is `Compiled::compile` with a weaker error type"
+)]
 pub struct Pipeline;
 
+#[allow(deprecated)]
 impl Pipeline {
     /// Compiles DSL source through lexing, parsing and semantic analysis.
     ///
@@ -65,13 +78,7 @@ impl Pipeline {
     /// Returns the accumulated [`DiagnosticBag`] if any stage reports an
     /// error; warnings ride along on success via [`Compiled::warnings`].
     pub fn compile(src: impl Into<String>) -> Result<Compiled, DiagnosticBag> {
-        let src = src.into();
-        let (program, warnings) = grafter_frontend::compile_with_warnings(&src)?;
-        Ok(Compiled {
-            src,
-            program,
-            warnings,
-        })
+        Compiled::compile(src).map_err(Error::into_bag)
     }
 }
 
@@ -84,6 +91,26 @@ pub struct Compiled {
 }
 
 impl Compiled {
+    /// Compiles DSL source through lexing, parsing and semantic analysis
+    /// (the Engine builder's compile step).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] (stage, span, rendered caret snippet)
+    /// when any frontend stage reports an error; warnings ride along on
+    /// success via [`Compiled::warnings`].
+    pub fn compile(src: impl Into<String>) -> Result<Compiled, Error> {
+        let src = src.into();
+        match grafter_frontend::compile_with_warnings(&src) {
+            Ok((program, warnings)) => Ok(Compiled {
+                src,
+                program,
+                warnings,
+            }),
+            Err(bag) => Err(Error::new(bag, &src)),
+        }
+    }
+
     /// The resolved program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -238,6 +265,7 @@ impl std::ops::Deref for Fused {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,159 @@
+//! Engine configuration and the build step that compiles everything once.
+
+use grafter::pipeline::Compiled;
+use grafter::{fuse, Error, FusionMetrics, FusionOptions};
+use grafter_runtime::{PureRegistry, Value};
+use grafter_vm::{lower, Backend};
+
+use crate::engine::Engine;
+use grafter_cachesim::CacheHierarchy;
+
+/// Configures and builds an [`Engine`].
+///
+/// Two inputs are required: the program (via [`EngineBuilder::source`] or
+/// a pre-compiled [`EngineBuilder::compiled`] artifact) and the entry
+/// sequence ([`EngineBuilder::entry`]). Everything else has defaults:
+/// fusion on with the paper's cutoffs, the interpreter backend, math
+/// pures, no entry arguments, no cache simulation.
+///
+/// [`EngineBuilder::build`] is the single compile-everything-once step:
+/// frontend (when given source), fusion compiler, and — on
+/// [`Backend::Vm`] — bytecode lowering each run exactly once, however
+/// many sessions and threads the engine later serves.
+#[derive(Default)]
+pub struct EngineBuilder {
+    source: Option<String>,
+    compiled: Option<Compiled>,
+    root: Option<String>,
+    passes: Vec<String>,
+    fusion: Option<FusionOptions>,
+    backend: Backend,
+    pures: Option<PureRegistry>,
+    args: Vec<Vec<Value>>,
+    cache: Option<CacheHierarchy>,
+}
+
+impl EngineBuilder {
+    pub(crate) fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// The DSL source to compile. Mutually exclusive with
+    /// [`EngineBuilder::compiled`] (the compiled artifact wins).
+    pub fn source(mut self, src: impl Into<String>) -> Self {
+        self.source = Some(src.into());
+        self
+    }
+
+    /// A pre-compiled frontend artifact (skips re-running the frontend
+    /// when many engines share one program, e.g. fused + unfused pairs).
+    pub fn compiled(mut self, compiled: Compiled) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
+
+    /// The entry sequence: traversals invoked back-to-back on a root of
+    /// static type `root_class`.
+    pub fn entry<S: AsRef<str>>(mut self, root_class: impl Into<String>, passes: &[S]) -> Self {
+        self.root = Some(root_class.into());
+        self.passes = passes.iter().map(|p| p.as_ref().to_string()).collect();
+        self
+    }
+
+    /// Fusion knobs (defaults to [`FusionOptions::default`]; pass
+    /// [`FusionOptions::unfused`] for the one-pass-per-traversal
+    /// baseline).
+    pub fn fusion(mut self, opts: FusionOptions) -> Self {
+        self.fusion = Some(opts);
+        self
+    }
+
+    /// The execution tier (default: [`Backend::Interp`]). On
+    /// [`Backend::Vm`] the build lowers the bytecode module, once.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the default math pure registry for every session.
+    pub fn pures(mut self, pures: PureRegistry) -> Self {
+        self.pures = Some(pures);
+        self
+    }
+
+    /// Default per-traversal entry arguments for every session
+    /// (overridable per session with `Session::with_args`).
+    pub fn args(mut self, args: Vec<Vec<Value>>) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Attaches a cache-hierarchy prototype: every session starts with a
+    /// fresh clone and its report carries the simulated traffic.
+    pub fn cache(mut self, cache: CacheHierarchy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Compiles, fuses and (for the VM tier) lowers — each exactly once —
+    /// into an immutable, `Send + Sync` [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`]: [`Stage::Config`] for builder misuse
+    /// (no program, no entry), the originating stage for frontend or
+    /// fusion failures.
+    ///
+    /// [`Stage::Config`]: grafter_frontend::Stage::Config
+    pub fn build(self) -> Result<Engine, Error> {
+        let compiled = match (self.compiled, self.source) {
+            (Some(c), _) => c,
+            (None, Some(src)) => Compiled::compile(src)?,
+            (None, None) => {
+                return Err(Error::config(
+                    "engine needs a program: call `.source(..)` or `.compiled(..)`",
+                ))
+            }
+        };
+        let Some(root) = self.root else {
+            return Err(Error::config(
+                "engine needs an entry sequence: call `.entry(root_class, passes)`",
+            ));
+        };
+        if self.passes.is_empty() {
+            return Err(Error::config(
+                "engine needs at least one entry traversal in `.entry(..)`",
+            ));
+        }
+
+        let opts = self.fusion.unwrap_or_default();
+        let passes: Vec<&str> = self.passes.iter().map(String::as_str).collect();
+        let fused = fuse(compiled.program(), &root, &passes, &opts)
+            .map_err(|e| Error::from_diag(e.into(), compiled.source()))?;
+        let fusion = FusionMetrics {
+            functions: fused.n_functions(),
+            stubs: fused.stubs.len(),
+            passes: fused.entries.len(),
+            fully_fused: fused.fully_fused(),
+        };
+        // The compile-once step of the VM tier: lowering happens here and
+        // nowhere else in the engine's lifetime.
+        let module = match self.backend {
+            Backend::Interp => None,
+            Backend::Vm => Some(lower(&fused)),
+        };
+        let mut warnings = compiled.warnings().clone();
+        warnings.dedup();
+        Ok(Engine {
+            src: compiled.source().to_string(),
+            fused,
+            fusion,
+            module,
+            backend: self.backend,
+            pures: self.pures.unwrap_or_else(PureRegistry::with_math),
+            args: self.args,
+            cache: self.cache,
+            warnings,
+        })
+    }
+}

@@ -1,0 +1,126 @@
+//! The immutable, shareable engine: one compiled program, many runs.
+
+use grafter::{cpp, DiagnosticBag, FusedProgram, FusionMetrics};
+use grafter_frontend::Program;
+use grafter_runtime::{Heap, PureRegistry, Value};
+use grafter_vm::{Backend, Module};
+
+use crate::builder::EngineBuilder;
+use crate::session::Session;
+use grafter_cachesim::CacheHierarchy;
+
+/// A fused program compiled for execution, immutable after
+/// [`EngineBuilder::build`].
+///
+/// The engine owns everything that is per-*program*: the fused functions,
+/// the lowered bytecode module (VM backend, lowered exactly once), the
+/// resolved pure-function registry, default entry arguments and the cache
+/// model prototype. Everything per-*run* (the heap, counters, simulated
+/// cache state) lives in [`Session`]s, so one `Arc<Engine>` serves any
+/// number of threads concurrently — `Engine` is `Send + Sync` and two
+/// sessions never share mutable state.
+///
+/// See the [crate docs](crate) for the end-to-end example.
+pub struct Engine {
+    pub(crate) src: String,
+    pub(crate) fused: FusedProgram,
+    pub(crate) fusion: FusionMetrics,
+    /// Lowered exactly once at build for [`Backend::Vm`]; `None` on the
+    /// interpreter tier.
+    pub(crate) module: Option<Module>,
+    pub(crate) backend: Backend,
+    pub(crate) pures: PureRegistry,
+    pub(crate) args: Vec<Vec<Value>>,
+    /// Fresh-state cache prototype cloned into each session.
+    pub(crate) cache: Option<CacheHierarchy>,
+    pub(crate) warnings: DiagnosticBag,
+}
+
+impl Engine {
+    /// Starts configuring a new engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Opens a session: a per-request execution context owning its own
+    /// heap, pre-configured with the engine's pures, entry arguments and
+    /// cache model.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Opens a session over an existing heap (e.g. a clone of a pre-built
+    /// input tree, so repeated timed runs skip tree construction).
+    pub fn session_on(&self, heap: Heap) -> Session<'_> {
+        Session::on(self, heap)
+    }
+
+    /// The execution tier this engine was built for.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Compile-side fusion statistics (computed once at build).
+    pub fn fusion_metrics(&self) -> FusionMetrics {
+        self.fusion
+    }
+
+    /// Warnings accumulated while building, deduplicated.
+    pub fn warnings(&self) -> &DiagnosticBag {
+        &self.warnings
+    }
+
+    /// The DSL source the engine was built from.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The resolved source program (class/field/method tables).
+    pub fn program(&self) -> &Program {
+        &self.fused.program
+    }
+
+    /// The fused program the engine executes.
+    pub fn fused_program(&self) -> &FusedProgram {
+        &self.fused
+    }
+
+    /// The lowered bytecode module — `Some` exactly when the engine was
+    /// built with [`Backend::Vm`].
+    pub fn module(&self) -> Option<&Module> {
+        self.module.as_ref()
+    }
+
+    /// Renders the fused program as C++-like source (the paper's Fig. 6).
+    pub fn render_cpp(&self) -> String {
+        cpp::emit(&self.fused)
+    }
+
+    /// A fresh heap laid out for this engine's program (what
+    /// [`Engine::session`] starts from).
+    pub fn new_heap(&self) -> Heap {
+        Heap::new(self.program())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend)
+            .field("fusion", &self.fusion)
+            .field("module", &self.module.as_ref().map(|m| m.n_ops()))
+            .field("warnings", &self.warnings.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+}

@@ -1,0 +1,102 @@
+//! The unified result of one engine run.
+
+use std::fmt;
+use std::time::Duration;
+
+use grafter::FusionMetrics;
+use grafter_cachesim::HierarchyStats;
+use grafter_runtime::{Metrics, Value};
+use grafter_vm::Backend;
+
+/// Everything one run produced, in one struct.
+///
+/// Earlier API generations scattered this across four places:
+/// compile-side [`FusionMetrics`] on the artifact, runtime [`Metrics`]
+/// from the interpreter, cache statistics on the optional hierarchy, and
+/// wall-clock measured by each caller. A `Report` carries all of them.
+///
+/// # Equality
+///
+/// `PartialEq` compares the *deterministic outcome* — backend, fusion
+/// metrics, runtime counters and simulated cache traffic — and ignores
+/// [`Report::wall`], which varies run to run. Two runs of the same
+/// program on identical trees compare equal even across threads; this is
+/// what the concurrency test suite asserts.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The execution tier that ran.
+    pub backend: Backend,
+    /// Compile-side fusion statistics of the engine's program.
+    pub fusion: FusionMetrics,
+    /// The run's performance counters (visits, instructions, loads,
+    /// stores).
+    pub metrics: Metrics,
+    /// Simulated cache traffic, when the engine/session attached a cache
+    /// model.
+    pub cache: Option<HierarchyStats>,
+    /// Final values of the program's global variables after the run, in
+    /// declaration order — how global accumulators (e.g. the kd-tree
+    /// workload's `INTEGRAL`) surface without access to the executor.
+    pub globals: Vec<(String, Value)>,
+    /// Wall-clock time of the execution (excluded from equality).
+    pub wall: Duration,
+}
+
+impl Report {
+    /// Modelled runtime in cycles: instructions plus memory stalls when a
+    /// cache was attached, bare instructions otherwise.
+    pub fn cycles(&self) -> u64 {
+        match &self.cache {
+            Some(stats) => self.metrics.cycles(stats),
+            None => self.metrics.instructions,
+        }
+    }
+
+    /// Throughput of this run in visits per second of wall time.
+    pub fn visits_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.metrics.visits as f64 / secs
+        }
+    }
+
+    /// The final value of global variable `name` after the run.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        self.globals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+impl PartialEq for Report {
+    /// Deterministic-outcome equality; see the type docs. `wall` is
+    /// intentionally ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.backend == other.backend
+            && self.fusion == other.fusion
+            && self.metrics == other.metrics
+            && self.cache == other.cache
+            && self.globals == other.globals
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} visit(s), {} instruction(s), {} load(s), {} store(s)",
+            self.backend,
+            self.metrics.visits,
+            self.metrics.instructions,
+            self.metrics.loads,
+            self.metrics.stores
+        )?;
+        if let Some(cache) = &self.cache {
+            write!(f, ", {} cache access(es)", cache.accesses)?;
+        }
+        write!(f, ", {} cycle(s), {:?} wall", self.cycles(), self.wall)
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-request execution contexts over a shared engine.
+
+use std::time::Instant;
+
+use grafter::{Diag, Error, Stage};
+use grafter_cachesim::CacheHierarchy;
+use grafter_runtime::{Heap, Interp, NodeId, PureRegistry, SnapValue, Value};
+use grafter_vm::{Backend, Vm};
+
+use crate::engine::Engine;
+use crate::report::Report;
+
+/// One request's execution context: a heap plus run configuration,
+/// borrowed from a shared [`Engine`].
+///
+/// Sessions are cheap to open and independent of each other — each owns
+/// its heap and (when attached) its simulated cache, so any number can
+/// run concurrently against one `Arc<Engine>`. Configuration defaults
+/// come from the engine (pures, entry arguments, cache prototype) and can
+/// be overridden per session with the `with_*` builders.
+///
+/// Tree construction goes through the session's typed wrappers
+/// ([`Session::alloc`], [`Session::set_child`], [`Session::set_field`])
+/// or directly through [`Session::heap_mut`] for bulk builders.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    heap: Heap,
+    pures: Option<PureRegistry>,
+    args: Option<Vec<Vec<Value>>>,
+    cache: Option<CacheHierarchy>,
+}
+
+impl<'e> Session<'e> {
+    pub(crate) fn new(engine: &'e Engine) -> Self {
+        Session::on(engine, engine.new_heap())
+    }
+
+    pub(crate) fn on(engine: &'e Engine, heap: Heap) -> Self {
+        Session {
+            engine,
+            heap,
+            pures: None,
+            args: None,
+            cache: engine.cache.clone(),
+        }
+    }
+
+    /// The engine this session runs against.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The session's heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable access to the session's heap (bulk tree builders).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Replaces the pure registry for this session only.
+    pub fn with_pures(mut self, pures: PureRegistry) -> Self {
+        self.pures = Some(pures);
+        self
+    }
+
+    /// Replaces the per-traversal entry arguments for this session only.
+    pub fn with_args(mut self, args: Vec<Vec<Value>>) -> Self {
+        self.args = Some(args);
+        self
+    }
+
+    /// Attaches (or replaces) a cache-model prototype for this session; a
+    /// fresh clone simulates each run, and the run's [`Report`] carries
+    /// its statistics.
+    pub fn with_cache(mut self, cache: CacheHierarchy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches cache simulation for this session (overriding an
+    /// engine-level prototype).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Allocates a node of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::Config`] error when the class name does not
+    /// resolve.
+    pub fn alloc(&mut self, class: &str) -> Result<NodeId, Error> {
+        self.heap
+            .alloc_by_name(class)
+            .ok_or_else(|| self.config_error(format!("unknown tree class `{class}`")))
+    }
+
+    /// Sets child field `field` of `node` (`None` = null).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::Config`] error when the field does not resolve
+    /// on the node's class.
+    pub fn set_child(
+        &mut self,
+        node: NodeId,
+        field: &str,
+        child: Option<NodeId>,
+    ) -> Result<(), Error> {
+        self.heap
+            .set_child_by_name(node, field, child)
+            .map(|_| ())
+            .ok_or_else(|| self.config_error(format!("unknown child field `{field}`")))
+    }
+
+    /// Sets data field `field` of `node` (dotted struct paths allowed,
+    /// e.g. `"Text.Length"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::Config`] error when the field does not resolve
+    /// on the node's class.
+    pub fn set_field(&mut self, node: NodeId, field: &str, value: Value) -> Result<(), Error> {
+        self.heap
+            .set_by_name(node, field, value)
+            .ok_or_else(|| self.config_error(format!("unknown field `{field}`")))
+    }
+
+    /// Reads data field `field` of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::Config`] error when the field does not resolve
+    /// on the node's class.
+    pub fn get_field(&self, node: NodeId, field: &str) -> Result<Value, Error> {
+        self.heap
+            .get_by_name(node, field)
+            .ok_or_else(|| self.config_error(format!("unknown field `{field}`")))
+    }
+
+    /// Runs an arbitrary tree builder against the session's heap and
+    /// returns the root it produced.
+    pub fn build_tree(&mut self, build: impl FnOnce(&mut Heap) -> NodeId) -> NodeId {
+        build(&mut self.heap)
+    }
+
+    /// A value-semantics snapshot of the subtree under `root` (class name
+    /// plus slot values per node, pre-order) — the heap-state fingerprint
+    /// the differential and concurrency suites compare.
+    pub fn snapshot(&self, root: NodeId) -> Vec<(String, Vec<SnapValue>)> {
+        self.heap.snapshot(root)
+    }
+
+    /// Executes the engine's fused program on `root`, collecting a
+    /// [`Report`].
+    ///
+    /// Can be called repeatedly (e.g. on a tree the previous run
+    /// mutated); each run gets fresh counters and, when a cache model is
+    /// attached, a fresh simulated cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::Runtime`] [`Error`] on null dereferences,
+    /// missing pure implementations or unresolvable dispatch — rendered
+    /// identically for both backends.
+    pub fn run(&mut self, root: NodeId) -> Result<Report, Error> {
+        let engine = self.engine;
+        let args = self.args.as_ref().unwrap_or(&engine.args);
+        let pures = self.pures.as_ref().unwrap_or(&engine.pures).clone();
+        let cache = self.cache.clone();
+        let runtime_err = |e: grafter_runtime::RuntimeError| {
+            Error::from_diag(
+                Diag::error_global(Stage::Runtime, e.to_string()),
+                &engine.src,
+            )
+        };
+
+        let global_names = engine.program().globals.iter().map(|g| g.name.clone());
+        // `wall` times the execution alone; executor setup and the
+        // post-run globals readout stay outside the measured region.
+        let (metrics, cache_stats, globals, wall) = match engine.backend {
+            Backend::Interp => {
+                let mut interp = Interp::with_pures(&engine.fused, pures);
+                if let Some(cache) = cache {
+                    interp = interp.with_cache(cache);
+                }
+                let start = Instant::now();
+                interp
+                    .run(&mut self.heap, root, args)
+                    .map_err(runtime_err)?;
+                let wall = start.elapsed();
+                let globals = global_names
+                    .map(|name| {
+                        let value = interp.global(&name).expect("declared global resolves");
+                        (name, value)
+                    })
+                    .collect();
+                (
+                    interp.metrics,
+                    interp.cache.as_ref().map(CacheHierarchy::stats),
+                    globals,
+                    wall,
+                )
+            }
+            Backend::Vm => {
+                let module = engine
+                    .module
+                    .as_ref()
+                    .expect("vm engine holds its module (lowered at build)");
+                let mut vm = Vm::with_pures(module, pures);
+                if let Some(cache) = cache {
+                    vm = vm.with_cache(cache);
+                }
+                let start = Instant::now();
+                vm.run(&mut self.heap, root, args).map_err(runtime_err)?;
+                let wall = start.elapsed();
+                let globals = global_names
+                    .map(|name| {
+                        let value = vm.global(&name).expect("declared global resolves");
+                        (name, value)
+                    })
+                    .collect();
+                (
+                    vm.metrics,
+                    vm.cache.as_ref().map(CacheHierarchy::stats),
+                    globals,
+                    wall,
+                )
+            }
+        };
+        Ok(Report {
+            backend: engine.backend,
+            fusion: engine.fusion,
+            metrics,
+            cache: cache_stats,
+            globals,
+            wall,
+        })
+    }
+
+    /// Consumes the session into its heap (e.g. to hand the mutated tree
+    /// to a follow-up engine).
+    pub fn into_heap(self) -> Heap {
+        self.heap
+    }
+
+    fn config_error(&self, message: String) -> Error {
+        Error::from_diag(Diag::error_global(Stage::Config, message), &self.engine.src)
+    }
+}

@@ -1,0 +1,322 @@
+//! Engine/Session API contract tests: builder validation, typed errors,
+//! backend parity, session overrides, batch determinism.
+
+use grafter::{FusionOptions, Stage};
+use grafter_cachesim::CacheHierarchy;
+use grafter_engine::{Backend, BatchOptions, Engine};
+use grafter_runtime::{Heap, NodeId, PureRegistry, Value};
+
+/// A heterogeneous batch input (mixed closure types need boxing).
+type BoxedInput = Box<dyn FnOnce(&mut Heap) -> NodeId + Send>;
+
+const LIST: &str = r#"
+    tree class Node {
+        child Node* next;
+        int a = 0; int b = 0;
+        virtual traversal incA() {}
+        virtual traversal incB() {}
+    }
+    tree class Cons : Node {
+        traversal incA() { a = a + 1; this->next->incA(); }
+        traversal incB() { b = b + 1; this->next->incB(); }
+    }
+    tree class End : Node { }
+"#;
+
+fn list_engine(backend: Backend) -> Engine {
+    Engine::builder()
+        .source(LIST)
+        .entry("Node", &["incA", "incB"])
+        .backend(backend)
+        .build()
+        .unwrap()
+}
+
+/// Builds an `n`-long Cons chain, returning its root.
+fn build_chain(heap: &mut Heap, n: usize) -> NodeId {
+    let mut cur = heap.alloc_by_name("End").unwrap();
+    for _ in 0..n {
+        let c = heap.alloc_by_name("Cons").unwrap();
+        heap.set_child_by_name(c, "next", Some(cur)).unwrap();
+        cur = c;
+    }
+    cur
+}
+
+#[test]
+fn builder_rejects_missing_program_and_entry() {
+    let err = Engine::builder().build().unwrap_err();
+    assert_eq!(err.stage(), Stage::Config);
+    assert!(err.to_string().contains("source"), "{err}");
+
+    let err = Engine::builder().source(LIST).build().unwrap_err();
+    assert_eq!(err.stage(), Stage::Config);
+    assert!(err.to_string().contains("entry"), "{err}");
+
+    let empty: &[&str] = &[];
+    let err = Engine::builder()
+        .source(LIST)
+        .entry("Node", empty)
+        .build()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Config);
+}
+
+#[test]
+fn builder_surfaces_typed_compile_and_fuse_errors() {
+    let err = Engine::builder()
+        .source("tree class X { child Missing* c; }")
+        .entry("X", &["t"])
+        .build()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Sema);
+    assert!(err.is_compile());
+    assert!(err.span().is_some());
+    assert!(err.to_string().contains('^'), "caret snippet: {err}");
+
+    let err = Engine::builder()
+        .source(LIST)
+        .entry("Nope", &["incA"])
+        .build()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Fuse);
+    assert!(err.to_string().contains("unknown tree class"), "{err}");
+}
+
+#[test]
+fn engine_compiles_and_fuses_once_with_metrics() {
+    let engine = list_engine(Backend::Interp);
+    let m = engine.fusion_metrics();
+    assert!(m.fully_fused);
+    assert_eq!(m.passes, 1);
+    assert!(engine.module().is_none(), "interp tier lowers nothing");
+    assert!(engine.render_cpp().contains("__stub0"));
+
+    let vm = list_engine(Backend::Vm);
+    assert!(vm.module().is_some(), "vm tier caches its module");
+
+    let unfused = Engine::builder()
+        .source(LIST)
+        .entry("Node", &["incA", "incB"])
+        .fusion(FusionOptions::unfused())
+        .build()
+        .unwrap();
+    assert_eq!(unfused.fusion_metrics().passes, 2);
+}
+
+#[test]
+fn sessions_run_and_backends_agree() {
+    let interp = list_engine(Backend::Interp);
+    let vm = list_engine(Backend::Vm);
+    let mut reports = Vec::new();
+    let mut snaps = Vec::new();
+    for engine in [&interp, &vm] {
+        let mut s = engine.session().with_cache(CacheHierarchy::tiny());
+        let root = s.build_tree(|heap| build_chain(heap, 9));
+        let report = s.run(root).unwrap();
+        assert_eq!(report.metrics.visits, 10);
+        assert_eq!(s.get_field(root, "a").unwrap(), Value::Int(1));
+        assert!(report.cache.is_some());
+        snaps.push(s.snapshot(root));
+        reports.push(report);
+    }
+    assert_eq!(snaps[0], snaps[1], "backends leave identical trees");
+    assert_eq!(
+        reports[0].metrics, reports[1].metrics,
+        "bit-identical counters"
+    );
+    assert_eq!(
+        reports[0].cache, reports[1].cache,
+        "identical cache traffic"
+    );
+    // Report equality itself compares outcome (not wall, not backend tag
+    // — backends differ here, so compare fields above instead).
+    assert_ne!(reports[0].backend, reports[1].backend);
+}
+
+#[test]
+fn session_runs_repeatedly_with_fresh_counters() {
+    let engine = list_engine(Backend::Vm);
+    let mut s = engine.session();
+    let root = s.build_tree(|heap| build_chain(heap, 4));
+    let first = s.run(root).unwrap();
+    let second = s.run(root).unwrap();
+    assert_eq!(first, second, "counters reset between runs");
+    assert_eq!(
+        s.get_field(root, "a").unwrap(),
+        Value::Int(2),
+        "the tree itself keeps mutating"
+    );
+}
+
+#[test]
+fn session_wrappers_return_config_errors() {
+    let engine = list_engine(Backend::Interp);
+    let mut s = engine.session();
+    let err = s.alloc("Nope").unwrap_err();
+    assert_eq!(err.stage(), Stage::Config);
+    let node = s.alloc("Cons").unwrap();
+    assert_eq!(
+        s.set_child(node, "prev", None).unwrap_err().stage(),
+        Stage::Config
+    );
+    assert_eq!(
+        s.set_field(node, "zzz", Value::Int(0)).unwrap_err().stage(),
+        Stage::Config
+    );
+    assert_eq!(s.get_field(node, "zzz").unwrap_err().stage(), Stage::Config);
+}
+
+#[test]
+fn runtime_failures_are_typed_runtime_errors() {
+    // `Cons` recurses through `next`, which stays null: guaranteed null
+    // dereference on both backends.
+    let src = r#"
+        tree class N {
+            child N* next;
+            int a = 0;
+            virtual traversal t() {}
+        }
+        tree class C : N { traversal t() { a = this->next.a + 1; } }
+        tree class E : N { }
+    "#;
+    for backend in [Backend::Interp, Backend::Vm] {
+        let engine = Engine::builder()
+            .source(src)
+            .entry("N", &["t"])
+            .backend(backend)
+            .build()
+            .unwrap();
+        let mut s = engine.session();
+        let root = s.alloc("C").unwrap();
+        let err = s.run(root).unwrap_err();
+        assert!(err.is_runtime(), "{backend}: {err}");
+        assert_eq!(err.stage(), Stage::Runtime);
+        assert!(err.to_string().contains("null"), "{backend}: {err}");
+    }
+}
+
+#[test]
+fn engine_level_pures_args_and_cache_flow_into_sessions() {
+    let src = r#"
+        pure int magic(int x);
+        tree class N {
+            child N* next;
+            int a = 0;
+            virtual traversal t(int seed) {}
+        }
+        tree class C : N { traversal t(int seed) { a = magic(seed); } }
+        tree class E : N { }
+    "#;
+    let mut pures = PureRegistry::with_math();
+    pures.register("magic", |a| Value::Int(a[0].as_i64() * 7));
+    let engine = Engine::builder()
+        .source(src)
+        .entry("N", &["t"])
+        .pures(pures)
+        .args(vec![vec![Value::Int(6)]])
+        .cache(CacheHierarchy::tiny())
+        .build()
+        .unwrap();
+
+    let mut s = engine.session();
+    let root = s.alloc("C").unwrap();
+    let report = s.run(root).unwrap();
+    assert_eq!(s.get_field(root, "a").unwrap(), Value::Int(42));
+    assert!(
+        report.cache.is_some(),
+        "engine-level cache prototype applies"
+    );
+
+    // Per-session overrides win.
+    let mut s = engine
+        .session()
+        .with_args(vec![vec![Value::Int(2)]])
+        .without_cache();
+    let root = s.alloc("C").unwrap();
+    let report = s.run(root).unwrap();
+    assert_eq!(s.get_field(root, "a").unwrap(), Value::Int(14));
+    assert!(report.cache.is_none());
+}
+
+#[test]
+fn run_batch_preserves_input_order_and_matches_sequential() {
+    let engine = list_engine(Backend::Vm);
+    // Different-sized chains so each slot's report is distinguishable.
+    let sizes: Vec<usize> = (1..=12).collect();
+    let inputs: Vec<_> = sizes
+        .iter()
+        .map(|&n| move |heap: &mut Heap| build_chain(heap, n))
+        .collect();
+    let sequential: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            let mut s = engine.session();
+            let root = s.build_tree(|heap| build_chain(heap, n));
+            s.run(root).unwrap()
+        })
+        .collect();
+    for workers in [1, 4, 8] {
+        let inputs = inputs.clone();
+        let batch = engine
+            .run_batch_with(inputs, &BatchOptions::with_workers(workers))
+            .unwrap();
+        assert_eq!(batch, sequential, "{workers} workers");
+        for (report, &n) in batch.iter().zip(&sizes) {
+            assert_eq!(report.metrics.visits, n as u64 + 1);
+        }
+    }
+    assert!(engine
+        .run_batch::<fn(&mut Heap) -> NodeId>(Vec::new())
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn try_run_batch_keeps_per_input_failures() {
+    let src = r#"
+        tree class N {
+            child N* next;
+            int a = 0;
+            virtual traversal t() {}
+        }
+        tree class C : N { traversal t() { a = this->next.a + 1; } }
+        tree class E : N { }
+    "#;
+    let engine = Engine::builder()
+        .source(src)
+        .entry("N", &["t"])
+        .build()
+        .unwrap();
+    // Input 0 and 2 null-deref; input 1 is fine.
+    let mk_bad = |heap: &mut Heap| heap.alloc_by_name("C").unwrap();
+    let mk_ok = |heap: &mut Heap| {
+        let e = heap.alloc_by_name("E").unwrap();
+        let c = heap.alloc_by_name("C").unwrap();
+        heap.set_child_by_name(c, "next", Some(e)).unwrap();
+        c
+    };
+    let inputs: Vec<BoxedInput> = vec![Box::new(mk_bad), Box::new(mk_ok), Box::new(mk_bad)];
+    let results = engine.try_run_batch(inputs, &BatchOptions::with_workers(3));
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_err() && results[2].is_err());
+    assert!(results[1].is_ok());
+    assert!(results[0].as_ref().unwrap_err().is_runtime());
+
+    // run_batch surfaces the first failure by *input* order.
+    let inputs: Vec<BoxedInput> = vec![Box::new(mk_ok), Box::new(mk_bad)];
+    let err = engine.run_batch(inputs).unwrap_err();
+    assert!(err.is_runtime());
+}
+
+#[test]
+fn warnings_survive_to_the_engine_deduplicated() {
+    let src = format!("pure int mystery(int x);\n{LIST}");
+    let engine = Engine::builder()
+        .source(src)
+        .entry("Node", &["incA"])
+        .build()
+        .unwrap();
+    assert_eq!(engine.warnings().len(), 1);
+    assert!(engine.warnings()[0].message.contains("never called"));
+}

@@ -9,9 +9,29 @@
 //! [`Diag`]s when surfaced through the `grafter::pipeline` API, so callers
 //! handle a single error type end to end.
 
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::ops::Index;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// A half-open byte range into the source text.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,6 +104,16 @@ pub enum Stage {
     Fuse,
     /// Interpretation of a fused program.
     Runtime,
+    /// Engine/session configuration (builder misuse, bad entry points).
+    Config,
+}
+
+impl Stage {
+    /// Whether the stage runs before execution (lex/parse/sema/fuse and
+    /// engine configuration). Runtime failures are the complement.
+    pub fn is_compile(&self) -> bool {
+        !matches!(self, Stage::Runtime)
+    }
 }
 
 impl fmt::Display for Stage {
@@ -94,12 +124,13 @@ impl fmt::Display for Stage {
             Stage::Sema => f.write_str("sema"),
             Stage::Fuse => f.write_str("fuse"),
             Stage::Runtime => f.write_str("runtime"),
+            Stage::Config => f.write_str("config"),
         }
     }
 }
 
 /// A single diagnostic from any pipeline stage.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Diag {
     /// Whether this is an error or a warning.
     pub severity: Severity,
@@ -158,17 +189,68 @@ impl Diag {
     }
 
     /// Renders the diagnostic with `line:col` resolved against `src`.
+    ///
+    /// Spanned diagnostics additionally get a source-line excerpt with a
+    /// caret run underlining the offending range:
+    ///
+    /// ```text
+    /// 2:11: error[sema]: unknown tree class `Missing`
+    ///   |
+    /// 2 |     child Missing* c;
+    ///   |           ^^^^^^^
+    /// ```
     pub fn render(&self, src: &str) -> String {
         match self.span {
             Some(span) => {
                 let (line, col) = span.line_col(src);
-                format!(
+                let mut out = format!(
                     "{line}:{col}: {}[{}]: {}",
                     self.severity, self.stage, self.message
-                )
+                );
+                if let Some(text) = src.lines().nth(line - 1) {
+                    let gutter = line.to_string();
+                    let pad = " ".repeat(gutter.len());
+                    // Caret run covering the span, clamped to the line
+                    // end — measured in chars (the units of `col` and
+                    // `indent`), not span bytes.
+                    let line_chars = text.chars().count();
+                    let avail = line_chars.saturating_sub(col - 1).max(1);
+                    let span_chars = src
+                        .get(span.start..span.end.min(src.len()))
+                        .map(|covered| covered.chars().count())
+                        .unwrap_or_else(|| span.end.saturating_sub(span.start));
+                    let width = span_chars.clamp(1, avail);
+                    let indent = " ".repeat(col - 1);
+                    let carets = "^".repeat(width);
+                    out.push_str(&format!(
+                        "\n{pad} |\n{gutter} | {text}\n{pad} | {indent}{carets}"
+                    ));
+                }
+                out
             }
             None => format!("{}[{}]: {}", self.severity, self.stage, self.message),
         }
+    }
+
+    /// Renders the diagnostic as one JSON object (`line`/`col` resolved
+    /// against `src`; `span` is `null` for global diagnostics).
+    pub fn render_json(&self, src: &str) -> String {
+        let span = match self.span {
+            Some(s) => {
+                let (line, col) = s.line_col(src);
+                format!(
+                    r#"{{"start": {}, "end": {}, "line": {line}, "col": {col}}}"#,
+                    s.start, s.end
+                )
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            r#"{{"severity": "{}", "stage": "{}", "message": "{}", "span": {span}}}"#,
+            self.severity,
+            self.stage,
+            escape_json(&self.message)
+        )
     }
 }
 
@@ -251,6 +333,18 @@ impl DiagnosticBag {
         self.diags.extend(other.diags);
     }
 
+    /// Removes exact duplicates, keeping the first occurrence of each
+    /// diagnostic in emission order.
+    ///
+    /// Pipelines that run a pass twice over the same program (e.g. fusing
+    /// both the fused artifact and the unfused baseline) accumulate the
+    /// same warnings once per pass; collapsing them keeps reports
+    /// readable.
+    pub fn dedup(&mut self) {
+        let mut seen = HashSet::new();
+        self.diags.retain(|d| seen.insert(d.clone()));
+    }
+
     /// `Ok(value)` when the bag holds no errors, `Err(self)` otherwise.
     ///
     /// The success path keeps any warnings in the caller's hands via the
@@ -264,13 +358,29 @@ impl DiagnosticBag {
     }
 
     /// Renders every diagnostic with `line:col` resolved against `src`,
-    /// one per line.
+    /// one block per diagnostic (spanned diagnostics include their caret
+    /// snippet).
     pub fn render(&self, src: &str) -> String {
         self.diags
             .iter()
             .map(|d| d.render(src))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// Renders the whole bag as a JSON array of diagnostic objects (the
+    /// `grafterc --json` output format).
+    pub fn render_json(&self, src: &str) -> String {
+        if self.diags.is_empty() {
+            return "[]".to_string();
+        }
+        let items = self
+            .diags
+            .iter()
+            .map(|d| format!("  {}", d.render_json(src)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("[\n{items}\n]")
     }
 }
 
@@ -367,11 +477,89 @@ mod tests {
     }
 
     #[test]
-    fn render_includes_stage_and_position() {
+    fn render_includes_stage_position_and_caret() {
         let src = "ab\ncd";
         let d = Diag::error(Stage::Lex, "unexpected character", Span::new(3, 4));
-        assert_eq!(d.render(src), "2:1: error[lex]: unexpected character");
+        assert_eq!(
+            d.render(src),
+            "2:1: error[lex]: unexpected character\n  |\n2 | cd\n  | ^"
+        );
         let g = Diag::error_global(Stage::Runtime, "null child dereferenced");
         assert_eq!(g.render(src), "error[runtime]: null child dereferenced");
+    }
+
+    #[test]
+    fn caret_clamps_to_the_source_line() {
+        let src = "tree class X {\n    child Missing* c;\n}";
+        let start = src.find("Missing").unwrap();
+        let d = Diag::error(
+            Stage::Sema,
+            "unknown tree class `Missing`",
+            Span::new(start, start + "Missing".len()),
+        );
+        let rendered = d.render(src);
+        assert!(rendered.starts_with("2:11: error[sema]:"), "{rendered}");
+        assert!(rendered.contains("2 |     child Missing* c;"), "{rendered}");
+        assert!(rendered.contains("  |           ^^^^^^^"), "{rendered}");
+
+        // A span that runs past the end of its line clamps its caret run.
+        let d = Diag::error(
+            Stage::Parse,
+            "unterminated",
+            Span::new(start, src.len() + 100),
+        );
+        let carets = d.render(src);
+        let last = carets.lines().last().unwrap();
+        assert_eq!(last.matches('^').count(), "Missing* c;".len(), "{carets}");
+    }
+
+    #[test]
+    fn caret_width_counts_chars_not_bytes() {
+        // '€' is 3 bytes but 1 column; the caret run must be 1 wide.
+        let src = "a€b";
+        let start = src.find('€').unwrap();
+        let d = Diag::error(
+            Stage::Lex,
+            "unexpected character",
+            Span::new(start, start + 3),
+        );
+        let last = d.render(src).lines().last().unwrap().to_string();
+        assert_eq!(last.matches('^').count(), 1, "{last}");
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates_only() {
+        let mut bag = DiagnosticBag::new();
+        bag.warning(Stage::Sema, "pure `f` never called", Span::new(0, 4));
+        bag.warning(Stage::Sema, "pure `f` never called", Span::new(0, 4));
+        bag.warning(Stage::Sema, "pure `g` never called", Span::new(5, 9));
+        bag.error_global(Stage::Fuse, "unknown tree class `X`");
+        bag.error_global(Stage::Fuse, "unknown tree class `X`");
+        bag.dedup();
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag[0].message, "pure `f` never called");
+        assert_eq!(bag[1].message, "pure `g` never called");
+        assert_eq!(bag[2].stage, Stage::Fuse);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_locates() {
+        let src = "ab\ncd";
+        let d = Diag::error(Stage::Lex, "unexpected `\"`\n(literal)", Span::new(3, 4));
+        let json = d.render_json(src);
+        assert_eq!(
+            json,
+            r#"{"severity": "error", "stage": "lex", "message": "unexpected `\"`\n(literal)", "span": {"start": 3, "end": 4, "line": 2, "col": 1}}"#
+        );
+        let g = Diag::warning_global(Stage::Config, "no entry configured");
+        assert!(g.render_json(src).ends_with(r#""span": null}"#));
+
+        let mut bag = DiagnosticBag::new();
+        assert_eq!(bag.render_json(src), "[]");
+        bag.push(d);
+        bag.push(g);
+        let arr = bag.render_json(src);
+        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"), "{arr}");
+        assert_eq!(arr.matches("\"severity\"").count(), 2);
     }
 }

@@ -62,6 +62,7 @@ mod pure;
 pub use heap::{default_literal, Heap, Layouts, NodeId, SnapValue, NODE_HEADER_BYTES, SLOT_BYTES};
 pub use interp::{Interp, RuntimeError};
 pub use metrics::{cost, Metrics};
+#[allow(deprecated)]
 pub use pipeline::{Execute, Executor, RunReport};
 pub use pure::{NativeFn, PureRegistry};
 

@@ -63,6 +63,11 @@ impl From<RuntimeError> for DiagnosticBag {
 }
 
 /// What an instrumented [`Executor::run`] hands back.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified `grafter_engine::Report` (fusion metrics + runtime \
+            metrics + cache traffic + wall time in one struct)"
+)]
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// The interpreter's counters.
@@ -71,6 +76,7 @@ pub struct RunReport {
     pub cache: Option<HierarchyStats>,
 }
 
+#[allow(deprecated)]
 impl RunReport {
     /// Modelled runtime in cycles (instructions + memory stalls when a
     /// cache was attached, bare instructions otherwise).
@@ -83,6 +89,11 @@ impl RunReport {
 }
 
 /// Configurable single-run executor over a fused artifact; see [`Execute`].
+#[deprecated(
+    since = "0.2.0",
+    note = "configure pures/cache/args once on `grafter_engine::Engine::builder()` \
+            (or per `Session`) instead of per run"
+)]
 pub struct Executor<'a> {
     fp: &'a FusedProgram,
     pures: PureRegistry,
@@ -90,6 +101,7 @@ pub struct Executor<'a> {
     args: Vec<Vec<Value>>,
 }
 
+#[allow(deprecated)]
 impl<'a> Executor<'a> {
     /// Replaces the default math pure registry.
     pub fn pures(mut self, pures: PureRegistry) -> Self {
@@ -129,6 +141,18 @@ impl<'a> Executor<'a> {
 }
 
 /// Execution methods for [`Fused`] pipeline artifacts.
+///
+/// Deprecated: every call re-derives per-program state (frame layouts,
+/// pure resolution) and a `Fused` artifact cannot be shared across
+/// threads as one compiled unit. `grafter_engine::Engine` performs that
+/// work exactly once at build time; per-request `Session`s then own their
+/// heaps and run without re-compilation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `grafter_engine::Engine` once; `engine.session()` replaces \
+            `new_heap()` + `interpret(..)`"
+)]
+#[allow(deprecated)]
 pub trait Execute {
     /// A fresh heap laid out for this artifact's program.
     fn new_heap(&self) -> Heap;
@@ -166,6 +190,7 @@ pub trait Execute {
     }
 }
 
+#[allow(deprecated)]
 impl Execute for Fused {
     fn new_heap(&self) -> Heap {
         Heap::new(self.program())

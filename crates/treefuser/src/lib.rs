@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use grafter::pipeline::{Compiled, Pipeline};
+use grafter::pipeline::Compiled;
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 
@@ -241,9 +241,9 @@ pub fn program() -> Program {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn compiled() -> Compiled {
-    match Pipeline::compile(SOURCE) {
+    match Compiled::compile(SOURCE) {
         Ok(c) => c,
-        Err(bag) => panic!("treefuser program: {}", bag.render(SOURCE)),
+        Err(err) => panic!("treefuser program: {err}"),
     }
 }
 

@@ -71,6 +71,8 @@ mod module;
 mod pipeline;
 
 pub use exec::Vm;
-pub use lower::lower;
+pub use lower::{lower, lowering_count};
 pub use module::{Co, Module, Op};
-pub use pipeline::{Backend, BackendExecutor, ExecuteBackend};
+pub use pipeline::Backend;
+#[allow(deprecated)]
+pub use pipeline::{BackendExecutor, ExecuteBackend};

@@ -32,8 +32,21 @@ use grafter_runtime::{Layouts, Value};
 
 use crate::module::{CallInfo, CallPartInfo, Co, FuncInfo, Module, Op, StubInfo, NO_TARGET};
 
+/// Process-wide count of [`lower`] invocations.
+///
+/// Lowering is the expensive compile-once step of the VM tier; callers
+/// that promise "compile once, run many" (the `Engine` API) assert
+/// against this counter in tests.
+static LOWERINGS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of times [`lower`] has run in this process.
+pub fn lowering_count() -> u64 {
+    LOWERINGS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Lowers a fused program into an executable bytecode [`Module`].
 pub fn lower(fp: &FusedProgram) -> Module {
+    LOWERINGS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let program = &fp.program;
     let layouts = Layouts::new(program);
 

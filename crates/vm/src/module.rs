@@ -52,9 +52,9 @@ impl Co {
 /// One bytecode instruction.
 ///
 /// Register operands are indices into the current activation's register
-/// window; `target` operands are absolute program counters within
-/// [`Module::ops`]. Pool operands (`path`, `call`, `c`) index the module's
-/// side tables.
+/// window; `target` operands are absolute program counters within the
+/// module's op vector. Pool operands (`path`, `call`, `c`) index the
+/// module's side tables.
 #[derive(Clone, Copy, Debug)]
 pub enum Op {
     /// `r[dst] ← consts[c]` (free: literals cost nothing in the

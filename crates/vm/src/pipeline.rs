@@ -24,6 +24,7 @@ use std::str::FromStr;
 use grafter::pipeline::Fused;
 use grafter::DiagnosticBag;
 use grafter_cachesim::CacheHierarchy;
+#[allow(deprecated)]
 use grafter_runtime::{Execute, Heap, Metrics, NodeId, PureRegistry, RunReport, Value};
 
 use crate::exec::Vm;
@@ -63,6 +64,12 @@ impl FromStr for Backend {
 
 /// Configurable single-run executor over a fused artifact with a backend
 /// choice; the two-tier counterpart of [`grafter_runtime::Executor`].
+#[deprecated(
+    since = "0.2.0",
+    note = "select the backend once on `grafter_engine::Engine::builder().backend(..)`; \
+            the engine caches the lowered module across all sessions"
+)]
+#[allow(deprecated)]
 pub struct BackendExecutor<'a> {
     fused: &'a Fused,
     backend: Backend,
@@ -74,6 +81,7 @@ pub struct BackendExecutor<'a> {
     args: Vec<Vec<Value>>,
 }
 
+#[allow(deprecated)]
 impl BackendExecutor<'_> {
     /// Replaces the default math pure registry.
     pub fn pures(mut self, pures: PureRegistry) -> Self {
@@ -154,6 +162,16 @@ impl BackendExecutor<'_> {
 /// assert_eq!(heap.get_by_name(cons, "a").unwrap(), Value::Int(1));
 /// # Ok::<(), grafter::DiagnosticBag>(())
 /// ```
+///
+/// Deprecated: `run`/`run_with_args` re-lower the bytecode module on
+/// every call. `grafter_engine::Engine` lowers exactly once at build and
+/// shares the immutable module across every session and thread.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `grafter_engine::Engine` with `.backend(Backend::Vm)`; it lowers \
+            the module once and shares it across sessions"
+)]
+#[allow(deprecated)]
 pub trait ExecuteBackend {
     /// Lowers the artifact into a bytecode [`Module`].
     fn lower_module(&self) -> Module;
@@ -200,6 +218,7 @@ pub trait ExecuteBackend {
     }
 }
 
+#[allow(deprecated)]
 impl ExecuteBackend for Fused {
     fn lower_module(&self) -> Module {
         lower(self.fused_program())

@@ -3,6 +3,10 @@
 //! interpreter — one test per variant, each asserting both backends
 //! produce the identical diagnostic.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::{Fused, Pipeline};
 use grafter::{DiagnosticBag, Stage};
 use grafter_runtime::{Execute, Heap, NodeId, Value};

@@ -2,6 +2,10 @@
 //! programs covering every statement/expression form, plus disassembly
 //! and API surface checks.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::{Fused, Pipeline};
 use grafter::{fuse, FuseOptions};
 use grafter_cachesim::CacheHierarchy;

@@ -14,7 +14,7 @@
 //! the condition into an unconditionally-invoked traversal that returns
 //! immediately when disabled.
 
-use grafter::pipeline::{Compiled, Pipeline};
+use grafter::pipeline::Compiled;
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
@@ -342,9 +342,9 @@ pub fn program() -> Program {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn compiled() -> Compiled {
-    match Pipeline::compile(SOURCE) {
+    match Compiled::compile(SOURCE) {
         Ok(c) => c,
-        Err(bag) => panic!("ast program: {}", bag.render(SOURCE)),
+        Err(err) => panic!("ast program: {err}"),
     }
 }
 

@@ -7,6 +7,8 @@
 //! instead of requiring three copies to be edited in lockstep.
 
 use grafter::pipeline::Compiled;
+use grafter::FusionOptions;
+use grafter_engine::{Backend, Engine};
 use grafter_runtime::{Heap, NodeId, Value};
 
 use crate::{ast, fmm, kdtree, render};
@@ -40,6 +42,24 @@ impl CaseStudy {
     /// Builds the test-sized input tree (seed 42).
     pub fn build_test(&self, heap: &mut Heap) -> NodeId {
         (self.build)(heap, self.test_size, 42)
+    }
+
+    /// Builds the case study's immutable [`Engine`] for `backend` with
+    /// custom fusion options (entry sequence and arguments pre-wired).
+    pub fn engine_with(&self, opts: FusionOptions, backend: Backend) -> Engine {
+        Engine::builder()
+            .compiled(self.compiled.clone())
+            .entry(self.root_class, &self.passes)
+            .fusion(opts)
+            .backend(backend)
+            .args(self.args.clone())
+            .build()
+            .expect("case-study entry sequence resolves")
+    }
+
+    /// [`CaseStudy::engine_with`] with default (fused) options.
+    pub fn engine(&self, backend: Backend) -> Engine {
+        self.engine_with(FusionOptions::default(), backend)
     }
 }
 

@@ -15,7 +15,7 @@
 //! native code, and the *relative* fused/unfused behaviour is
 //! size-stable).
 
-use grafter::pipeline::{Compiled, Pipeline};
+use grafter::pipeline::Compiled;
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
@@ -96,9 +96,9 @@ pub fn program() -> Program {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn compiled() -> Compiled {
-    match Pipeline::compile(SOURCE) {
+    match Compiled::compile(SOURCE) {
         Ok(c) => c,
-        Err(bag) => panic!("fmm program: {}", bag.render(SOURCE)),
+        Err(err) => panic!("fmm program: {err}"),
     }
 }
 

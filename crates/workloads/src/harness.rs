@@ -1,21 +1,25 @@
 //! Measurement harness: runs a workload fused and unfused and reports the
 //! paper's four metrics.
 //!
-//! Built on the staged `grafter::pipeline` API: an [`Experiment`] holds a
-//! [`Compiled`] workload, fuses it with [`Compiled::fuse`], and executes
-//! the resulting [`Fused`] artifacts through the backend-selecting
-//! executor stage — [`Experiment::with_backend`] switches every run of
-//! the experiment between the instrumented interpreter and the
+//! Built on the Engine API: an [`Experiment`] holds a [`Compiled`]
+//! workload and builds one immutable [`Engine`] per configuration
+//! (fused, unfused, ablation cutoffs) — compile, fusion and (on the VM
+//! tier) bytecode lowering run once per engine, then every measured run
+//! is just a [`Session`](grafter_engine::Session). [`Experiment::with_backend`]
+//! switches every run between the instrumented interpreter and the
 //! `grafter-vm` bytecode VM with one argument (both produce identical
-//! metrics; only wall-clock differs).
+//! metrics; only wall-clock differs). [`batch_throughput`] measures the
+//! concurrent story: one shared engine fanning a batch of trees across
+//! worker threads.
 
 use std::time::{Duration, Instant};
 
-use grafter::pipeline::{Compiled, Fused};
+use grafter::pipeline::Compiled;
 use grafter::FuseOptions;
 use grafter_cachesim::CacheHierarchy;
-use grafter_runtime::{with_stack, Execute, Heap, NodeId, PureRegistry, Value};
-use grafter_vm::{Backend, ExecuteBackend};
+use grafter_engine::{BatchOptions, Engine};
+use grafter_runtime::{with_stack, Heap, NodeId, PureRegistry, Value};
+use grafter_vm::Backend;
 
 /// Stack size used for experiment runs (trees can be deep sibling chains).
 pub const RUN_STACK: usize = 1 << 31;
@@ -124,29 +128,33 @@ impl Experiment {
         self
     }
 
-    /// Fuses the experiment's entry sequence.
-    pub fn fuse_with(&self, opts: &FuseOptions) -> Fused {
-        self.compiled
-            .fuse(self.root_class, &self.passes, opts)
+    /// Builds the immutable engine for this experiment's entry sequence:
+    /// the compile-once step every subsequent session shares.
+    pub fn engine_with(&self, opts: &FuseOptions) -> Engine {
+        Engine::builder()
+            .compiled(self.compiled.clone())
+            .entry(self.root_class, &self.passes)
+            .fusion(opts.clone())
+            .backend(self.backend)
+            .pures((self.pures)())
+            .args(self.args.clone())
+            .build()
             .expect("experiment entry sequence resolves")
     }
 
+    /// [`Experiment::engine_with`] with default (fused) options.
+    pub fn engine(&self) -> Engine {
+        self.engine_with(&FuseOptions::default())
+    }
+
     /// Runs one configuration with the cache simulator attached.
-    pub fn run_stats(&self, fused: &Fused) -> RunStats {
-        let mut heap = fused.new_heap();
-        let root = (self.build)(&mut heap);
-        let tree_bytes = heap.live_bytes();
-        // Build the executor (pures, cache, args — and, on the VM tier,
-        // the lowered bytecode module) outside the timed region so `wall`
-        // measures only the execution run.
-        let executor = fused
-            .backend_executor(self.backend)
-            .pures((self.pures)())
-            .cache(CacheHierarchy::xeon())
-            .args(self.args.clone());
-        let start = Instant::now();
-        let report = executor.run(&mut heap, root).expect("run succeeds");
-        let wall = start.elapsed();
+    pub fn run_stats(&self, engine: &Engine) -> RunStats {
+        // Sessions own the heap; attaching the hierarchy here keeps the
+        // engine reusable for uninstrumented (wall-clock) runs.
+        let mut session = engine.session().with_cache(CacheHierarchy::xeon());
+        let root = (self.build)(session.heap_mut());
+        let tree_bytes = session.heap().live_bytes();
+        let report = session.run(root).expect("run succeeds");
         let cache = report.cache.as_ref().expect("cache attached");
         RunStats {
             visits: report.metrics.visits,
@@ -155,7 +163,7 @@ impl Experiment {
             l2_misses: cache.misses(1),
             l3_misses: cache.misses(2),
             cycles: report.cycles(),
-            wall,
+            wall: report.wall,
             tree_bytes,
         }
     }
@@ -170,8 +178,8 @@ impl Experiment {
     /// cutoff ablations).
     pub fn compare_with(self, opts: FuseOptions) -> Comparison {
         with_stack(RUN_STACK, move || {
-            let fused = self.fuse_with(&opts);
-            let unfused = self.fuse_with(&FuseOptions::unfused());
+            let fused = self.engine_with(&opts);
+            let unfused = self.engine_with(&FuseOptions::unfused());
             Comparison {
                 fused: self.run_stats(&fused),
                 unfused: self.run_stats(&unfused),
@@ -183,20 +191,71 @@ impl Experiment {
     /// trees. Returns the two snapshots' equality.
     pub fn check_equivalence(self) -> bool {
         with_stack(RUN_STACK, move || {
-            let fused = self.fuse_with(&FuseOptions::default());
-            let unfused = self.fuse_with(&FuseOptions::unfused());
-            let snap = |artifact: &Fused| {
-                let mut heap = artifact.new_heap();
-                let root = (self.build)(&mut heap);
-                artifact
-                    .backend_executor(self.backend)
-                    .pures((self.pures)())
-                    .args(self.args.clone())
-                    .run(&mut heap, root)
-                    .expect("run succeeds");
-                heap.snapshot(root)
+            let snap = |engine: &Engine| {
+                let mut session = engine.session();
+                let root = (self.build)(session.heap_mut());
+                session.run(root).expect("run succeeds");
+                session.snapshot(root)
             };
-            snap(&fused) == snap(&unfused)
+            snap(&self.engine_with(&FuseOptions::default()))
+                == snap(&self.engine_with(&FuseOptions::unfused()))
         })
+    }
+}
+
+/// One batch-throughput measurement: `trees` identical inputs fanned out
+/// over `workers` threads sharing one engine.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Number of trees executed.
+    pub trees: usize,
+    /// Wall-clock of the whole batch.
+    pub wall: Duration,
+}
+
+impl Throughput {
+    /// Executed trees per second of batch wall time.
+    pub fn trees_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.trees as f64 / secs
+        }
+    }
+}
+
+/// Measures batch throughput of `engine`: builds `trees` inputs with
+/// `build` and times one [`Engine::run_batch_with`] fan-out across
+/// `workers` threads (each with an experiment-sized stack).
+///
+/// The reports themselves are cross-checked for determinism — every tree
+/// is identical, so every report must be too.
+pub fn batch_throughput(
+    engine: &Engine,
+    build: &(dyn Fn(&mut Heap) -> NodeId + Sync),
+    trees: usize,
+    workers: usize,
+) -> Throughput {
+    let inputs: Vec<_> = (0..trees).map(|_| |heap: &mut Heap| build(heap)).collect();
+    let opts = BatchOptions {
+        workers,
+        stack_bytes: RUN_STACK,
+    };
+    let start = Instant::now();
+    let reports = engine
+        .run_batch_with(inputs, &opts)
+        .expect("batch succeeds");
+    let wall = start.elapsed();
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "identical inputs must produce identical reports"
+    );
+    Throughput {
+        workers,
+        trees,
+        wall,
     }
 }

@@ -27,7 +27,7 @@
 //! then purely local to each leaf, which is what lets whole Table 6
 //! schedules fuse into one or two passes.
 
-use grafter::pipeline::{Compiled, Pipeline};
+use grafter::pipeline::Compiled;
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
@@ -317,9 +317,9 @@ pub fn program() -> Program {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn compiled() -> Compiled {
-    match Pipeline::compile(SOURCE) {
+    match Compiled::compile(SOURCE) {
         Ok(c) => c,
-        Err(bag) => panic!("kdtree program: {}", bag.render(SOURCE)),
+        Err(err) => panic!("kdtree program: {err}"),
     }
 }
 
@@ -370,7 +370,7 @@ pub fn experiment(schedule: &[Op], depth: usize, seed: u64) -> crate::harness::E
 mod tests {
     use super::*;
     use grafter::{fuse, FuseOptions};
-    use grafter_runtime::{Execute, Interp};
+    use grafter_runtime::Interp;
 
     #[test]
     fn program_compiles() {
@@ -534,12 +534,12 @@ mod tests {
         // accumulator), but results must match the unfused run.
         let schedule = vec![Op::Integrate(0.0, DOMAIN.1), Op::Integrate(DOMAIN.0, 0.0)];
         let exp = experiment(&schedule, 5, 9);
-        let fused = exp.fuse_with(&FuseOptions::default());
-        let unfused = exp.fuse_with(&FuseOptions::unfused());
-        let run = |fp: &grafter::pipeline::Fused| {
-            let mut heap = fp.new_heap();
+        let fused = exp.engine_with(&FuseOptions::default());
+        let unfused = exp.engine_with(&FuseOptions::unfused());
+        let run = |engine: &grafter_engine::Engine| {
+            let mut heap = engine.new_heap();
             let root = (exp.build)(&mut heap);
-            let mut interp = Interp::new(fp.fused_program());
+            let mut interp = Interp::new(engine.fused_program());
             interp.run(&mut heap, root, &exp.args).unwrap();
             interp.global("INTEGRAL").unwrap()
         };

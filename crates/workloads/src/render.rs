@@ -13,7 +13,7 @@
 //! 4. `computeHeights` — bottom-up heights (needs widths and fonts);
 //! 5. `computePositions` — top-down positions (needs heights).
 
-use grafter::pipeline::{Compiled, Pipeline};
+use grafter::pipeline::Compiled;
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, NodeId, Value};
 use rand::rngs::StdRng;
@@ -337,9 +337,9 @@ pub fn program() -> Program {
 ///
 /// Panics if the embedded source fails to compile (a bug in this crate).
 pub fn compiled() -> Compiled {
-    match Pipeline::compile(SOURCE) {
+    match Compiled::compile(SOURCE) {
         Ok(c) => c,
-        Err(bag) => panic!("render program: {}", bag.render(SOURCE)),
+        Err(err) => panic!("render program: {err}"),
     }
 }
 

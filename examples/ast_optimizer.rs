@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --example ast_optimizer`
 
-use grafter_runtime::{Execute, Heap, NodeId, Value};
+use grafter_engine::Engine;
+use grafter_runtime::{Heap, NodeId, Value};
 use grafter_workloads::ast::{self, kind};
 
 fn dump(heap: &Heap, id: NodeId, indent: usize) {
@@ -49,10 +50,13 @@ fn dump(heap: &Heap, id: NodeId, indent: usize) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let fused = ast::compiled().fuse_default(ast::ROOT_CLASS, &ast::PASSES)?;
+    let engine = Engine::builder()
+        .compiled(ast::compiled())
+        .entry(ast::ROOT_CLASS, &ast::PASSES)
+        .build()?;
 
     // Hand-build:  x = 4; ++x; if (x - 5) { y = 1; } else { y = 2; }
-    let mut heap = fused.new_heap();
+    let mut heap = engine.new_heap();
     let node = |heap: &mut Heap, class: &str, fields: &[(&str, i64)]| {
         let n = heap.alloc_by_name(class).unwrap();
         for (f, v) in fields {
@@ -145,13 +149,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- before ---");
     dump(&heap, root, 0);
 
-    let metrics = fused.interpret(&mut heap, root)?;
+    // Hand the built tree to a session and run the six fused passes.
+    let mut session = engine.session_on(heap);
+    let report = session.run(root)?;
 
     println!("\n--- after desugar + const-prop + fold + branch removal ---");
-    dump(&heap, root, 0);
+    dump(session.heap(), root, 0);
     println!(
         "\n(x=4; ++x makes x=5; the condition x-5 folds to 0, so the then-branch was deleted)"
     );
-    println!("node visits: {}", metrics.visits);
+    println!("node visits: {}", report.metrics.visits);
     Ok(())
 }

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --example piecewise_calculus`
 
-use grafter_runtime::{Execute, Heap, Interp, Value};
+use grafter_engine::Engine;
+use grafter_runtime::{Heap, Value};
 use grafter_workloads::kdtree::{self, Op};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let passes: Vec<&str> = schedule.iter().map(Op::pass).collect();
     let args: Vec<Vec<Value>> = schedule.iter().map(Op::args).collect();
 
-    let fused = compiled.fuse_default(kdtree::ROOT_CLASS, &passes)?;
-    let m = fused.metrics();
+    let engine = Engine::builder()
+        .compiled(compiled)
+        .entry(kdtree::ROOT_CLASS, &passes)
+        .args(args)
+        .build()?;
+    let m = engine.fusion_metrics();
     println!(
         "schedule {:?}\nfused into {} functions; single pass: {}\n",
         passes, m.functions, m.fully_fused
@@ -30,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build a depth-6 tree over [-10, 10] representing f(x) = x^2 exactly
     // (every leaf holds the same cubic coefficients).
-    let mut heap = fused.new_heap();
+    let mut heap = engine.new_heap();
     let root = {
         fn build(heap: &mut Heap, lo: f64, hi: f64, depth: usize) -> grafter_runtime::NodeId {
             if depth == 0 {
@@ -55,18 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         build(&mut heap, -10.0, 10.0, 6)
     };
 
-    let mut interp = Interp::new(fused.fused_program());
-    interp.run(&mut heap, root, &args)?;
+    let mut session = engine.session_on(heap);
+    let report = session.run(root)?;
 
-    let integral = interp.global("INTEGRAL").unwrap().as_f64();
-    let projection = interp.global("PROJECTION").unwrap().as_f64();
+    // Global accumulators surface on the report.
+    let integral = report.global("INTEGRAL").unwrap().as_f64();
+    let projection = report.global("PROJECTION").unwrap().as_f64();
     println!("d/dx x^2 = 2x, scaled by 3 -> 6x");
     println!("integral of 6x over [0,10]  = {integral}   (analytic: 300)");
     println!("value at x=2                = {projection}   (analytic: 12)");
     println!(
         "node visits: {} (one fused pass over {} nodes)",
-        interp.metrics.visits,
-        heap.live_count()
+        report.metrics.visits,
+        session.heap().live_count()
     );
 
     assert!((integral - 300.0).abs() < 1e-6);

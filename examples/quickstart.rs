@@ -1,11 +1,14 @@
-//! Quickstart: write two traversals, fuse them, inspect the generated
-//! code, and execute both versions — on both execution backends.
+//! Quickstart: write two traversals, build an engine once, inspect the
+//! generated code, and run it many times — sessions, both backends, and a
+//! multi-threaded batch.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use grafter::Pipeline;
-use grafter_runtime::{Execute, Heap, Value};
-use grafter_vm::{Backend, ExecuteBackend};
+use std::sync::Arc;
+
+use grafter::FusionOptions;
+use grafter_engine::{Backend, Engine};
+use grafter_runtime::{Heap, NodeId, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Grafter program: a heterogeneous list of text boxes (the
@@ -37,19 +40,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         tree class End : Element { }
     "#;
-    let compiled = Pipeline::compile(source)?;
 
-    // 2. Fuse the two traversals (and build the unfused baseline).
-    let passes = ["computeWidth", "computeHeight"];
-    let fused = compiled.fuse_default("Element", &passes)?;
-    let unfused = compiled.fuse_unfused("Element", &passes)?;
-    println!("fusion: {}\n", fused.metrics());
+    // 2. Build engines: compile + fuse (+ lower, on the VM tier) happen
+    //    here, exactly once per engine — never per run.
+    let entry = ("Element", ["computeWidth", "computeHeight"]);
+    let engine = |backend, opts: FusionOptions| {
+        Engine::builder()
+            .source(source)
+            .entry(entry.0, &entry.1)
+            .fusion(opts)
+            .backend(backend)
+            .build()
+    };
+    let fused = engine(Backend::Interp, FusionOptions::default())?;
+    let fused_vm = engine(Backend::Vm, FusionOptions::default())?;
+    let unfused = engine(Backend::Interp, FusionOptions::unfused())?;
+    println!("fusion: {}\n", fused.fusion_metrics());
 
     // 3. Inspect the generated code (the paper's Fig. 6 output style).
     println!("--- generated fused code ---\n{}", fused.render_cpp());
 
-    // 4. Build a list of 1000 text boxes and execute both versions.
-    let build = |heap: &mut Heap| {
+    // 4. Run many: a session per request, each owning its heap. Build a
+    //    list of 1000 text boxes and execute on every configuration.
+    let build = |heap: &mut Heap| -> NodeId {
         let mut cur = heap.alloc_by_name("End").unwrap();
         for i in 0..1000 {
             let t = heap.alloc_by_name("TextBox").unwrap();
@@ -60,24 +73,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         cur
     };
-
-    // Backend selection is one argument: `Backend::Interp` walks the
-    // statement trees (`.interpret(..)` is its thin alias),
-    // `Backend::Vm` executes the program lowered to `grafter-vm`
-    // bytecode. Both produce identical metrics and heap states; the VM
-    // just gets there with far less dispatch overhead.
-    for (name, artifact) in [("fused", &fused), ("unfused", &unfused)] {
-        for backend in [Backend::Interp, Backend::Vm] {
-            let mut heap = artifact.new_heap();
-            let root = build(&mut heap);
-            let metrics = artifact.run(&mut heap, root, backend)?;
-            println!(
-                "{name:>8} on {backend:>6}: visits = {:>5}, instructions = {:>6}, MaxHeight = {:?}",
-                metrics.visits,
-                metrics.instructions,
-                heap.get_by_name(root, "MaxHeight").unwrap(),
-            );
-        }
+    for (name, engine) in [
+        ("fused", &fused),
+        ("fused/vm", &fused_vm),
+        ("unfused", &unfused),
+    ] {
+        let mut session = engine.session();
+        let root = session.build_tree(build);
+        let report = session.run(root)?;
+        println!(
+            "{name:>9}: visits = {:>5}, instructions = {:>6}, MaxHeight = {:?}",
+            report.metrics.visits,
+            report.metrics.instructions,
+            session.get_field(root, "MaxHeight")?,
+        );
     }
+
+    // 5. Scale out: the engine is immutable and `Send + Sync` — share one
+    //    `Arc` and fan a batch across worker threads. Reports come back
+    //    in input order, bit-identical to a sequential run.
+    let shared = Arc::new(fused_vm);
+    let reports = shared.run_batch((0..16).map(|_| build).collect())?;
+    println!(
+        "\nbatch: {} trees on shared engine, all identical reports: {}",
+        reports.len(),
+        reports.iter().all(|r| *r == reports[0]),
+    );
     Ok(())
 }

@@ -3,29 +3,37 @@
 //!
 //! Run with: `cargo run --release --example render_layout`
 
+use grafter::FusionOptions;
 use grafter_cachesim::CacheHierarchy;
-use grafter_runtime::Execute;
+use grafter_engine::Engine;
 use grafter_workloads::render;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = render::compiled();
-    let fused = compiled.fuse_default(render::ROOT_CLASS, &render::PASSES)?;
-    let unfused = compiled.fuse_unfused(render::ROOT_CLASS, &render::PASSES)?;
+    // One engine per fusion configuration — compiled once, cache model
+    // attached engine-wide so every session's report carries traffic.
+    let engine = |opts: FusionOptions| {
+        Engine::builder()
+            .compiled(compiled.clone())
+            .entry(render::ROOT_CLASS, &render::PASSES)
+            .fusion(opts)
+            .cache(CacheHierarchy::xeon())
+            .build()
+    };
+    let fused = engine(FusionOptions::default())?;
+    let unfused = engine(FusionOptions::unfused())?;
 
     println!("five layout passes: {:?}", render::PASSES);
-    let m = fused.metrics();
+    let m = fused.fusion_metrics();
     println!(
         "fused pipeline: {} generated functions, {} dispatch stubs\n",
         m.functions, m.stubs
     );
 
-    for (name, artifact) in [("fused", &fused), ("unfused", &unfused)] {
-        let mut heap = artifact.new_heap();
-        let doc = render::build_document(&mut heap, 100, 7);
-        let report = artifact
-            .executor()
-            .cache(CacheHierarchy::xeon())
-            .run(&mut heap, doc)?;
+    for (name, engine) in [("fused", &fused), ("unfused", &unfused)] {
+        let mut session = engine.session();
+        let doc = session.build_tree(|heap| render::build_document(heap, 100, 7));
+        let report = session.run(doc)?;
         let cache = report.cache.as_ref().unwrap();
         println!(
             "{name:>8}: visits={:>7} instructions={:>9} L2 misses={:>6} cycles={}",
@@ -36,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         if name == "fused" {
             // Show the geometry of the first page.
+            let heap = session.heap();
             let pages = heap
                 .child_by_name(doc, "Pages")
                 .flatten()
@@ -43,10 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let page = heap.child_by_name(pages, "P").flatten().ok_or("no page")?;
             println!(
                 "          page 1: width={:?} height={:?} at ({:?}, {:?})",
-                heap.get_by_name(page, "Width").unwrap(),
-                heap.get_by_name(page, "Height").unwrap(),
-                heap.get_by_name(page, "PosX").unwrap(),
-                heap.get_by_name(page, "PosY").unwrap(),
+                session.get_field(page, "Width")?,
+                session.get_field(page, "Height")?,
+                session.get_field(page, "PosX")?,
+                session.get_field(page, "PosY")?,
             );
         }
     }

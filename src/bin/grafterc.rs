@@ -1,29 +1,51 @@
 //! `grafterc` — command-line front door to the fusion compiler.
 //!
 //! Mirrors the original Grafter's Clang-tool usage: feed it a traversal
-//! program, name the root class and the traversal sequence, and it prints
-//! the fused artifact — as C++-like source in the paper's Fig. 6 style
-//! (`--emit cpp`, the default) or as the disassembled `grafter-vm`
-//! bytecode module the register VM executes (`--emit bytecode`). Drives
-//! the staged `grafter::pipeline` API and reports problems through its
-//! unified diagnostics.
+//! program (a file, or `-` for stdin), name the root class and the
+//! traversal sequence, and it prints the fused artifact — as C++-like
+//! source in the paper's Fig. 6 style (`--emit cpp`, the default) or as
+//! the disassembled `grafter-vm` bytecode module (`--emit bytecode`).
+//! Drives the `grafter_engine::Engine` API: one build compiles, fuses
+//! and (on the VM tier) lowers exactly once; `--run` then executes the
+//! artifact in a session.
 //!
 //! ```text
-//! grafterc <file.gr> --root <Class> --passes <t1,t2,...>
-//!          [--unfused] [--stats] [--backend interp|vm] [--emit cpp|bytecode]
+//! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
+//!          [--unfused] [--stats] [--backend interp|vm]
+//!          [--emit cpp|bytecode|none] [--run] [--json]
 //! ```
 //!
 //! `--backend` names the execution tier the artifact is being prepared
 //! for: it selects the default `--emit` (the VM tier disassembles its
-//! bytecode) and, with `--stats`, reports that tier's compiled form.
+//! bytecode) and, with `--stats`/`--run`, that tier compiles/executes.
+//! `--json` switches diagnostics (stderr) to a JSON array; the emitted
+//! artifact stays on stdout. `--run` executes the program once on a
+//! freshly allocated root-class node with null children — a smoke
+//! execution that surfaces runtime failures.
+//!
+//! Exit codes distinguish the failure stage:
+//!
+//! | Code | Meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | I/O failure (unreadable input) |
+//! | 2 | usage error (bad flags) |
+//! | 3 | compile-side failure (lex/parse/sema/fuse) |
+//! | 4 | runtime failure (`--run`) |
 
+use std::io::Read as _;
 use std::process::ExitCode;
 
-use grafter::{FuseOptions, Pipeline};
-use grafter_vm::{Backend, ExecuteBackend};
+use grafter::{DiagnosticBag, Error, FuseOptions};
+use grafter_engine::{Backend, Engine};
 
-const USAGE: &str = "usage: grafterc <file.gr> --root <Class> --passes <t1,t2,...> \
-     [--unfused] [--stats] [--backend interp|vm] [--emit cpp|bytecode]";
+const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
+     [--unfused] [--stats] [--backend interp|vm] [--emit cpp|bytecode|none] [--run] [--json]";
+
+const EXIT_IO: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_COMPILE: u8 = 3;
+const EXIT_RUNTIME: u8 = 4;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -31,38 +53,64 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Prints an [`Error`]'s diagnostics to stderr — rendered caret snippets
+/// by default, a JSON array with `--json` — and picks the exit code from
+/// its stage. In JSON mode `pending` (warnings held back so the whole
+/// invocation emits exactly one parseable array) is merged in front.
+fn report(err: &Error, pending: &DiagnosticBag, source: &str, path: &str, json: bool) -> ExitCode {
+    if json {
+        let mut all = pending.clone();
+        all.merge(err.diagnostics().clone());
+        all.dedup();
+        eprintln!("{}", all.render_json(source));
+    } else {
+        for d in err.diagnostics().iter() {
+            eprintln!("{path}:{}", d.render(source));
+        }
+    }
+    if err.is_runtime() {
+        ExitCode::from(EXIT_RUNTIME)
+    } else {
+        ExitCode::from(EXIT_COMPILE)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+    let Some(path) = args
+        .first()
+        .filter(|a| a.as_str() == "-" || !a.starts_with("--"))
+        .cloned()
+    else {
         eprintln!("{USAGE}");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read `{path}`: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let compiled = match Pipeline::compile(source.as_str()) {
-        Ok(c) => c,
-        Err(bag) => {
-            for d in bag.iter() {
-                eprintln!("{path}:{}", d.render(&source));
+    let source = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::from(EXIT_IO);
             }
-            return ExitCode::FAILURE;
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
         }
     };
-    for w in compiled.warnings().iter() {
-        eprintln!("{path}:{}", w.render(compiled.source()));
-    }
+    let json = args.iter().any(|a| a == "--json");
     let Some(root) = arg_value(&args, "--root") else {
         eprintln!("error: missing --root <Class>");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let Some(passes) = arg_value(&args, "--passes") else {
         eprintln!("error: missing --passes <t1,t2,...>");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let backend = match arg_value(&args, "--backend").as_deref() {
         None => Backend::Interp,
@@ -70,7 +118,7 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
         },
     };
@@ -81,9 +129,9 @@ fn main() -> ExitCode {
         Backend::Vm => "bytecode",
     };
     let emit = arg_value(&args, "--emit").unwrap_or_else(|| default_emit.to_string());
-    if emit != "cpp" && emit != "bytecode" {
-        eprintln!("error: unknown --emit `{emit}` (expected cpp|bytecode)");
-        return ExitCode::from(2);
+    if emit != "cpp" && emit != "bytecode" && emit != "none" {
+        eprintln!("error: unknown --emit `{emit}` (expected cpp|bytecode|none)");
+        return ExitCode::from(EXIT_USAGE);
     }
     let pass_list: Vec<&str> = passes.split(',').map(str::trim).collect();
     let opts = if args.iter().any(|a| a == "--unfused") {
@@ -91,39 +139,70 @@ fn main() -> ExitCode {
     } else {
         FuseOptions::default()
     };
-    match compiled.fuse(&root, &pass_list, &opts) {
-        Ok(fused) => {
-            let stats = args.iter().any(|a| a == "--stats");
-            // Lower at most once, and only when something reads the module.
-            let module = (emit == "bytecode" || (backend == Backend::Vm && stats))
-                .then(|| fused.lower_module());
-            match emit.as_str() {
-                "bytecode" => print!("{}", module.as_ref().unwrap().disassemble()),
-                _ => print!("{}", fused.render_cpp()),
-            }
-            if stats {
-                let m = fused.metrics();
-                match backend {
-                    Backend::Interp => eprintln!(
-                        "fused {} traversal(s) on `{root}`: {m} [backend: interp]",
-                        pass_list.len()
-                    ),
-                    Backend::Vm => {
-                        let module = module.as_ref().unwrap();
-                        eprintln!(
-                            "fused {} traversal(s) on `{root}`: {m} [backend: vm, {} op(s), {} stub table(s)]",
-                            pass_list.len(),
-                            module.n_ops(),
-                            module.n_stubs()
-                        );
-                    }
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Err(bag) => {
-            eprintln!("{}", bag.render(compiled.source()));
-            ExitCode::FAILURE
+
+    // One build: compile + fuse + (vm) lower, each exactly once.
+    let no_warnings = DiagnosticBag::new();
+    let engine = match Engine::builder()
+        .source(source.as_str())
+        .entry(root.as_str(), &pass_list)
+        .fusion(opts)
+        .backend(backend)
+        .build()
+    {
+        Ok(engine) => engine,
+        Err(err) => return report(&err, &no_warnings, &source, &path, json),
+    };
+    // In JSON mode warnings are held back and merged into the single
+    // end-of-invocation array (one parseable document per run); rendered
+    // mode streams them immediately.
+    if !json {
+        for w in engine.warnings().iter() {
+            eprintln!("{path}:{}", w.render(&source));
         }
     }
+
+    // Lower at most once even on the interp tier: reuse the engine's
+    // cached module when it has one.
+    let adhoc_module = (emit == "bytecode" && engine.module().is_none())
+        .then(|| grafter_vm::lower(engine.fused_program()));
+    match emit.as_str() {
+        "bytecode" => {
+            let module = engine.module().or(adhoc_module.as_ref()).unwrap();
+            print!("{}", module.disassemble());
+        }
+        "cpp" => print!("{}", engine.render_cpp()),
+        _ => {}
+    }
+
+    if args.iter().any(|a| a == "--stats") {
+        let m = engine.fusion_metrics();
+        match engine.module() {
+            None => eprintln!(
+                "fused {} traversal(s) on `{root}`: {m} [backend: interp]",
+                pass_list.len()
+            ),
+            Some(module) => eprintln!(
+                "fused {} traversal(s) on `{root}`: {m} [backend: vm, {} op(s), {} stub table(s)]",
+                pass_list.len(),
+                module.n_ops(),
+                module.n_stubs()
+            ),
+        }
+    }
+
+    if args.iter().any(|a| a == "--run") {
+        let mut session = engine.session();
+        let node = match session.alloc(&root) {
+            Ok(node) => node,
+            Err(err) => return report(&err, engine.warnings(), &source, &path, json),
+        };
+        match session.run(node) {
+            Ok(r) => eprintln!("run ok: {r}"),
+            Err(err) => return report(&err, engine.warnings(), &source, &path, json),
+        }
+    }
+    if json && !engine.warnings().is_empty() {
+        eprintln!("{}", engine.warnings().render_json(&source));
+    }
+    ExitCode::SUCCESS
 }

@@ -2,19 +2,21 @@
 //!
 //! This package exists to host workspace-level integration tests (`tests/`)
 //! and runnable examples (`examples/`). See the repository `README.md` for
-//! the crate-by-crate architecture map, a quickstart of the staged
-//! [`Pipeline`](grafter::pipeline::Pipeline) API and how to run the paper's
-//! benchmarks.
+//! the crate-by-crate architecture map, a quickstart of the compile-once
+//! [`Engine`] API and how to run the paper's benchmarks.
 //!
 //! The actual library surface lives in the member crates, re-exported here
 //! for convenience:
 //!
-//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen) and the
-//!   staged `pipeline` API with unified diagnostics
+//! - [`grafter_engine`] — **the front door**: immutable, `Arc`-shareable
+//!   [`Engine`]s, per-request [`Session`]s, unified [`Report`]s and
+//!   deterministic batch fan-out
+//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen), the
+//!   typed [`Error`], and the deprecated staged `pipeline` shim
 //! - [`grafter_frontend`] — the traversal language frontend
 //! - [`grafter_automata`] — access automata
-//! - [`grafter_runtime`] — tree runtime, IR interpreter and the pipeline's
-//!   `Execute` stage
+//! - [`grafter_runtime`] — tree runtime and the IR interpreter backend
+//! - [`grafter_vm`] — the bytecode compiler and register VM backend
 //! - [`grafter_cachesim`] — cache hierarchy simulator
 //! - [`grafter_treefuser`] — TreeFuser-style baseline
 //! - [`grafter_workloads`] — the paper's four case studies
@@ -22,7 +24,11 @@
 pub use grafter;
 pub use grafter_automata;
 pub use grafter_cachesim;
+pub use grafter_engine;
 pub use grafter_frontend;
 pub use grafter_runtime;
 pub use grafter_treefuser;
+pub use grafter_vm;
 pub use grafter_workloads;
+
+pub use grafter_engine::{Backend, BatchOptions, Engine, Error, Report, Session};

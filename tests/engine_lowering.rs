@@ -1,0 +1,59 @@
+//! Compile-once guarantee: building a VM engine lowers the bytecode
+//! module exactly once, and no amount of sessions, runs or batches
+//! triggers another lowering.
+//!
+//! Kept in its own integration-test binary (its own process) so the
+//! process-wide `grafter_vm::lowering_count()` counter sees only this
+//! file's lowerings.
+
+use grafter_engine::{Backend, BatchOptions};
+use grafter_runtime::Heap;
+use grafter_vm::lowering_count;
+use grafter_workloads::case_studies;
+
+#[test]
+fn vm_engine_lowers_exactly_once_for_any_number_of_runs() {
+    let cases = case_studies();
+    let case = &cases[0];
+    assert_eq!(case.name, "ast");
+
+    assert_eq!(lowering_count(), 0, "nothing lowered before any build");
+
+    // Interp engines never lower.
+    let interp = case.engine(Backend::Interp);
+    assert_eq!(lowering_count(), 0);
+    assert!(interp.module().is_none());
+
+    // One VM build = one lowering.
+    let engine = case.engine(Backend::Vm);
+    assert_eq!(lowering_count(), 1, "build lowers exactly once");
+    assert!(engine.module().is_some());
+
+    // Sessions, repeated runs and batches all reuse the cached module.
+    let build = case.build;
+    let size = case.test_size;
+    for _ in 0..3 {
+        let mut session = engine.session();
+        let root = session.build_tree(|heap| build(heap, size, 42));
+        session.run(root).unwrap();
+        session.run(root).unwrap();
+    }
+    let inputs: Vec<_> = (0..6)
+        .map(|_| move |heap: &mut Heap| build(heap, size, 42))
+        .collect();
+    engine
+        .run_batch_with(inputs, &BatchOptions::with_workers(3))
+        .unwrap();
+    assert_eq!(
+        lowering_count(),
+        1,
+        "6 sessions + 6 batch runs later, still exactly one lowering"
+    );
+
+    // A second engine is a second compile — one more, not one per run.
+    let other = case.engine(Backend::Vm);
+    let mut session = other.session();
+    let root = session.build_tree(|heap| build(heap, size, 42));
+    session.run(root).unwrap();
+    assert_eq!(lowering_count(), 2);
+}

@@ -3,6 +3,10 @@
 //! All flows go through `grafter::pipeline::Pipeline` — the single
 //! compile→fuse→execute entry point — plus the runtime's `Execute` stage.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::Pipeline;
 use grafter::{FuseOptions, Stage};
 use grafter_cachesim::CacheHierarchy;

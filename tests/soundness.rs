@@ -15,6 +15,10 @@
 //! fixed seeds, and every run is identical. The whole flow goes through
 //! the staged `grafter::pipeline` API.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::{Fused, Pipeline};
 use grafter_runtime::{Execute, Value};
 use rand::rngs::StdRng;

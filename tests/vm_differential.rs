@@ -9,6 +9,10 @@
 //! `grafter_workloads::case_studies()` descriptor, so these tests always
 //! cover exactly the configurations the benches measure.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::{Compiled, Fused};
 use grafter_runtime::{with_stack, Execute, Heap, Metrics, NodeId, SnapValue, Value};
 use grafter_vm::{Backend, ExecuteBackend};

@@ -3,6 +3,10 @@
 //! fewer node visits) of the unfused execution, end to end through
 //! `grafter::pipeline::Pipeline` and the runtime's `Execute` stage.
 
+// This suite predates the Engine API and intentionally keeps exercising
+// the deprecated `Pipeline`/`Execute` shim, which must stay working.
+#![allow(deprecated)]
+
 use grafter::pipeline::{Compiled, Fused};
 use grafter_runtime::{with_stack, Execute, Heap, NodeId, SnapValue, Value};
 use grafter_workloads::{ast, fmm, kdtree, render};
