@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use grafter_frontend::{ClassId, Expr, MethodId, NodePath, Program, Stmt};
 
@@ -178,8 +179,8 @@ impl Stub {
 #[derive(Clone, Debug)]
 pub struct FusedProgram {
     /// The source program (class/field/method tables are shared with the
-    /// fused code).
-    pub program: Program,
+    /// fused code, and — via `Arc` — with every heap laid out for it).
+    pub program: Arc<Program>,
     /// All generated fused functions.
     pub functions: Vec<FusedFn>,
     /// All generated dispatch stubs.
@@ -310,7 +311,7 @@ pub fn fuse_slots(
             .collect()
     };
     FusedProgram {
-        program: program.clone(),
+        program: Arc::new(program.clone()),
         functions: fuser.functions,
         stubs: fuser.stubs,
         entries,

@@ -1,8 +1,10 @@
 //! Engine configuration and the build step that compiles everything once.
 
+use std::sync::Arc;
+
 use grafter::pipeline::Compiled;
 use grafter::{fuse, Error, FusionMetrics, FusionOptions};
-use grafter_runtime::{PureRegistry, Value};
+use grafter_runtime::{Layouts, PureRegistry, Value};
 use grafter_vm::{lower, Backend};
 
 use crate::engine::Engine;
@@ -144,12 +146,18 @@ impl EngineBuilder {
         };
         let mut warnings = compiled.warnings().clone();
         warnings.dedup();
+        // Computed once here; every session heap shares the fused
+        // program's own `Arc` (no second program copy) and these layouts.
+        let shared_program = Arc::clone(&fused.program);
+        let shared_layouts = Arc::new(Layouts::new(&shared_program));
         Ok(Engine {
             src: compiled.source().to_string(),
             fused,
             fusion,
             module,
             backend: self.backend,
+            shared_program,
+            shared_layouts,
             pures: self.pures.unwrap_or_else(PureRegistry::with_math),
             args: self.args,
             cache: self.cache,

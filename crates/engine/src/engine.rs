@@ -1,8 +1,10 @@
 //! The immutable, shareable engine: one compiled program, many runs.
 
+use std::sync::Arc;
+
 use grafter::{cpp, DiagnosticBag, FusedProgram, FusionMetrics};
 use grafter_frontend::Program;
-use grafter_runtime::{Heap, PureRegistry, Value};
+use grafter_runtime::{Heap, Layouts, PureRegistry, Value};
 use grafter_vm::{Backend, Module};
 
 use crate::builder::EngineBuilder;
@@ -29,6 +31,10 @@ pub struct Engine {
     /// interpreter tier.
     pub(crate) module: Option<Module>,
     pub(crate) backend: Backend,
+    /// Program + layouts shared by every session heap (`Arc` bumps, not
+    /// program clones and layout recomputations, per session).
+    pub(crate) shared_program: Arc<Program>,
+    pub(crate) shared_layouts: Arc<Layouts>,
     pub(crate) pures: PureRegistry,
     pub(crate) args: Vec<Vec<Value>>,
     /// Fresh-state cache prototype cloned into each session.
@@ -75,9 +81,10 @@ impl Engine {
         &self.src
     }
 
-    /// The resolved source program (class/field/method tables).
+    /// The resolved source program (class/field/method tables) — the
+    /// same shared instance every session heap references.
     pub fn program(&self) -> &Program {
-        &self.fused.program
+        &self.shared_program
     }
 
     /// The fused program the engine executes.
@@ -97,9 +104,13 @@ impl Engine {
     }
 
     /// A fresh heap laid out for this engine's program (what
-    /// [`Engine::session`] starts from).
+    /// [`Engine::session`] starts from). The program and its layouts are
+    /// shared, so this is two reference-count bumps and two empty vectors.
     pub fn new_heap(&self) -> Heap {
-        Heap::new(self.program())
+        Heap::with_shared(
+            Arc::clone(&self.shared_program),
+            Arc::clone(&self.shared_layouts),
+        )
     }
 }
 

@@ -148,6 +148,18 @@ impl<'e> Session<'e> {
         build(&mut self.heap)
     }
 
+    /// Clears the session's heap for the next input while keeping the
+    /// arena's capacity, so a session serving many requests allocates
+    /// only while its largest tree is still growing the pool.
+    ///
+    /// A reset session is observationally identical to a fresh one: the
+    /// next tree gets the same simulated addresses, so `Report`s and
+    /// snapshots are bit-identical to an un-pooled run. Per-session
+    /// overrides (pures, args, cache) are kept.
+    pub fn reset(&mut self) {
+        self.heap.reset();
+    }
+
     /// A value-semantics snapshot of the subtree under `root` (class name
     /// plus slot values per node, pre-order) — the heap-state fingerprint
     /// the differential and concurrency suites compare.

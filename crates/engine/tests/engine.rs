@@ -273,6 +273,51 @@ fn run_batch_preserves_input_order_and_matches_sequential() {
 }
 
 #[test]
+fn empty_batch_returns_no_reports() {
+    let engine = list_engine(Backend::Interp);
+    let none: Vec<fn(&mut Heap) -> NodeId> = Vec::new();
+    assert!(engine.run_batch(none).unwrap().is_empty());
+    // The worker clamp (`opts.workers.clamp(1, n)`) panics when `n == 0`;
+    // the empty batch must short-circuit before it, whatever the
+    // configured worker count.
+    for workers in [0, 1, 8] {
+        let none: Vec<fn(&mut Heap) -> NodeId> = Vec::new();
+        assert!(engine
+            .try_run_batch(none, &BatchOptions::with_workers(workers))
+            .is_empty());
+    }
+    // workers == 0 on a nonempty batch clamps up to one worker.
+    let one = vec![|heap: &mut Heap| build_chain(heap, 3)];
+    let reports = engine
+        .run_batch_with(one, &BatchOptions::with_workers(0))
+        .unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].metrics.visits, 4);
+}
+
+#[test]
+fn session_reset_reuses_the_arena_bit_identically() {
+    for backend in [Backend::Interp, Backend::Vm] {
+        let engine = list_engine(backend);
+        // One pooled session serving several requests...
+        let mut pooled = engine.session();
+        let mut served = Vec::new();
+        for _ in 0..3 {
+            pooled.reset();
+            let root = pooled.build_tree(|h| build_chain(h, 8));
+            served.push((pooled.run(root).unwrap(), pooled.snapshot(root)));
+        }
+        // ...must be indistinguishable from a fresh session per request.
+        let mut fresh = engine.session();
+        let root = fresh.build_tree(|h| build_chain(h, 8));
+        let expect = (fresh.run(root).unwrap(), fresh.snapshot(root));
+        for got in &served {
+            assert_eq!(got, &expect, "{backend:?}");
+        }
+    }
+}
+
+#[test]
 fn try_run_batch_keeps_per_input_failures() {
     let src = r#"
         tree class N {

@@ -1,6 +1,17 @@
 //! Node heap, class layouts and tree construction helpers.
+//!
+//! Nodes live in one contiguous **slot arena**: a node is a small
+//! `(class, base)` record indexing into a single `Vec<Value>` pool, bump
+//! allocated in construction order. Simulated addresses are derived from
+//! the record (header bytes per node + slot bytes per pool slot), so they
+//! are identical to the per-node-`malloc` scheme the paper's C++ runs
+//! against while the Rust side touches no allocator on the hot path. The
+//! arena is reusable: [`Heap::reset`] drops every node but keeps the
+//! pool's capacity, so a session can run many inputs with zero steady-state
+//! allocation (and bit-identical addresses each time).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use grafter_frontend::{ast::Literal, ClassId, FieldId, FieldKind, Program, Ty};
 
@@ -21,6 +32,10 @@ impl NodeId {
 pub const NODE_HEADER_BYTES: u64 = 8;
 /// Byte size of one slot (all values are machine-word sized).
 pub const SLOT_BYTES: u64 = 8;
+
+/// Simulated address of the first allocated node (skips a "reserved" low
+/// range, like a real process image).
+const HEAP_BASE_ADDR: u64 = 0x10_0000;
 
 /// Flattened field layouts of every class in a program.
 ///
@@ -167,41 +182,55 @@ impl Layouts {
     }
 }
 
-/// One heap node.
-#[derive(Clone, Debug)]
-pub struct Node {
+/// One node record: the dynamic type and the node's first slot in the
+/// arena pool. The simulated address is derived, not stored.
+#[derive(Clone, Copy, Debug)]
+struct NodeRec {
     /// Dynamic type.
-    pub class: ClassId,
-    /// Flattened field values.
-    pub slots: Box<[Value]>,
-    /// Simulated base address.
-    pub addr: u64,
+    class: ClassId,
+    /// First slot in the pool.
+    base: u32,
     /// Cleared by `delete`; accesses to dead nodes are runtime errors.
-    pub alive: bool,
+    alive: bool,
 }
 
 /// An arena of tree nodes with simulated addresses.
 ///
-/// Addresses are bump-allocated in allocation order, emulating the `malloc`
-/// behaviour of the paper's C++ implementation; tree construction order thus
-/// determines memory locality, exactly as in the original evaluation.
+/// Field values of all nodes live in one contiguous slot pool; a node is
+/// a `(class, base)` record into it. Addresses are bump-allocated in
+/// allocation order, emulating the `malloc` behaviour of the paper's C++
+/// implementation; tree construction order thus determines memory
+/// locality, exactly as in the original evaluation.
+///
+/// The program and its [`Layouts`] are shared (`Arc`) so opening many
+/// heaps against one compiled program — sessions, batch workers — costs
+/// two reference bumps, not a program clone and a layout recomputation.
 #[derive(Clone, Debug)]
 pub struct Heap {
-    program: Program,
-    layouts: Layouts,
-    nodes: Vec<Node>,
-    next_addr: u64,
+    program: Arc<Program>,
+    layouts: Arc<Layouts>,
+    nodes: Vec<NodeRec>,
+    /// The slot arena: every node's flattened field values, contiguous.
+    pool: Vec<Value>,
     live_bytes: u64,
 }
 
 impl Heap {
     /// Creates an empty heap for `program`.
     pub fn new(program: &Program) -> Self {
+        let layouts = Arc::new(Layouts::new(program));
+        Heap::with_shared(Arc::new(program.clone()), layouts)
+    }
+
+    /// Creates an empty heap over an already-shared program + layouts
+    /// (what `Engine::new_heap` uses so sessions skip both the program
+    /// clone and the layout computation).
+    pub fn with_shared(program: Arc<Program>, layouts: Arc<Layouts>) -> Self {
         Heap {
-            layouts: Layouts::new(program),
-            program: program.clone(),
+            program,
+            layouts,
             nodes: Vec::new(),
-            next_addr: 0x10_0000, // skip a "reserved" low range
+            pool: Vec::new(),
             live_bytes: 0,
         }
     }
@@ -216,18 +245,45 @@ impl Heap {
         &self.layouts
     }
 
+    /// Pre-sizes the arena for about `nodes` nodes totalling `slots`
+    /// slots (builders that know their tree size avoid regrowth).
+    pub fn reserve(&mut self, nodes: usize, slots: usize) {
+        self.nodes.reserve(nodes);
+        self.pool.reserve(slots);
+    }
+
+    /// [`Heap::reserve`] from a per-class census: builders that know how
+    /// many nodes of each class they will allocate pre-size the arena
+    /// without hand-rolling the slot arithmetic.
+    pub fn reserve_classes(&mut self, counts: &[(ClassId, usize)]) {
+        let nodes = counts.iter().map(|&(_, n)| n).sum();
+        let slots = counts
+            .iter()
+            .map(|&(c, n)| n * self.layouts.size_of(c))
+            .sum();
+        self.reserve(nodes, slots);
+    }
+
+    /// Drops every node but keeps the arena's capacity, so the next tree
+    /// built here allocates nothing and gets bit-identical simulated
+    /// addresses to a fresh heap.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.pool.clear();
+        self.live_bytes = 0;
+    }
+
     /// Allocates a node of `class` with default field values.
     pub fn alloc(&mut self, class: ClassId) -> NodeId {
-        let size = self.layouts.node_bytes(class);
-        let node = Node {
+        let base = self.pool.len();
+        assert!(base <= u32::MAX as usize, "slot arena overflow");
+        self.pool.extend_from_slice(self.layouts.defaults(class));
+        self.live_bytes += self.layouts.node_bytes(class);
+        self.nodes.push(NodeRec {
             class,
-            slots: self.layouts.defaults(class).to_vec().into_boxed_slice(),
-            addr: self.next_addr,
+            base: base as u32,
             alive: true,
-        };
-        self.next_addr += size;
-        self.live_bytes += size;
-        self.nodes.push(node);
+        });
         NodeId((self.nodes.len() - 1) as u32)
     }
 
@@ -236,49 +292,125 @@ impl Heap {
         self.program.class_by_name(class).map(|c| self.alloc(c))
     }
 
-    /// Node accessor.
+    /// Checked record accessor.
     ///
     /// # Panics
     ///
-    /// Panics if the id is stale (node deleted) — use [`Heap::node_raw`] to
+    /// Panics if the id is stale (node deleted).
+    #[inline]
+    fn rec(&self, id: NodeId) -> NodeRec {
+        let r = self.nodes[id.index()];
+        assert!(r.alive, "access to deleted node {id:?}");
+        r
+    }
+
+    #[inline]
+    fn slot_range(&self, r: NodeRec) -> std::ops::Range<usize> {
+        let base = r.base as usize;
+        base..base + self.layouts.size_of(r.class)
+    }
+
+    /// Dynamic type of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was deleted — use [`Heap::class_of_raw`] to
     /// inspect dead nodes.
-    pub fn node(&self, id: NodeId) -> &Node {
-        let n = &self.nodes[id.index()];
-        assert!(n.alive, "access to deleted node {id:?}");
-        n
+    #[inline]
+    pub fn class_of(&self, id: NodeId) -> ClassId {
+        self.rec(id).class
     }
 
-    /// Node accessor without the liveness check.
-    pub fn node_raw(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    /// Dynamic type without the liveness check.
+    #[inline]
+    pub fn class_of_raw(&self, id: NodeId) -> ClassId {
+        self.nodes[id.index()].class
     }
 
-    /// Mutable node accessor.
+    /// Simulated base address of a node (valid for dead nodes too, like a
+    /// dangling pointer's numeric value).
+    #[inline]
+    pub fn addr_of(&self, id: NodeId) -> u64 {
+        let r = &self.nodes[id.index()];
+        HEAP_BASE_ADDR + NODE_HEADER_BYTES * id.0 as u64 + SLOT_BYTES * r.base as u64
+    }
+
+    /// Whether the node is still live (not deleted).
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Reads slot `slot` of a node.
     ///
     /// # Panics
     ///
-    /// Panics if the node was deleted.
-    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        let n = &mut self.nodes[id.index()];
-        assert!(n.alive, "access to deleted node {id:?}");
-        n
+    /// Panics if the node was deleted or the slot is out of range.
+    #[inline]
+    pub fn get(&self, id: NodeId, slot: usize) -> Value {
+        let r = self.rec(id);
+        assert!(
+            slot < self.layouts.size_of(r.class),
+            "slot {slot} out of range for node {id:?}"
+        );
+        self.pool[r.base as usize + slot]
     }
 
-    /// Recursively deletes the subtree rooted at `id`.
-    pub fn delete_subtree(&mut self, id: NodeId) {
+    /// Writes slot `slot` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was deleted or the slot is out of range.
+    #[inline]
+    pub fn set(&mut self, id: NodeId, slot: usize, value: Value) {
+        let r = self.rec(id);
+        assert!(
+            slot < self.layouts.size_of(r.class),
+            "slot {slot} out of range for node {id:?}"
+        );
+        self.pool[r.base as usize + slot] = value;
+    }
+
+    /// The node's flattened field values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was deleted — use [`Heap::slots_raw`] to
+    /// inspect dead nodes.
+    #[inline]
+    pub fn slots(&self, id: NodeId) -> &[Value] {
+        let range = self.slot_range(self.rec(id));
+        &self.pool[range]
+    }
+
+    /// The node's flattened field values without the liveness check.
+    #[inline]
+    pub fn slots_raw(&self, id: NodeId) -> &[Value] {
+        let range = self.slot_range(self.nodes[id.index()]);
+        &self.pool[range]
+    }
+
+    /// Iteratively deletes the subtree rooted at `id`, returning the
+    /// number of nodes freed (so callers metering `free` costs don't
+    /// need two whole-heap live scans around the call).
+    pub fn delete_subtree(&mut self, id: NodeId) -> usize {
+        let mut freed = 0;
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            if !self.nodes[n.index()].alive {
+            let rec = self.nodes[n.index()];
+            if !rec.alive {
                 continue;
             }
             self.nodes[n.index()].alive = false;
-            self.live_bytes -= self.layouts.node_bytes(self.nodes[n.index()].class);
-            for v in self.nodes[n.index()].slots.iter() {
+            self.live_bytes -= self.layouts.node_bytes(rec.class);
+            freed += 1;
+            for v in &self.pool[self.slot_range(rec)] {
                 if let Value::Ref(Some(child)) = v {
                     stack.push(*child);
                 }
             }
         }
+        freed
     }
 
     /// Number of nodes ever allocated (including deleted ones).
@@ -305,11 +437,11 @@ impl Heap {
     // ---- name-based convenience accessors (tests, builders) --------------
 
     fn slot_by_name(&self, id: NodeId, field: &str) -> Option<usize> {
-        let node = &self.nodes[id.index()];
+        let class = self.nodes[id.index()].class;
         let mut parts = field.split('.');
         let head = parts.next()?;
-        let f = self.program.field_on_class(node.class, head)?;
-        let mut slot = self.layouts.slot_of(node.class, f);
+        let f = self.program.field_on_class(class, head)?;
+        let mut slot = self.layouts.slot_of(class, f);
         for p in parts {
             let FieldKind::Data(Ty::Struct(st)) = self.program.fields[f.index()].kind else {
                 return None;
@@ -323,13 +455,13 @@ impl Heap {
     /// Reads a field (or `struct.member` chain) by name.
     pub fn get_by_name(&self, id: NodeId, field: &str) -> Option<Value> {
         let slot = self.slot_by_name(id, field)?;
-        Some(self.node(id).slots[slot])
+        Some(self.get(id, slot))
     }
 
     /// Writes a field by name.
     pub fn set_by_name(&mut self, id: NodeId, field: &str, value: Value) -> Option<()> {
         let slot = self.slot_by_name(id, field)?;
-        self.node_mut(id).slots[slot] = value;
+        self.set(id, slot, value);
         Some(())
     }
 
@@ -351,19 +483,42 @@ impl Heap {
         }
     }
 
+    /// Live nodes reachable from `root` in preorder (first-visit order of
+    /// the depth-first walk the traversals themselves perform).
+    ///
+    /// Iterative — a 100k-node right spine is a loop, not 100k stack
+    /// frames — and shares structure: a node reachable twice appears once.
+    fn preorder(&self, root: NodeId) -> (HashMap<NodeId, usize>, Vec<NodeId>) {
+        let mut order: HashMap<NodeId, usize> = HashMap::new();
+        let mut list = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if order.contains_key(&id) {
+                continue;
+            }
+            order.insert(id, list.len());
+            list.push(id);
+            // Children are pushed in reverse slot order so the first
+            // child is visited first, matching a recursive descent.
+            for v in self.slots(id).iter().rev() {
+                if let Value::Ref(Some(c)) = v {
+                    stack.push(*c);
+                }
+            }
+        }
+        (order, list)
+    }
+
     /// Deterministic snapshot of all live nodes reachable from `root`, in
     /// preorder: `(class name, slot values)` with child refs replaced by
     /// preorder indices so snapshots of differently-allocated but
     /// structurally identical trees compare equal.
     pub fn snapshot(&self, root: NodeId) -> Vec<(String, Vec<SnapValue>)> {
-        let mut order: HashMap<NodeId, usize> = HashMap::new();
-        let mut list = Vec::new();
-        self.preorder(root, &mut order, &mut list);
+        let (order, list) = self.preorder(root);
         list.iter()
             .map(|&id| {
-                let n = self.node(id);
-                let vals = n
-                    .slots
+                let vals = self
+                    .slots(id)
                     .iter()
                     .map(|v| match v {
                         Value::Ref(Some(c)) => SnapValue::Child(order[c]),
@@ -373,28 +528,17 @@ impl Heap {
                         Value::Bool(v) => SnapValue::Bool(*v),
                     })
                     .collect();
-                (self.program.classes[n.class.index()].name.clone(), vals)
+                (
+                    self.program.classes[self.class_of(id).index()].name.clone(),
+                    vals,
+                )
             })
             .collect()
-    }
-
-    fn preorder(&self, id: NodeId, order: &mut HashMap<NodeId, usize>, list: &mut Vec<NodeId>) {
-        if order.contains_key(&id) {
-            return;
-        }
-        order.insert(id, list.len());
-        list.push(id);
-        let slots = self.node(id).slots.clone();
-        for v in slots.iter() {
-            if let Value::Ref(Some(c)) = v {
-                self.preorder(*c, order, list);
-            }
-        }
     }
 }
 
 /// A structural value used in heap snapshots (see [`Heap::snapshot`]).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum SnapValue {
     Int(i64),
     Float(f64),
@@ -403,6 +547,25 @@ pub enum SnapValue {
     /// Preorder index of the referenced node.
     Child(usize),
 }
+
+/// Bit-level equality: two snapshots of structurally identical trees must
+/// compare equal even when a field holds `NaN` (a derived `f64` equality
+/// would make every NaN-carrying tree unequal to itself and spuriously
+/// fail the fused==unfused differential suites).
+impl PartialEq for SnapValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SnapValue::Int(a), SnapValue::Int(b)) => a == b,
+            (SnapValue::Float(a), SnapValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (SnapValue::Bool(a), SnapValue::Bool(b)) => a == b,
+            (SnapValue::Null, SnapValue::Null) => true,
+            (SnapValue::Child(a), SnapValue::Child(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SnapValue {}
 
 #[cfg(test)]
 mod tests {
@@ -467,8 +630,8 @@ mod tests {
         let mut heap = Heap::new(&p);
         let a = heap.alloc_by_name("Base").unwrap();
         let b = heap.alloc_by_name("Base").unwrap();
-        let (aa, ab) = (heap.node(a).addr, heap.node(b).addr);
-        assert_eq!(ab - aa, heap.layouts().node_bytes(heap.node(a).class));
+        let (aa, ab) = (heap.addr_of(a), heap.addr_of(b));
+        assert_eq!(ab - aa, heap.layouts().node_bytes(heap.class_of(a)));
     }
 
     #[test]
@@ -492,6 +655,44 @@ mod tests {
         let mut heap = Heap::new(&p);
         let a = heap.alloc_by_name("Base").unwrap();
         heap.delete_subtree(a);
-        let _ = heap.node(a);
+        let _ = heap.class_of(a);
+    }
+
+    #[test]
+    fn reset_reuses_the_arena_with_identical_addresses() {
+        let p = program();
+        let mut heap = Heap::new(&p);
+        let a = heap.alloc_by_name("Derived").unwrap();
+        let b = heap.alloc_by_name("Base").unwrap();
+        heap.set_child_by_name(a, "kid", Some(b)).unwrap();
+        let addrs = (heap.addr_of(a), heap.addr_of(b));
+        let snap = heap.snapshot(a);
+        let pool_cap = heap.pool.capacity();
+
+        heap.reset();
+        assert!(heap.is_empty());
+        assert_eq!(heap.live_bytes(), 0);
+        let a2 = heap.alloc_by_name("Derived").unwrap();
+        let b2 = heap.alloc_by_name("Base").unwrap();
+        heap.set_child_by_name(a2, "kid", Some(b2)).unwrap();
+        assert_eq!((heap.addr_of(a2), heap.addr_of(b2)), addrs);
+        assert_eq!(heap.snapshot(a2), snap);
+        assert_eq!(heap.pool.capacity(), pool_cap, "reset keeps capacity");
+    }
+
+    #[test]
+    fn nan_snapshots_compare_equal() {
+        let p = program();
+        let mut heap = Heap::new(&p);
+        let a = heap.alloc_by_name("Derived").unwrap();
+        heap.set_by_name(a, "f", Value::Float(f64::NAN)).unwrap();
+        let s1 = heap.snapshot(a);
+        let s2 = heap.snapshot(a);
+        assert_eq!(s1, s2, "NaN fields must not break snapshot equality");
+        assert_ne!(
+            SnapValue::Float(1.0),
+            SnapValue::Float(2.0),
+            "distinct floats still differ"
+        );
     }
 }

@@ -142,7 +142,7 @@ impl<'a> Interp<'a> {
     }
 
     fn slot_addr(&self, heap: &Heap, node: NodeId, slot: usize) -> u64 {
-        heap.node_raw(node).addr + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
+        heap.addr_of(node) + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
     }
 
     fn local_layout(&mut self, method: MethodId) -> Rc<(Vec<usize>, usize)> {
@@ -165,8 +165,8 @@ impl<'a> Interp<'a> {
         // Virtual dispatch: read the node header (type tag / vtable).
         self.metrics.instructions += cost::DISPATCH;
         self.metrics.loads += 1;
-        self.touch(heap.node_raw(node).addr);
-        let class = heap.node(node).class;
+        self.touch(heap.addr_of(node));
+        let class = heap.class_of(node);
         let Some(target) = self.fp.stub(stub).target_for(class) else {
             return Err(RuntimeError::MissingTarget(
                 self.fp.program.classes[class.index()].name.clone(),
@@ -302,12 +302,12 @@ impl<'a> Interp<'a> {
     fn navigate(&mut self, heap: &Heap, node: NodeId, path: &NodePath) -> RResult<Option<NodeId>> {
         let mut cur = node;
         for step in &path.steps {
-            let class = heap.node(cur).class;
+            let class = heap.class_of(cur);
             let slot = heap.layouts().slot_of(class, step.field);
             self.metrics.instructions += 1;
             self.metrics.loads += 1;
             self.touch(self.slot_addr(heap, cur, slot));
-            match heap.node(cur).slots[slot] {
+            match heap.get(cur, slot) {
                 Value::Ref(Some(c)) => cur = c,
                 Value::Ref(None) => return Ok(None),
                 _ => return Err(RuntimeError::NotARef),
@@ -373,15 +373,15 @@ impl<'a> Interp<'a> {
                 self.metrics.instructions += cost::ALLOC;
                 // Constructor initialises the node: touch its lines.
                 let bytes = heap.layouts().node_bytes(*class);
-                let base = heap.node(fresh).addr;
+                let base = heap.addr_of(fresh);
                 if let Some(cache) = &mut self.cache {
                     cache.access_range(base, bytes);
                 }
                 self.metrics.stores += 1 + bytes / SLOT_BYTES;
-                let pclass = heap.node(parent).class;
+                let pclass = heap.class_of(parent);
                 let slot = heap.layouts().slot_of(pclass, last);
                 self.touch(self.slot_addr(heap, parent, slot));
-                heap.node_mut(parent).slots[slot] = Value::Ref(Some(fresh));
+                heap.set(parent, slot, Value::Ref(Some(fresh)));
                 Ok(Flow::Continue)
             }
             Stmt::Delete { target } => {
@@ -389,17 +389,15 @@ impl<'a> Interp<'a> {
                 let Some(parent) = parent else {
                     return Ok(Flow::Continue);
                 };
-                let pclass = heap.node(parent).class;
+                let pclass = heap.class_of(parent);
                 let slot = heap.layouts().slot_of(pclass, last);
                 self.metrics.loads += 1;
                 self.touch(self.slot_addr(heap, parent, slot));
-                if let Value::Ref(Some(victim)) = heap.node(parent).slots[slot] {
-                    let before = heap.live_count();
-                    heap.delete_subtree(victim);
-                    let freed = before - heap.live_count();
+                if let Value::Ref(Some(victim)) = heap.get(parent, slot) {
+                    let freed = heap.delete_subtree(victim);
                     self.metrics.instructions += cost::FREE * freed as u64;
                 }
-                heap.node_mut(parent).slots[slot] = Value::Ref(None);
+                heap.set(parent, slot, Value::Ref(None));
                 self.metrics.stores += 1;
                 Ok(Flow::Continue)
             }
@@ -514,12 +512,12 @@ impl<'a> Interp<'a> {
                 let Some(target) = self.navigate(heap, node, path)? else {
                     return Err(RuntimeError::NullDeref);
                 };
-                let class = heap.node(target).class;
+                let class = heap.class_of(target);
                 let slot = heap.layouts().slot_of_chain(class, data);
                 self.metrics.instructions += 1;
                 self.metrics.loads += 1;
                 self.touch(self.slot_addr(heap, target, slot));
-                Ok(heap.node(target).slots[slot])
+                Ok(heap.get(target, slot))
             }
             DataAccess::Local { local, members } => {
                 let method = seq[traversal];
@@ -562,7 +560,7 @@ impl<'a> Interp<'a> {
                 let Some(target) = self.navigate(heap, node, path)? else {
                     return Err(RuntimeError::NullDeref);
                 };
-                let class = heap.node(target).class;
+                let class = heap.class_of(target);
                 let slot = heap.layouts().slot_of_chain(class, data);
                 let ty = field_ty(&self.fp.program, data);
                 self.metrics.instructions += 1;
@@ -578,7 +576,7 @@ impl<'a> Interp<'a> {
                         value
                     );
                 }
-                heap.node_mut(target).slots[slot] = coerce(ty, value);
+                heap.set(target, slot, coerce(ty, value));
             }
             DataAccess::Local { local, members } => {
                 let method = seq[traversal];

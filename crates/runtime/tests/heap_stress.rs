@@ -1,0 +1,91 @@
+//! Arena stress regressions: the heap walkers must be iterative, so
+//! list-like trees (a 100k-node right spine) neither overflow the test
+//! thread's stack in `snapshot`/`delete_subtree` nor clone per-node slot
+//! vectors, and `reset` must reproduce a fresh heap bit for bit.
+//!
+//! These run in CI's release-mode stress step — keep them free of big
+//! fixed stacks (`with_stack`) so a recursion regression fails loudly.
+
+use grafter_frontend::{compile, Program};
+use grafter_runtime::{Heap, SnapValue, Value};
+
+/// Nodes in the deep spine: far beyond any default thread stack's
+/// recursion budget (a recursive walk needs ~100k frames here).
+const SPINE: usize = 100_000;
+
+fn program() -> Program {
+    compile(
+        r#"
+        tree class Node {
+            child Node* next;
+            int v = 0;
+            virtual traversal nop() {}
+        }
+        tree class Cons : Node { }
+        tree class End : Node { }
+        "#,
+    )
+    .unwrap()
+}
+
+/// Builds a right spine of `n` Cons nodes ending in an End, root first
+/// (allocation order = preorder, like the workload builders).
+fn build_spine(heap: &mut Heap, n: usize) -> grafter_runtime::NodeId {
+    let root = heap.alloc_by_name("Cons").unwrap();
+    heap.set_by_name(root, "v", Value::Int(0)).unwrap();
+    let mut cur = root;
+    for i in 1..n {
+        let next = heap.alloc_by_name("Cons").unwrap();
+        heap.set_by_name(next, "v", Value::Int(i as i64)).unwrap();
+        heap.set_child_by_name(cur, "next", Some(next)).unwrap();
+        cur = next;
+    }
+    let end = heap.alloc_by_name("End").unwrap();
+    heap.set_child_by_name(cur, "next", Some(end)).unwrap();
+    root
+}
+
+#[test]
+fn snapshot_of_a_deep_spine_is_iterative_and_ordered() {
+    let p = program();
+    let mut heap = Heap::new(&p);
+    let root = build_spine(&mut heap, SPINE);
+    let snap = heap.snapshot(root);
+    assert_eq!(snap.len(), SPINE + 1);
+    // Preorder: node i is the i-th spine element, its `next` slot points
+    // to preorder index i + 1.
+    assert_eq!(snap[0].0, "Cons");
+    assert_eq!(snap[SPINE].0, "End");
+    for (i, (class, slots)) in snap.iter().take(SPINE).enumerate() {
+        assert_eq!(class, "Cons");
+        assert_eq!(slots[0], SnapValue::Child(i + 1));
+        assert_eq!(slots[1], SnapValue::Int(i as i64));
+    }
+}
+
+#[test]
+fn deep_spine_delete_and_reset_reuse_the_arena() {
+    let p = program();
+    let mut heap = Heap::new(&p);
+    let root = build_spine(&mut heap, SPINE);
+    let bytes = heap.live_bytes();
+    let snap = heap.snapshot(root);
+    assert!(bytes > 0);
+
+    // delete_subtree walks the same spine iteratively.
+    heap.delete_subtree(root);
+    assert_eq!(heap.live_count(), 0);
+    assert_eq!(heap.live_bytes(), 0);
+
+    // After a reset, rebuilding yields a bit-identical tree: same
+    // simulated addresses, same snapshot, no arena regrowth.
+    heap.reset();
+    let root2 = build_spine(&mut heap, SPINE);
+    assert_eq!(heap.addr_of(root2), {
+        let mut fresh = Heap::new(&p);
+        let r = build_spine(&mut fresh, SPINE);
+        fresh.addr_of(r)
+    });
+    assert_eq!(heap.live_bytes(), bytes);
+    assert_eq!(heap.snapshot(root2), snap);
+}

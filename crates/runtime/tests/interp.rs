@@ -459,7 +459,7 @@ fn deleted_nodes_are_not_reachable() {
     assert_eq!(heap.live_count(), 2);
     heap.delete_subtree(t);
     assert_eq!(heap.live_count(), 0);
-    assert!(!heap.node_raw(t).alive);
+    assert!(!heap.is_alive(t));
 }
 
 #[test]

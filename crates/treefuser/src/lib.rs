@@ -268,9 +268,7 @@ fn convert_node(
     if let Some(&m) = map.get(&id) {
         return m;
     }
-    let class_name = src.program().classes[src.node(id).class.index()]
-        .name
-        .clone();
+    let class_name = src.program().classes[src.class_of(id).index()].name.clone();
     let node = dst.alloc_by_name(ROOT_CLASS).expect("RNode exists");
     map.insert(id, node);
 

@@ -124,7 +124,7 @@ impl<'a> Vm<'a> {
 
     #[inline]
     fn slot_addr(heap: &Heap, node: NodeId, slot: usize) -> u64 {
-        heap.node_raw(node).addr + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
+        heap.addr_of(node) + NODE_HEADER_BYTES + SLOT_BYTES * slot as u64
     }
 
     /// Virtual dispatch through a stub jump table; charges the dispatch
@@ -132,8 +132,8 @@ impl<'a> Vm<'a> {
     fn dispatch(&mut self, heap: &Heap, stub: u16, node: NodeId) -> RResult<u32> {
         self.metrics.instructions += cost::DISPATCH;
         self.metrics.loads += 1;
-        self.touch(heap.node_raw(node).addr);
-        let class = heap.node(node).class;
+        self.touch(heap.addr_of(node));
+        let class = heap.class_of(node);
         let target = self.module.stubs[stub as usize].targets[class.index()];
         if target == NO_TARGET {
             return Err(RuntimeError::MissingTarget(
@@ -182,12 +182,12 @@ impl<'a> Vm<'a> {
         let m = self.module;
         let mut cur = node;
         for &field in m.paths[path as usize].iter() {
-            let class = heap.node(cur).class;
+            let class = heap.class_of(cur);
             let slot = m.offset_of(class.index(), field);
             self.metrics.instructions += 1;
             self.metrics.loads += 1;
             self.touch(Self::slot_addr(heap, cur, slot));
-            match heap.node(cur).slots[slot] {
+            match heap.get(cur, slot) {
                 Value::Ref(Some(c)) => cur = c,
                 Value::Ref(None) => return Ok(None),
                 _ => return Err(RuntimeError::NotARef),
@@ -290,12 +290,12 @@ impl<'a> Vm<'a> {
                     let Some(target) = self.navigate(heap, node, path)? else {
                         return Err(RuntimeError::NullDeref);
                     };
-                    let class = heap.node(target).class;
+                    let class = heap.class_of(target);
                     let slot = m.offset_of(class.index(), field) + addend as usize;
                     self.metrics.instructions += 1;
                     self.metrics.loads += 1;
                     self.touch(Self::slot_addr(heap, target, slot));
-                    self.regs[base + dst as usize] = heap.node(target).slots[slot];
+                    self.regs[base + dst as usize] = heap.get(target, slot);
                 }
                 Op::WriteTree {
                     src,
@@ -307,12 +307,12 @@ impl<'a> Vm<'a> {
                     let Some(target) = self.navigate(heap, node, path)? else {
                         return Err(RuntimeError::NullDeref);
                     };
-                    let class = heap.node(target).class;
+                    let class = heap.class_of(target);
                     let slot = m.offset_of(class.index(), field) + addend as usize;
                     self.metrics.instructions += 1;
                     self.metrics.stores += 1;
                     self.touch(Self::slot_addr(heap, target, slot));
-                    heap.node_mut(target).slots[slot] = co.apply(self.regs[base + src as usize]);
+                    heap.set(target, slot, co.apply(self.regs[base + src as usize]));
                 }
                 Op::ReadGlobal { dst, idx } => {
                     self.metrics.instructions += 1;
@@ -375,30 +375,28 @@ impl<'a> Vm<'a> {
                         self.metrics.instructions += cost::ALLOC;
                         // Constructor initialises the node: touch its lines.
                         let bytes = m.node_bytes[class.index()];
-                        let addr = heap.node(fresh).addr;
+                        let addr = heap.addr_of(fresh);
                         if let Some(cache) = &mut self.cache {
                             cache.access_range(addr, bytes);
                         }
                         self.metrics.stores += 1 + bytes / SLOT_BYTES;
-                        let pclass = heap.node(parent).class;
+                        let pclass = heap.class_of(parent);
                         let slot = m.offset_of(pclass.index(), field);
                         self.touch(Self::slot_addr(heap, parent, slot));
-                        heap.node_mut(parent).slots[slot] = Value::Ref(Some(fresh));
+                        heap.set(parent, slot, Value::Ref(Some(fresh)));
                     }
                 }
                 Op::Delete { path, field } => {
                     if let Some(parent) = self.navigate(heap, node, path)? {
-                        let pclass = heap.node(parent).class;
+                        let pclass = heap.class_of(parent);
                         let slot = m.offset_of(pclass.index(), field);
                         self.metrics.loads += 1;
                         self.touch(Self::slot_addr(heap, parent, slot));
-                        if let Value::Ref(Some(victim)) = heap.node(parent).slots[slot] {
-                            let before = heap.live_count();
-                            heap.delete_subtree(victim);
-                            let freed = before - heap.live_count();
+                        if let Value::Ref(Some(victim)) = heap.get(parent, slot) {
+                            let freed = heap.delete_subtree(victim);
                             self.metrics.instructions += cost::FREE * freed as u64;
                         }
-                        heap.node_mut(parent).slots[slot] = Value::Ref(None);
+                        heap.set(parent, slot, Value::Ref(None));
                         self.metrics.stores += 1;
                     }
                 }

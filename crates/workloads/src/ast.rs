@@ -440,7 +440,7 @@ fn random_stmt(heap: &mut Heap, rng: &mut StdRng, depth: usize, n_vars: i64) -> 
             kind::STMT_DECR
         };
         // kind matches the allocated class.
-        let k = if heap.program().classes[heap.node_raw(s).class.index()].name == "IncrStmt" {
+        let k = if heap.program().classes[heap.class_of_raw(s).index()].name == "IncrStmt" {
             kind::STMT_INCR
         } else {
             let _ = k;
@@ -618,7 +618,7 @@ mod tests {
         let f = heap.child_by_name(funcs, "F").unwrap().unwrap();
         let body = heap.child_by_name(f, "Body").unwrap().unwrap();
         let s = heap.child_by_name(body, "S").unwrap().unwrap();
-        let class = &p.classes[heap.node_raw(s).class.index()].name;
+        let class = &p.classes[heap.class_of_raw(s).index()].name;
         assert_eq!(class, "AssignStmt");
         assert_eq!(
             heap.get_by_name(s, "kind").unwrap(),
@@ -626,7 +626,7 @@ mod tests {
         );
         let rhs = heap.child_by_name(s, "Rhs").unwrap().unwrap();
         assert_eq!(
-            heap.program().classes[heap.node_raw(rhs).class.index()].name,
+            heap.program().classes[heap.class_of_raw(rhs).index()].name,
             "BinaryExpr"
         );
     }
@@ -683,7 +683,7 @@ mod tests {
         assert_eq!(heap.get_by_name(cond, "Value").unwrap(), Value::Int(0));
         let then_branch = heap.child_by_name(if_node, "Then").unwrap().unwrap();
         assert_eq!(
-            heap.program().classes[heap.node_raw(then_branch).class.index()].name,
+            heap.program().classes[heap.class_of_raw(then_branch).index()].name,
             "StmtListEnd",
             "false branch contents were removed"
         );

@@ -112,6 +112,11 @@ pub fn build_tree(heap: &mut Heap, n_points: usize, seed: u64) -> NodeId {
         .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.1..2.0)))
         .collect();
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // The bisection tree over n sorted points has n bodies and n - 1
+    // cells: pre-size the arena so construction never regrows the pool.
+    let body = heap.program().class_by_name("FmmBody").unwrap();
+    let cell = heap.program().class_by_name("FmmCell").unwrap();
+    heap.reserve_classes(&[(body, n_points), (cell, n_points.saturating_sub(1))]);
     build_cell(heap, &points)
 }
 
@@ -178,8 +183,8 @@ mod tests {
         // Sum of leaf masses equals the root multipole mass.
         let mut acc = 0.0;
         for id in 0..heap.len() {
-            let node = heap.node_raw(grafter_runtime::NodeId(id as u32));
-            if heap.program().classes[node.class.index()].name == "FmmBody" {
+            let class = heap.class_of_raw(grafter_runtime::NodeId(id as u32));
+            if heap.program().classes[class.index()].name == "FmmBody" {
                 acc += heap
                     .get_by_name(grafter_runtime::NodeId(id as u32), "Mass")
                     .unwrap()

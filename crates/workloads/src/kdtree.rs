@@ -327,6 +327,12 @@ pub fn compiled() -> Compiled {
 /// evaluation domain, with random cubic coefficients at the leaves.
 pub fn build_balanced(heap: &mut Heap, depth: usize, seed: u64) -> NodeId {
     let mut rng = StdRng::seed_from_u64(seed);
+    // A perfect tree's shape is known up front: pre-size the arena so
+    // construction never regrows the slot pool.
+    let leaves = 1usize << depth;
+    let leaf = heap.program().class_by_name("KdLeaf").unwrap();
+    let inner = heap.program().class_by_name("KdInner").unwrap();
+    heap.reserve_classes(&[(leaf, leaves), (inner, leaves - 1)]);
     build_node(heap, &mut rng, DOMAIN.0, DOMAIN.1, depth)
 }
 

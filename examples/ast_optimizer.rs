@@ -10,8 +10,7 @@ use grafter_runtime::{Heap, NodeId, Value};
 use grafter_workloads::ast::{self, kind};
 
 fn dump(heap: &Heap, id: NodeId, indent: usize) {
-    let node = heap.node_raw(id);
-    let class = &heap.program().classes[node.class.index()].name;
+    let class = &heap.program().classes[heap.class_of_raw(id).index()].name;
     let extra = match class.as_str() {
         "ConstantExpr" => format!(" value={}", heap.get_by_name(id, "Value").unwrap().as_i64()),
         "VarRefExpr" => {
@@ -42,7 +41,7 @@ fn dump(heap: &Heap, id: NodeId, indent: usize) {
         _ => String::new(),
     };
     println!("{:indent$}{class}{extra}", "", indent = indent);
-    for v in node.slots.iter() {
+    for v in heap.slots_raw(id).iter() {
         if let Value::Ref(Some(c)) = v {
             dump(heap, *c, indent + 2);
         }

@@ -103,6 +103,54 @@ fn kdtree_vm_matches_interp_on_every_equation() {
 }
 
 #[test]
+fn nan_fields_stay_differentially_comparable() {
+    // A traversal that manufactures NaN (0.0/0.0) and Inf on the tree:
+    // `SnapValue` equality is bit-level, so structurally identical trees
+    // carrying NaN must still satisfy the fused==unfused and interp==vm
+    // differential contracts instead of spuriously failing on NaN != NaN.
+    let src = r#"
+        tree class N {
+            child N* next;
+            float num = 0.0;
+            float den = 0.0;
+            float q = 0.0;
+            virtual traversal divide() {}
+            virtual traversal scale() {}
+        }
+        tree class C : N {
+            traversal divide() { q = this->num / this->den; this->next->divide(); }
+            traversal scale() { num = this->num * 2.0; this->next->scale(); }
+        }
+        tree class E : N { }
+    "#;
+    let compiled = Compiled::compile(src).unwrap();
+    let build: &dyn Fn(&mut Heap) -> NodeId = &|heap| {
+        // Slot 0: 0.0/0.0 = NaN; slot 1: 1.0/0.0 = Inf; slot 2: finite.
+        let nums = [0.0, 1.0, 3.0];
+        let dens = [0.0, 0.0, 2.0];
+        let mut cur = heap.alloc_by_name("E").unwrap();
+        for (&num, &den) in nums.iter().zip(&dens).rev() {
+            let c = heap.alloc_by_name("C").unwrap();
+            heap.set_by_name(c, "num", Value::Float(num)).unwrap();
+            heap.set_by_name(c, "den", Value::Float(den)).unwrap();
+            heap.set_child_by_name(c, "next", Some(cur)).unwrap();
+            cur = c;
+        }
+        cur
+    };
+    check_workload("nan", &compiled, "N", &["divide", "scale"], &[], build);
+    // The trees really do carry NaN: snapshots must still self-compare.
+    let artifact = compiled.fuse_default("N", &["divide", "scale"]).unwrap();
+    let (snap, _) = run(&artifact, Backend::Interp, &[], build);
+    let q = &snap[0].1[3];
+    assert!(
+        matches!(q, SnapValue::Float(f) if f.is_nan()),
+        "expected NaN in the quotient slot, got {q:?}"
+    );
+    assert_eq!(snap, snap.clone(), "NaN snapshot must equal itself");
+}
+
+#[test]
 fn harness_equivalence_holds_on_the_vm_backend() {
     // The workloads harness itself, switched to the VM tier with one
     // argument: fused and unfused VM runs leave identical trees.
