@@ -1,27 +1,39 @@
 //! Interp-vs-VM wall-clock comparison over the four case-study workloads,
-//! fused and unfused, plus batch throughput of the fused VM engine at 1,
-//! 4 and 8 worker threads — recorded to `BENCH_vm.json`.
+//! fused and unfused, plus per-opt-level fused VM medians (`O0` vs `O2`)
+//! and batch throughput of the fused VM engine at 1, 4 and 8 worker
+//! threads — recorded to `BENCH_vm.json`.
 //!
-//! Every configuration (backend × fusion) is one immutable
-//! `grafter_engine::Engine`, built once — compile, fusion and bytecode
-//! lowering are outside every measured region. For the latency table the
-//! input tree is built once; every configuration runs `--samples` times
-//! (default 5, plus one warmup) on cloned heaps and reports the median
-//! wall time. Both backends' `visits` are cross-checked — a mismatch is a
-//! hard error, so the JSON can only ever record a like-for-like
-//! comparison. The throughput section fans `--batch-trees` identical
-//! trees (default 16) through `Engine::run_batch` per worker count.
+//! Every configuration (backend × fusion × opt level) is one immutable
+//! `grafter_engine::Engine`, built once — compile, fusion, bytecode
+//! lowering and optimization are outside every measured region. For the
+//! latency table the input tree is built once; every configuration runs
+//! `--samples` times (default 5, plus one warmup) on cloned heaps and
+//! reports the median wall time. All configurations' `visits` are
+//! cross-checked — a mismatch is a hard error, so the JSON can only ever
+//! record a like-for-like comparison. The throughput section fans
+//! `--batch-trees` identical trees (default 16) through
+//! `Engine::run_batch` per worker count.
 //!
 //! ```text
 //! cargo run --release --bin vm_compare [--samples N] [--batch-trees N] [--out PATH]
+//! cargo run --release --bin vm_compare -- --samples 3 --check [--baseline PATH]
 //! ```
+//!
+//! `--check` is the CI perf-regression gate: instead of writing a new
+//! JSON it measures only the fused VM (default `O2`) medians and fails —
+//! exit code 1 — when any workload regresses more than 25% against the
+//! committed baseline (`--baseline`, default `BENCH_vm.json`). The
+//! tolerance absorbs shared-runner noise at `--samples 3` while still
+//! catching real regressions; `--inject-slowdown F` multiplies the
+//! measured medians by `F` to prove the gate trips (used to validate the
+//! CI job — an injected 2× slowdown must fail).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use grafter::FusionOptions;
 use grafter_bench::arg_value;
-use grafter_engine::{Backend, Engine};
+use grafter_engine::{Backend, Engine, OptLevel};
 use grafter_runtime::{with_stack, Heap};
 use grafter_workloads::harness::{batch_throughput, Throughput, RUN_STACK};
 use grafter_workloads::{case_studies, CaseStudy};
@@ -29,9 +41,14 @@ use grafter_workloads::{case_studies, CaseStudy};
 /// Worker-thread counts swept by the throughput experiment.
 const BATCH_WORKERS: [usize; 3] = [1, 4, 8];
 
+/// Allowed fused-VM median regression before `--check` fails (25%).
+const CHECK_TOLERANCE: f64 = 1.25;
+
 struct Config {
     interp_ns: u128,
     vm_ns: u128,
+    /// Fused-only: per-opt-level VM medians (`O0`, `O2`).
+    opt_ns: Option<(u128, u128)>,
     visits: u64,
 }
 
@@ -87,15 +104,24 @@ fn compare(
     opts: &FusionOptions,
     heap: &Heap,
     root: grafter_runtime::NodeId,
+    sweep_opt_levels: bool,
 ) -> Config {
     let interp = case.engine_with(opts.clone(), Backend::Interp);
     let vm = case.engine_with(opts.clone(), Backend::Vm);
     let (interp_ns, v_interp) = time_runs(samples, &interp, heap, root);
     let (vm_ns, v_vm) = time_runs(samples, &vm, heap, root);
     assert_eq!(v_interp, v_vm, "backends disagree on visit counts");
+    let opt_ns = sweep_opt_levels.then(|| {
+        let o0 = case.engine_opt(opts.clone(), OptLevel::O0);
+        let (o0_ns, v_o0) = time_runs(samples, &o0, heap, root);
+        assert_eq!(v_o0, v_vm, "opt levels disagree on visit counts");
+        // The default engine above already is O2; reuse its median.
+        (o0_ns, vm_ns)
+    });
     Config {
         interp_ns,
         vm_ns,
+        opt_ns,
         visits: v_vm,
     }
 }
@@ -104,8 +130,8 @@ fn workload(samples: usize, batch_trees: usize, case: &CaseStudy) -> WorkloadRow
     let fused_opts = FusionOptions::default();
     let mut heap = Heap::new(case.compiled.program());
     let root = case.build_bench(&mut heap);
-    let fused = compare(samples, case, &fused_opts, &heap, root);
-    let unfused = compare(samples, case, &FusionOptions::unfused(), &heap, root);
+    let fused = compare(samples, case, &fused_opts, &heap, root, true);
+    let unfused = compare(samples, case, &FusionOptions::unfused(), &heap, root, false);
 
     // Throughput: one shared fused VM engine, a batch of identical trees,
     // swept over worker counts.
@@ -130,12 +156,17 @@ fn workload(samples: usize, batch_trees: usize, case: &CaseStudy) -> WorkloadRow
 }
 
 fn json_config(c: &Config) -> String {
+    let opt = match c.opt_ns {
+        Some((o0, o2)) => format!(r#", "opt": {{"O0": {o0}, "O2": {o2}}}"#),
+        None => String::new(),
+    };
     format!(
-        r#"{{"interp_ns": {}, "vm_ns": {}, "speedup": {:.3}, "visits": {}}}"#,
+        r#"{{"interp_ns": {}, "vm_ns": {}, "speedup": {:.3}, "visits": {}{}}}"#,
         c.interp_ns,
         c.vm_ns,
         c.speedup(),
-        c.visits
+        c.visits,
+        opt
     )
 }
 
@@ -156,6 +187,61 @@ fn json_batch(batch: &[Throughput]) -> String {
     format!("[{items}]")
 }
 
+/// Extracts `"vm_ns": N` of workload `name`'s `"fused"` object from the
+/// committed baseline JSON (which this binary itself writes, so the
+/// hand-rolled scan matches the hand-rolled emitter).
+fn baseline_fused_vm_ns(json: &str, name: &str) -> Option<u128> {
+    let row = json.find(&format!("\"name\": \"{name}\""))?;
+    let fused = json[row..].find("\"fused\":")? + row;
+    let key = json[fused..].find("\"vm_ns\": ")? + fused + "\"vm_ns\": ".len();
+    let digits: String = json[key..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The `--check` gate: measure fused VM medians only and compare against
+/// the committed baseline. Returns the number of regressed workloads.
+fn check(samples: usize, baseline_path: &str, slowdown: f64) -> usize {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline `{baseline_path}`: {e}"));
+    let mut regressed = 0;
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}   (tolerance: +{:.0}%)",
+        "workload",
+        "baseline",
+        "measured",
+        "ratio",
+        (CHECK_TOLERANCE - 1.0) * 100.0
+    );
+    for case in case_studies() {
+        let Some(base_ns) = baseline_fused_vm_ns(&baseline, case.name) else {
+            panic!(
+                "baseline `{baseline_path}` has no fused vm_ns for `{}`",
+                case.name
+            );
+        };
+        let mut heap = Heap::new(case.compiled.program());
+        let root = case.build_bench(&mut heap);
+        let engine = case.engine_with(FusionOptions::default(), Backend::Vm);
+        let (measured, _) = time_runs(samples, &engine, &heap, root);
+        let measured = (measured as f64 * slowdown) as u128;
+        let ratio = measured as f64 / base_ns as f64;
+        let verdict = if ratio > CHECK_TOLERANCE {
+            regressed += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<10} {:>12}ns {:>12}ns {:>8.2}x   {verdict}",
+            case.name, base_ns, measured, ratio
+        );
+    }
+    regressed
+}
+
 fn main() {
     let samples: usize = arg_value("--samples")
         .and_then(|s| s.parse().ok())
@@ -166,6 +252,20 @@ fn main() {
         .unwrap_or(16)
         .max(1);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_vm.json".to_string());
+
+    if std::env::args().any(|a| a == "--check") {
+        let baseline = arg_value("--baseline").unwrap_or_else(|| "BENCH_vm.json".to_string());
+        let slowdown: f64 = arg_value("--inject-slowdown")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let regressed = with_stack(RUN_STACK, move || check(samples, &baseline, slowdown));
+        if regressed > 0 {
+            eprintln!("perf check FAILED: {regressed} workload(s) regressed >25% vs baseline");
+            std::process::exit(1);
+        }
+        println!("perf check ok: no fused VM median regressed >25% vs baseline");
+        return;
+    }
 
     let rows = with_stack(RUN_STACK, move || {
         case_studies()
@@ -195,6 +295,21 @@ fn main() {
             r.unfused.vm_ns,
             r.unfused.speedup(),
         );
+    }
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>9}",
+        "workload", "vm -O0", "vm -O2", "speedup"
+    );
+    for r in &rows {
+        if let Some((o0, o2)) = r.fused.opt_ns {
+            println!(
+                "{:<10} {:>12}ns {:>12}ns {:>8.2}x",
+                r.name,
+                o0,
+                o2,
+                if o2 == 0 { 1.0 } else { o0 as f64 / o2 as f64 }
+            );
+        }
     }
     println!(
         "\n{:<10} {:>6} {}",

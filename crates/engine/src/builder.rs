@@ -5,7 +5,7 @@ use std::sync::Arc;
 use grafter::pipeline::Compiled;
 use grafter::{fuse, Error, FusionMetrics, FusionOptions};
 use grafter_runtime::{Layouts, PureRegistry, Value};
-use grafter_vm::{lower, Backend};
+use grafter_vm::{lower_with, Backend, OptLevel, VmOptions};
 
 use crate::engine::Engine;
 use grafter_cachesim::CacheHierarchy;
@@ -30,6 +30,7 @@ pub struct EngineBuilder {
     passes: Vec<String>,
     fusion: Option<FusionOptions>,
     backend: Backend,
+    opt_level: OptLevel,
     pures: Option<PureRegistry>,
     args: Vec<Vec<Value>>,
     cache: Option<CacheHierarchy>,
@@ -74,6 +75,17 @@ impl EngineBuilder {
     /// [`Backend::Vm`] the build lowers the bytecode module, once.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Bytecode optimization level of the VM tier (default
+    /// [`OptLevel::O2`]; ignored by the interpreter backend).
+    ///
+    /// Whatever the level, execution stays observationally bit-identical
+    /// — same snapshots, [`Report`](crate::Report) metrics and cache
+    /// traffic — optimization only sheds dispatch overhead.
+    pub fn opt_level(mut self, opt_level: OptLevel) -> Self {
+        self.opt_level = opt_level;
         self
     }
 
@@ -138,11 +150,17 @@ impl EngineBuilder {
             passes: fused.entries.len(),
             fully_fused: fused.fully_fused(),
         };
-        // The compile-once step of the VM tier: lowering happens here and
-        // nowhere else in the engine's lifetime.
+        // The compile-once step of the VM tier: lowering (and bytecode
+        // optimization) happens here and nowhere else in the engine's
+        // lifetime.
         let module = match self.backend {
             Backend::Interp => None,
-            Backend::Vm => Some(lower(&fused)),
+            Backend::Vm => Some(lower_with(
+                &fused,
+                &VmOptions {
+                    opt_level: self.opt_level,
+                },
+            )),
         };
         let mut warnings = compiled.warnings().clone();
         warnings.dedup();
@@ -156,6 +174,7 @@ impl EngineBuilder {
             fusion,
             module,
             backend: self.backend,
+            opt_level: self.opt_level,
             shared_program,
             shared_layouts,
             pures: self.pures.unwrap_or_else(PureRegistry::with_math),

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use grafter::{cpp, DiagnosticBag, FusedProgram, FusionMetrics};
 use grafter_frontend::Program;
 use grafter_runtime::{Heap, Layouts, PureRegistry, Value};
-use grafter_vm::{Backend, Module};
+use grafter_vm::{Backend, Module, OptLevel};
 
 use crate::builder::EngineBuilder;
 use crate::session::Session;
@@ -31,6 +31,9 @@ pub struct Engine {
     /// interpreter tier.
     pub(crate) module: Option<Module>,
     pub(crate) backend: Backend,
+    /// Bytecode optimization level the module was lowered at (set even on
+    /// the interpreter tier, where it has no effect).
+    pub(crate) opt_level: OptLevel,
     /// Program + layouts shared by every session heap (`Arc` bumps, not
     /// program clones and layout recomputations, per session).
     pub(crate) shared_program: Arc<Program>,
@@ -64,6 +67,12 @@ impl Engine {
     /// The execution tier this engine was built for.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The bytecode optimization level the engine was built with
+    /// (meaningful on [`Backend::Vm`]; the interpreter ignores it).
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// Compile-side fusion statistics (computed once at build).
@@ -118,6 +127,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("backend", &self.backend)
+            .field("opt_level", &self.opt_level)
             .field("fusion", &self.fusion)
             .field("module", &self.module.as_ref().map(|m| m.n_ops()))
             .field("warnings", &self.warnings.len())

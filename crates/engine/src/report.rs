@@ -6,7 +6,7 @@ use std::time::Duration;
 use grafter::FusionMetrics;
 use grafter_cachesim::HierarchyStats;
 use grafter_runtime::{Metrics, Value};
-use grafter_vm::Backend;
+use grafter_vm::{Backend, OptLevel};
 
 /// Everything one run produced, in one struct.
 ///
@@ -19,13 +19,19 @@ use grafter_vm::Backend;
 ///
 /// `PartialEq` compares the *deterministic outcome* — backend, fusion
 /// metrics, runtime counters and simulated cache traffic — and ignores
-/// [`Report::wall`], which varies run to run. Two runs of the same
-/// program on identical trees compare equal even across threads; this is
-/// what the concurrency test suite asserts.
+/// [`Report::wall`], which varies run to run, and [`Report::opt_level`],
+/// which by the optimizer's bit-identity contract cannot change the
+/// outcome (the differential suites assert exactly this by comparing
+/// `O0`/`O1`/`O2` reports). Two runs of the same program on identical
+/// trees compare equal even across threads; this is what the concurrency
+/// test suite asserts.
 #[derive(Clone, Debug)]
 pub struct Report {
     /// The execution tier that ran.
     pub backend: Backend,
+    /// Bytecode optimization level of the engine's module (excluded from
+    /// equality; meaningful on [`Backend::Vm`]).
+    pub opt_level: OptLevel,
     /// Compile-side fusion statistics of the engine's program.
     pub fusion: FusionMetrics,
     /// The run's performance counters (visits, instructions, loads,
@@ -72,8 +78,8 @@ impl Report {
 }
 
 impl PartialEq for Report {
-    /// Deterministic-outcome equality; see the type docs. `wall` is
-    /// intentionally ignored.
+    /// Deterministic-outcome equality; see the type docs. `wall` and
+    /// `opt_level` are intentionally ignored.
     fn eq(&self, other: &Self) -> bool {
         self.backend == other.backend
             && self.fusion == other.fusion
@@ -85,14 +91,15 @@ impl PartialEq for Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.backend == Backend::Vm {
+            write!(f, "[{} {}]", self.backend, self.opt_level)?;
+        } else {
+            write!(f, "[{}]", self.backend)?;
+        }
         write!(
             f,
-            "[{}] {} visit(s), {} instruction(s), {} load(s), {} store(s)",
-            self.backend,
-            self.metrics.visits,
-            self.metrics.instructions,
-            self.metrics.loads,
-            self.metrics.stores
+            " {} visit(s), {} instruction(s), {} load(s), {} store(s)",
+            self.metrics.visits, self.metrics.instructions, self.metrics.loads, self.metrics.stores
         )?;
         if let Some(cache) = &self.cache {
             write!(f, ", {} cache access(es)", cache.accesses)?;

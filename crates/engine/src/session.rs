@@ -246,6 +246,7 @@ impl<'e> Session<'e> {
         };
         Ok(Report {
             backend: engine.backend,
+            opt_level: engine.opt_level,
             fusion: engine.fusion,
             metrics,
             cache: cache_stats,

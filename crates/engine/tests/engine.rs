@@ -365,3 +365,53 @@ fn warnings_survive_to_the_engine_deduplicated() {
     assert_eq!(engine.warnings().len(), 1);
     assert!(engine.warnings()[0].message.contains("never called"));
 }
+
+#[test]
+fn opt_level_defaults_to_o2_and_is_configurable() {
+    use grafter_engine::OptLevel;
+
+    let default = list_engine(Backend::Vm);
+    assert_eq!(default.opt_level(), OptLevel::O2);
+    assert_eq!(default.module().unwrap().opt_report().level, OptLevel::O2);
+
+    let o0 = Engine::builder()
+        .source(LIST)
+        .entry("Node", &["incA", "incB"])
+        .backend(Backend::Vm)
+        .opt_level(OptLevel::O0)
+        .build()
+        .unwrap();
+    assert_eq!(o0.opt_level(), OptLevel::O0);
+    assert!(o0.module().unwrap().opt_report().passes.is_empty());
+    // Optimization strictly shrinks this module (superinstructions fire
+    // on the increment-and-recurse bodies).
+    assert!(default.module().unwrap().n_ops() < o0.module().unwrap().n_ops());
+}
+
+#[test]
+fn opt_level_is_excluded_from_report_equality() {
+    use grafter_engine::OptLevel;
+
+    let run_at = |level: OptLevel| {
+        let engine = Engine::builder()
+            .source(LIST)
+            .entry("Node", &["incA", "incB"])
+            .backend(Backend::Vm)
+            .opt_level(level)
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let root = session.build_tree(|h| build_chain(h, 16));
+        let report = session.run(root).expect("runs");
+        (report, session.snapshot(root))
+    };
+    let (r0, s0) = run_at(OptLevel::O0);
+    let (r2, s2) = run_at(OptLevel::O2);
+    assert_eq!(r0.opt_level, OptLevel::O0);
+    assert_eq!(r2.opt_level, OptLevel::O2);
+    // The optimizer's bit-identity contract, observed through the API.
+    assert_eq!(r0, r2);
+    assert_eq!(s0, s2);
+    // Display names the tier and level for VM runs.
+    assert!(format!("{r2}").starts_with("[vm O2]"));
+}

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use grafter::{CallPart, FusedFnId, FusedProgram, ScheduledItem, StubId};
 use grafter_cachesim::CacheHierarchy;
-use grafter_frontend::{BinOp, DataAccess, Expr, MethodId, NodePath, Stmt, UnOp};
+use grafter_frontend::{BinOp, DataAccess, Expr, MethodId, NodePath, Stmt};
 
 use crate::heap::{Heap, NodeId, NODE_HEADER_BYTES, SLOT_BYTES};
 use crate::metrics::{cost, Metrics};
@@ -455,14 +455,7 @@ impl<'a> Interp<'a> {
             Expr::Unary(op, e) => {
                 let v = self.eval(heap, seq, frames, node, traversal, e)?;
                 self.metrics.instructions += 1;
-                Ok(match op {
-                    UnOp::Neg => match v {
-                        Value::Int(i) => Value::Int(-i),
-                        Value::Float(f) => Value::Float(-f),
-                        other => panic!("cannot negate {other:?}"),
-                    },
-                    UnOp::Not => Value::Bool(!v.as_bool()),
-                })
+                Ok(crate::ops::unop(*op, v))
             }
             Expr::Binary(op, l, r) => {
                 // && and || short-circuit like the C++ they model.

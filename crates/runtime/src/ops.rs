@@ -5,7 +5,7 @@
 //! makes the differential guarantees (`tests/vm_differential.rs`) a
 //! property of dispatch, not of duplicated arithmetic.
 
-use grafter_frontend::{BinOp, FieldId, FieldKind, MethodId, Program, Ty};
+use grafter_frontend::{BinOp, FieldId, FieldKind, MethodId, Program, Ty, UnOp};
 
 use crate::heap::default_literal;
 use crate::Value;
@@ -143,6 +143,27 @@ pub fn binop(op: BinOp, l: Value, r: Value) -> Value {
         BinOp::Eq => Bool(values_equal(l, r)),
         BinOp::Ne => Bool(!values_equal(l, r)),
         BinOp::And | BinOp::Or => unreachable!("short-circuited before binop"),
+    }
+}
+
+/// Applies a unary operator.
+///
+/// Integer negation wraps (so `-i64::MIN` is deterministic in every
+/// build profile, matching [`binop`]'s wrapping arithmetic — and the
+/// VM's constant folder, which evaluates through this same kernel).
+///
+/// # Panics
+///
+/// Panics if the operand has a type the operator cannot accept (the
+/// same ill-typed programs panic identically in both backends).
+pub fn unop(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            Value::Float(f) => Value::Float(-f),
+            other => panic!("cannot negate {other:?}"),
+        },
+        UnOp::Not => Value::Bool(!v.as_bool()),
     }
 }
 

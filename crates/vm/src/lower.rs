@@ -31,6 +31,7 @@ use grafter_runtime::ops::{field_ty, flatten_globals, local_frame_layout};
 use grafter_runtime::{Layouts, Value};
 
 use crate::module::{CallInfo, CallPartInfo, Co, FuncInfo, Module, Op, StubInfo, NO_TARGET};
+use crate::opt::{optimize, OptReport, VmOptions};
 
 /// Process-wide count of [`lower`] invocations.
 ///
@@ -44,8 +45,19 @@ pub fn lowering_count() -> u64 {
     LOWERINGS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-/// Lowers a fused program into an executable bytecode [`Module`].
+/// Lowers a fused program into an executable bytecode [`Module`] with
+/// the default [`VmOptions`] (full optimization, [`crate::OptLevel::O2`]).
 pub fn lower(fp: &FusedProgram) -> Module {
+    lower_with(fp, &VmOptions::default())
+}
+
+/// Lowers a fused program and optimizes the module per `opts`.
+///
+/// Whatever the level, the module's observable behaviour — heap effects,
+/// [`grafter_runtime::Metrics`], simulated cache traffic, runtime errors
+/// — is bit-identical to `O0` and to the interpreter; optimization only
+/// sheds dispatch overhead (see [`crate::opt`]).
+pub fn lower_with(fp: &FusedProgram, opts: &VmOptions) -> Module {
     LOWERINGS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let program = &fp.program;
     let layouts = Layouts::new(program);
@@ -114,7 +126,7 @@ pub fn lower(fp: &FusedProgram) -> Module {
         })
         .collect();
 
-    Module {
+    let mut module = Module {
         ops: lo.ops,
         funcs,
         stubs,
@@ -130,7 +142,10 @@ pub fn lower(fp: &FusedProgram) -> Module {
         class_names: program.classes.iter().map(|c| c.name.clone()).collect(),
         field_names: program.fields.iter().map(|f| f.name.clone()).collect(),
         entries: fp.entries.iter().map(|&StubId(i)| i as u16).collect(),
-    }
+        opt: OptReport::none(),
+    };
+    module.opt = optimize(&mut module, opts.opt_level);
+    module
 }
 
 /// Coercion tag of a declared type.

@@ -138,6 +138,177 @@ pub enum Op {
         n: u8,
         co: Co,
     },
+
+    // ---- optimizer-introduced ops (see [`crate::opt`]) ----------------
+    //
+    // Every op below replaces a specific sequence of the base ops above
+    // and charges *exactly* the instructions/loads/stores that sequence
+    // charged, touching the same simulated addresses in the same order —
+    // the optimizer trades dispatch overhead, never observable counters.
+    /// `r[dst] ← consts[c]`, charging `charge` instructions — the residue
+    /// of a constant-folded expression (the folded operators' charges are
+    /// preserved so `Metrics` stay bit-identical to unoptimized code).
+    FoldedConst { dst: u16, c: u16, charge: u16 },
+    /// Superinstruction `Const + Bin`: `r[dst] ← r[a] op consts[c]`.
+    ConstBin { op: BinOp, dst: u16, a: u16, c: u16 },
+    /// Superinstruction `Mov + Bin`: `r[dst] ← r[a] op r[src]`.
+    LocBin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        src: u16,
+    },
+    /// Superinstruction `ReadTree + Bin`:
+    /// `r[dst] ← r[a] op [paths[path].field+addend]`.
+    TreeBin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+    },
+    /// Superinstruction `ReadGlobal + Bin`: `r[dst] ← r[a] op globals[idx]`.
+    GlobBin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        idx: u16,
+    },
+    /// Superinstruction `Bin + Branch` (compare-and-branch): evaluate
+    /// `r[a] op r[b]`, jump when false.
+    BinBranch {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    /// Superinstruction `Const + Bin + Branch` (the kind-tag test
+    /// `if (x.kind == K)`): evaluate `r[a] op consts[c]`, jump when false.
+    ConstBinBranch {
+        op: BinOp,
+        a: u16,
+        c: u16,
+        target: u32,
+    },
+    /// Superinstruction `Mov + Bin + Branch`: evaluate `r[a] op r[src]`,
+    /// jump when false.
+    LocBinBranch {
+        op: BinOp,
+        a: u16,
+        src: u16,
+        target: u32,
+    },
+    /// Superinstruction `Mov + Branch` (branch on a local): jump when
+    /// `r[src]` is false.
+    LocBranch { src: u16, target: u32 },
+    /// Superinstruction `ReadTree + Branch` (branch on a field): jump
+    /// when `[paths[path].field+addend]` is false.
+    TreeBranch {
+        path: u16,
+        field: u32,
+        addend: u16,
+        target: u32,
+    },
+    /// Superinstruction `Mov + WriteTree` (store local to field):
+    /// `[paths[path].field+addend] ← co(r[src])`.
+    LocTree {
+        src: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+        co: Co,
+    },
+    /// Superinstruction `Mov + WriteGlobal`: `globals[idx] ← co(r[src])`.
+    LocGlob { src: u16, idx: u16, co: Co },
+    /// Superinstruction `Mov + StoreLocal` (local-to-local copy with
+    /// coercion): `r[dst] ← co(r[src])`.
+    LocLoc { dst: u16, src: u16, co: Co },
+    /// Superinstruction `Bin + StoreLocal`: `r[dst] ← co(r[a] op r[b])`.
+    BinLoc {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        co: Co,
+    },
+    /// Superinstruction `Bin + WriteTree` (store-field from accumulator):
+    /// `[paths[path].field+addend] ← co(r[a] op r[b])`.
+    BinTree {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+        co: Co,
+    },
+    /// Superinstruction `Bin + WriteGlobal`:
+    /// `globals[idx] ← co(r[a] op r[b])`.
+    BinGlob {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        idx: u16,
+        co: Co,
+    },
+    /// Superinstruction `ReadTree + StoreLocal` (load-field + coerce):
+    /// `r[dst] ← co([paths[path].field+addend])`.
+    TreeLoc {
+        dst: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+        co: Co,
+    },
+    /// Superinstruction `ReadTree + WriteTree` (tree-to-tree field copy):
+    /// `[paths[wpath].wfield+waddend] ← co([paths[rpath].rfield+raddend])`.
+    /// Field ids are narrowed to `u16` to keep the op slot small; the
+    /// optimizer only emits this when both ids fit.
+    TreeTree {
+        rpath: u16,
+        rfield: u16,
+        raddend: u16,
+        wpath: u16,
+        wfield: u16,
+        waddend: u16,
+        co: Co,
+    },
+    /// Superinstruction `Const + WriteTree`:
+    /// `[paths[path].field+addend] ← co(consts[c])`.
+    ConstTree {
+        c: u16,
+        path: u16,
+        field: u32,
+        addend: u16,
+        co: Co,
+    },
+    /// Superinstruction `Const + WriteGlobal`:
+    /// `globals[idx] ← co(consts[c])`.
+    ConstGlob { c: u16, idx: u16, co: Co },
+    /// Superinstruction `Const + StoreLocal`: `r[dst] ← co(consts[c])`.
+    ConstLoc { dst: u16, c: u16, co: Co },
+    /// Devirtualised [`Op::Call`] through a monomorphic stub: the jump
+    /// table has a single live entry, so dispatch is one class check plus
+    /// a direct jump to function `target` (same charges, same
+    /// `MissingTarget` error on a class mismatch).
+    CallMono {
+        call: u16,
+        child: u16,
+        argbase: u16,
+        target: u32,
+        class: u16,
+    },
+    /// Superinstruction `Nav + Call` (argument-less grouped call, the
+    /// hottest pair in every workload): navigate the receiver path and
+    /// dispatch in one op, skipping the intermediate child register. A
+    /// null step skips the item exactly like [`Op::Nav`].
+    NavCall {
+        call: u16,
+        path: u16,
+        argbase: u16,
+        null_target: u32,
+    },
 }
 
 /// Sentinel for an absent jump-table entry.
@@ -227,6 +398,8 @@ pub struct Module {
     /// Entry stubs, in invocation order (one for a fused sequence, one per
     /// traversal for the unfused baseline).
     pub(crate) entries: Vec<u16>,
+    /// What the optimizer did to this module (level + per-pass deltas).
+    pub(crate) opt: crate::opt::OptReport,
 }
 
 impl Module {
@@ -243,6 +416,21 @@ impl Module {
     /// Number of dispatch jump tables.
     pub fn n_stubs(&self) -> usize {
         self.stubs.len()
+    }
+
+    /// The optimization report recorded when this module was lowered:
+    /// the [`crate::OptLevel`] plus one instruction-count delta per pass.
+    pub fn opt_report(&self) -> &crate::opt::OptReport {
+        &self.opt
+    }
+
+    /// Whether the module contains no executable function — its entry
+    /// stubs dispatch to no concrete target, so every run is a no-op (or
+    /// a `MissingTarget` error). Reachable by lowering a
+    /// [`grafter::fuse_slots`] product whose slots resolve on no concrete
+    /// subtype of the root; `grafterc --emit bytecode` warns on it.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
     }
 
     /// Slot offset of `field` within dynamic class `class`.
@@ -274,6 +462,14 @@ impl Module {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
+        let _ = writeln!(out, "; opt: {}", self.opt.level);
+        for p in &self.opt.passes {
+            let _ = writeln!(
+                out,
+                ";   {:<9} {:>4} -> {:<4} {}(s) ({} {})",
+                p.pass, p.before, p.after, p.unit, p.rewrites, p.action
+            );
+        }
         for (i, f) in self.funcs.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -428,6 +624,183 @@ impl Module {
                 "pure     r{dst} <- {co:?}({}(r{base}..+{n}))",
                 self.pure_names[pure as usize]
             ),
+            Op::FoldedConst { dst, c, charge } => format!(
+                "fconst   r{dst} <- #{c} ({:?}) charge={charge}",
+                self.consts[c as usize]
+            ),
+            Op::ConstBin { op, dst, a, c } => format!(
+                "bin.c    r{dst} <- r{a} {} #{c} ({:?})",
+                op.symbol(),
+                self.consts[c as usize]
+            ),
+            Op::LocBin { op, dst, a, src } => {
+                format!("bin.l    r{dst} <- r{a} {} r{src}", op.symbol())
+            }
+            Op::TreeBin {
+                op,
+                dst,
+                a,
+                path,
+                field,
+                addend,
+            } => format!(
+                "bin.t    r{dst} <- r{a} {} [{}.{}{}]",
+                op.symbol(),
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend)
+            ),
+            Op::GlobBin { op, dst, a, idx } => {
+                format!("bin.g    r{dst} <- r{a} {} g{idx}", op.symbol())
+            }
+            Op::BinBranch { op, a, b, target } => {
+                format!("cmpbr    r{a} {} r{b} false-> {target:04}", op.symbol())
+            }
+            Op::ConstBinBranch { op, a, c, target } => format!(
+                "cmpbr.c  r{a} {} #{c} ({:?}) false-> {target:04}",
+                op.symbol(),
+                self.consts[c as usize]
+            ),
+            Op::LocBinBranch { op, a, src, target } => {
+                format!("cmpbr.l  r{a} {} r{src} false-> {target:04}", op.symbol())
+            }
+            Op::LocBranch { src, target } => format!("brfalse.l r{src} -> {target:04}"),
+            Op::TreeBranch {
+                path,
+                field,
+                addend,
+                target,
+            } => format!(
+                "brfalse.t [{}.{}{}] -> {target:04}",
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend)
+            ),
+            Op::LocTree {
+                src,
+                path,
+                field,
+                addend,
+                co,
+            } => format!(
+                "wrtree.l [{}.{}{}] <- {co:?}(r{src})",
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend)
+            ),
+            Op::LocGlob { src, idx, co } => format!("wrglob.l g{idx} <- {co:?}(r{src})"),
+            Op::LocLoc { dst, src, co } => format!("stloc.l  r{dst} <- {co:?}(r{src})"),
+            Op::BinLoc { op, dst, a, b, co } => {
+                format!("stloc.b  r{dst} <- {co:?}(r{a} {} r{b})", op.symbol())
+            }
+            Op::BinTree {
+                op,
+                a,
+                b,
+                path,
+                field,
+                addend,
+                co,
+            } => format!(
+                "wrtree.b [{}.{}{}] <- {co:?}(r{a} {} r{b})",
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend),
+                op.symbol()
+            ),
+            Op::BinGlob { op, a, b, idx, co } => {
+                format!("wrglob.b g{idx} <- {co:?}(r{a} {} r{b})", op.symbol())
+            }
+            Op::TreeLoc {
+                dst,
+                path,
+                field,
+                addend,
+                co,
+            } => format!(
+                "stloc.t  r{dst} <- {co:?}([{}.{}{}])",
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend)
+            ),
+            Op::TreeTree {
+                rpath,
+                rfield,
+                raddend,
+                wpath,
+                wfield,
+                waddend,
+                co,
+            } => format!(
+                "cptree   [{}.{}{}] <- {co:?}([{}.{}{}])",
+                self.render_path(wpath),
+                self.field_names[wfield as usize],
+                render_addend(waddend),
+                self.render_path(rpath),
+                self.field_names[rfield as usize],
+                render_addend(raddend)
+            ),
+            Op::ConstTree {
+                c,
+                path,
+                field,
+                addend,
+                co,
+            } => format!(
+                "wrtree.c [{}.{}{}] <- {co:?}(#{c} {:?})",
+                self.render_path(path),
+                self.field_names[field as usize],
+                render_addend(addend),
+                self.consts[c as usize]
+            ),
+            Op::ConstGlob { c, idx, co } => format!(
+                "wrglob.c g{idx} <- {co:?}(#{c} {:?})",
+                self.consts[c as usize]
+            ),
+            Op::ConstLoc { dst, c, co } => format!(
+                "stloc.c  r{dst} <- {co:?}(#{c} {:?})",
+                self.consts[c as usize]
+            ),
+            Op::NavCall {
+                call,
+                path,
+                argbase,
+                null_target,
+            } => {
+                let info = &self.calls[call as usize];
+                format!(
+                    "navcall  {} this={} args@r{argbase} parts={} null-> {null_target:04}",
+                    self.stubs[info.stub as usize].name,
+                    self.render_path(path),
+                    info.parts.len()
+                )
+            }
+            Op::CallMono {
+                call,
+                child,
+                argbase,
+                target,
+                class,
+            } => {
+                let info = &self.calls[call as usize];
+                format!(
+                    "call.m   {} child=r{child} args@r{argbase} parts={} {}-> fn {} {}",
+                    self.stubs[info.stub as usize].name,
+                    info.parts.len(),
+                    self.class_names[class as usize],
+                    target,
+                    self.funcs[target as usize].name
+                )
+            }
         }
+    }
+}
+
+/// Renders a slot addend suffix (`+2`), empty when zero.
+fn render_addend(addend: u16) -> String {
+    if addend > 0 {
+        format!("+{addend}")
+    } else {
+        String::new()
     }
 }

@@ -1,0 +1,1032 @@
+//! The bytecode optimizer: rewrites a lowered [`Module`] in place.
+//!
+//! [`crate::lower`] emits naive one-op-per-HIR-node code, so the VM's
+//! dispatch loop pays a full `match` round-trip per tiny instruction —
+//! the classic interpreter overhead that superinstruction and peephole
+//! passes eliminate. [`optimize`] runs up to five passes over a module:
+//!
+//! 1. **fold** (`O1`) — constant folding: operators whose operands are
+//!    statically known collapse into [`Op::FoldedConst`];
+//! 2. **peephole** (`O1`) — fusion of hot adjacent pairs into
+//!    superinstructions (load-field + coerce, load + binop, compare +
+//!    branch, store-field from the accumulator, constant stores);
+//! 3. **dce** (`O2`) — dead-register elimination: free ops whose result
+//!    register is dead are deleted, jump chains are threaded, and each
+//!    function's register window shrinks to what is actually used;
+//! 4. **mono** (`O2`) — jump-table compaction: a call through a stub with
+//!    a single live target devirtualises into [`Op::CallMono`];
+//! 5. **pool** (`O1`) — constant-pool compaction: constants orphaned by
+//!    the passes above are dropped and the pool re-deduplicated.
+//!
+//! **The invariant every pass preserves:** optimized execution is
+//! *observationally bit-identical* to unoptimized execution — the same
+//! heap snapshots, the same [`grafter_runtime::Metrics`] (every
+//! superinstruction charges exactly the instructions/loads/stores of the
+//! sequence it replaces), the same simulated cache traffic (same
+//! addresses touched in the same order), and the same runtime errors.
+//! The optimizer trades *dispatch overhead* — fewer `match` rounds,
+//! fewer bounds checks, smaller register windows — never counters. The
+//! differential suites (`crates/vm/tests/opt_differential.rs`) assert
+//! `O0 == O1 == O2 == interp` across every case-study workload.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use grafter_frontend::{BinOp, UnOp};
+use grafter_runtime::ops::{binop, unop, values_equal};
+use grafter_runtime::Value;
+
+use crate::module::{CallInfo, Module, Op, NO_TARGET};
+
+/// How hard [`optimize`] works on a lowered module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimization: execute exactly what [`crate::lower`] emitted.
+    O0,
+    /// Constant folding, peephole superinstructions, pool compaction.
+    O1,
+    /// `O1` plus dead-register elimination, jump threading, register
+    /// window compaction and monomorphic-dispatch devirtualisation.
+    #[default]
+    O2,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+        })
+    }
+}
+
+impl FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "0" | "O0" | "o0" => Ok(OptLevel::O0),
+            "1" | "O1" | "o1" => Ok(OptLevel::O1),
+            "2" | "O2" | "o2" => Ok(OptLevel::O2),
+            other => Err(format!("unknown opt level `{other}` (expected 0|1|2)")),
+        }
+    }
+}
+
+/// Lowering options of the VM tier (the knobs behind
+/// `Engine::builder().opt_level(..)` and `grafterc -O{0,1,2}`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmOptions {
+    /// Optimization level applied after lowering (default [`OptLevel::O2`]).
+    pub opt_level: OptLevel,
+}
+
+impl VmOptions {
+    /// Options for a specific optimization level.
+    pub fn with_opt_level(opt_level: OptLevel) -> Self {
+        VmOptions { opt_level }
+    }
+}
+
+/// One optimization pass's before/after accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name (`fold`, `peephole`, `dce`, `mono`, `regs`, `pool`).
+    pub pass: &'static str,
+    /// Count before the pass ran, in `unit`s.
+    pub before: usize,
+    /// Count after the pass ran, in `unit`s.
+    pub after: usize,
+    /// What `before`/`after` count (`op`, `reg`, `const`).
+    pub unit: &'static str,
+    /// How many sites the pass rewrote.
+    pub rewrites: usize,
+    /// What a rewrite did (`folded`, `fused`, `removed`, ...).
+    pub action: &'static str,
+}
+
+/// What [`optimize`] did to a module: the level plus per-pass deltas
+/// (rendered into the disassembly header by [`Module::disassemble`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptReport {
+    /// The level the module was optimized at.
+    pub level: OptLevel,
+    /// Per-pass instruction-count (or pool/register-count) deltas, in
+    /// execution order. Empty at [`OptLevel::O0`].
+    pub passes: Vec<PassStat>,
+}
+
+impl OptReport {
+    /// The untouched report recorded at [`OptLevel::O0`].
+    pub(crate) fn none() -> Self {
+        OptReport {
+            level: OptLevel::O0,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Total rewrites across all passes.
+    pub fn total_rewrites(&self) -> usize {
+        self.passes.iter().map(|p| p.rewrites).sum()
+    }
+}
+
+/// Optimizes `module` in place at `level` and returns the report.
+///
+/// `O0` returns immediately; see the [module docs](self) for the pass
+/// pipeline and the bit-identity invariant every pass maintains.
+pub fn optimize(module: &mut Module, level: OptLevel) -> OptReport {
+    if level == OptLevel::O0 {
+        return OptReport::none();
+    }
+    let mut passes = Vec::new();
+    passes.push(fold_pass(module));
+    passes.push(peephole_pass(module));
+    if level >= OptLevel::O2 {
+        passes.push(dce_pass(module));
+        passes.push(regs_pass(module));
+        passes.push(mono_pass(module));
+    }
+    passes.push(pool_pass(module));
+    OptReport { level, passes }
+}
+
+// ---- op classification ---------------------------------------------------
+
+/// Appends the registers `op` reads to `out`.
+fn reg_reads(op: &Op, calls: &[CallInfo], out: &mut Vec<u16>) {
+    match *op {
+        Op::Const { .. }
+        | Op::FoldedConst { .. }
+        | Op::Jump { .. }
+        | Op::Guard { .. }
+        | Op::SkipInactive { .. }
+        | Op::Deactivate { .. }
+        | Op::Ret
+        | Op::ReadTree { .. }
+        | Op::ReadGlobal { .. }
+        | Op::Nav { .. }
+        | Op::New { .. }
+        | Op::Delete { .. }
+        | Op::TreeLoc { .. }
+        | Op::TreeTree { .. }
+        | Op::TreeBranch { .. }
+        | Op::ConstTree { .. }
+        | Op::ConstGlob { .. }
+        | Op::ConstLoc { .. } => {}
+        Op::Mov { src, .. }
+        | Op::StoreLocal { src, .. }
+        | Op::Un { src, .. }
+        | Op::WriteTree { src, .. }
+        | Op::WriteGlobal { src, .. }
+        | Op::LocBranch { src, .. }
+        | Op::LocTree { src, .. }
+        | Op::LocGlob { src, .. }
+        | Op::LocLoc { src, .. } => out.push(src),
+        Op::Bin { a, b, .. } | Op::BinBranch { a, b, .. } => out.extend([a, b]),
+        Op::BinLoc { a, b, .. } | Op::BinTree { a, b, .. } | Op::BinGlob { a, b, .. } => {
+            out.extend([a, b])
+        }
+        Op::ConstBin { a, .. }
+        | Op::TreeBin { a, .. }
+        | Op::GlobBin { a, .. }
+        | Op::ConstBinBranch { a, .. } => out.push(a),
+        Op::LocBin { a, src, .. } | Op::LocBinBranch { a, src, .. } => out.extend([a, src]),
+        Op::Branch { cond, .. } => out.push(cond),
+        Op::ShortCircuit { reg, .. } | Op::CastBool { reg } => out.push(reg),
+        Op::Call {
+            call,
+            child,
+            argbase,
+        }
+        | Op::CallMono {
+            call,
+            child,
+            argbase,
+            ..
+        } => {
+            out.push(child);
+            for part in calls[call as usize].parts.iter() {
+                for k in 0..part.nargs as u16 {
+                    out.push(argbase + part.argbase + k);
+                }
+            }
+        }
+        Op::NavCall { call, argbase, .. } => {
+            for part in calls[call as usize].parts.iter() {
+                for k in 0..part.nargs as u16 {
+                    out.push(argbase + part.argbase + k);
+                }
+            }
+        }
+        Op::CallPure { base, n, .. } => out.extend((0..n as u16).map(|k| base + k)),
+    }
+}
+
+/// The register `op` writes, if any.
+fn reg_write(op: &Op) -> Option<u16> {
+    match *op {
+        Op::Const { dst, .. }
+        | Op::FoldedConst { dst, .. }
+        | Op::Mov { dst, .. }
+        | Op::StoreLocal { dst, .. }
+        | Op::Un { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::ConstBin { dst, .. }
+        | Op::LocBin { dst, .. }
+        | Op::TreeBin { dst, .. }
+        | Op::GlobBin { dst, .. }
+        | Op::BinLoc { dst, .. }
+        | Op::ReadTree { dst, .. }
+        | Op::ReadGlobal { dst, .. }
+        | Op::Nav { dst, .. }
+        | Op::TreeLoc { dst, .. }
+        | Op::ConstLoc { dst, .. }
+        | Op::LocLoc { dst, .. }
+        | Op::CallPure { dst, .. } => Some(dst),
+        Op::ShortCircuit { reg, .. } | Op::CastBool { reg } => Some(reg),
+        _ => None,
+    }
+}
+
+/// The jump target embedded in `op`, if any.
+fn op_target(op: &Op) -> Option<u32> {
+    match *op {
+        Op::Jump { target }
+        | Op::Branch { target, .. }
+        | Op::ShortCircuit { target, .. }
+        | Op::Guard { target, .. }
+        | Op::SkipInactive { target, .. }
+        | Op::Deactivate { target, .. }
+        | Op::BinBranch { target, .. }
+        | Op::ConstBinBranch { target, .. }
+        | Op::LocBinBranch { target, .. }
+        | Op::LocBranch { target, .. }
+        | Op::TreeBranch { target, .. }
+        | Op::Nav {
+            null_target: target,
+            ..
+        }
+        | Op::NavCall {
+            null_target: target,
+            ..
+        } => Some(target),
+        _ => None,
+    }
+}
+
+/// Rewrites the jump target embedded in `op` through `f`.
+fn map_target(op: &mut Op, f: impl Fn(u32) -> u32) {
+    match op {
+        Op::Jump { target }
+        | Op::Branch { target, .. }
+        | Op::ShortCircuit { target, .. }
+        | Op::Guard { target, .. }
+        | Op::SkipInactive { target, .. }
+        | Op::Deactivate { target, .. }
+        | Op::BinBranch { target, .. }
+        | Op::ConstBinBranch { target, .. }
+        | Op::LocBinBranch { target, .. }
+        | Op::LocBranch { target, .. }
+        | Op::TreeBranch { target, .. }
+        | Op::Nav {
+            null_target: target,
+            ..
+        }
+        | Op::NavCall {
+            null_target: target,
+            ..
+        } => *target = f(*target),
+        _ => {}
+    }
+}
+
+/// Successor pcs of the op at `pc` (within its function body).
+fn successors(pc: u32, op: &Op, out: &mut Vec<u32>) {
+    match *op {
+        Op::Jump { target } | Op::Deactivate { target, .. } => out.push(target),
+        Op::Ret => {}
+        Op::Branch { target, .. }
+        | Op::ShortCircuit { target, .. }
+        | Op::Guard { target, .. }
+        | Op::SkipInactive { target, .. }
+        | Op::BinBranch { target, .. }
+        | Op::ConstBinBranch { target, .. }
+        | Op::LocBinBranch { target, .. }
+        | Op::LocBranch { target, .. }
+        | Op::TreeBranch { target, .. }
+        | Op::Nav {
+            null_target: target,
+            ..
+        }
+        | Op::NavCall {
+            null_target: target,
+            ..
+        } => out.extend([pc + 1, target]),
+        _ => out.push(pc + 1),
+    }
+}
+
+/// Per-op register liveness of one function body, from a standard
+/// backward dataflow fixpoint over the op-level control-flow graph.
+struct Liveness {
+    entry: u32,
+    words: usize,
+    /// `live_out[pc - entry]`: registers read on some path after `pc`.
+    live_out: Vec<Vec<u64>>,
+}
+
+impl Liveness {
+    fn compute(ops: &[Op], calls: &[CallInfo], entry: u32, end: u32, total_regs: u16) -> Self {
+        let n = (end - entry) as usize;
+        let words = (total_regs as usize).div_ceil(64).max(1);
+        let mut live_in = vec![vec![0u64; words]; n];
+        let mut live_out = vec![vec![0u64; words]; n];
+        let mut reads = Vec::new();
+        let mut succs = Vec::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in (entry..end).rev() {
+                let i = (pc - entry) as usize;
+                let op = &ops[pc as usize];
+                succs.clear();
+                successors(pc, op, &mut succs);
+                let mut out = vec![0u64; words];
+                for &s in &succs {
+                    if (entry..end).contains(&s) {
+                        let si = (s - entry) as usize;
+                        for (w, v) in out.iter_mut().zip(&live_in[si]) {
+                            *w |= *v;
+                        }
+                    }
+                }
+                let mut inn = out.clone();
+                if let Some(w) = reg_write(op) {
+                    inn[w as usize / 64] &= !(1u64 << (w % 64));
+                }
+                reads.clear();
+                reg_reads(op, calls, &mut reads);
+                for &r in &reads {
+                    inn[r as usize / 64] |= 1u64 << (r % 64);
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    changed = true;
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                }
+            }
+        }
+        Liveness {
+            entry,
+            words,
+            live_out,
+        }
+    }
+
+    /// Is `reg` read on some path after the op at `pc` executes?
+    fn live_after(&self, pc: u32, reg: u16) -> bool {
+        debug_assert!((reg as usize) < self.words * 64);
+        self.live_out[(pc - self.entry) as usize][reg as usize / 64] & (1u64 << (reg % 64)) != 0
+    }
+}
+
+/// Pcs that some jump lands on (function entries included): a fusion must
+/// not swallow an op that control can enter mid-pair.
+fn jump_target_flags(module: &Module) -> Vec<bool> {
+    let mut flags = vec![false; module.ops.len() + 1];
+    for op in &module.ops {
+        if let Some(t) = op_target(op) {
+            flags[t as usize] = true;
+        }
+    }
+    for f in &module.funcs {
+        flags[f.entry as usize] = true;
+    }
+    flags
+}
+
+/// Removes ops flagged in `deleted`, remapping every jump target and
+/// function boundary. A deleted op that is itself a jump target must be
+/// effect-free: landing jumps are redirected to the next surviving op.
+fn compact(module: &mut Module, deleted: &[bool]) {
+    let n = module.ops.len();
+    let mut new_pc = vec![0u32; n + 1];
+    let mut cur = 0u32;
+    for i in 0..n {
+        new_pc[i] = cur;
+        if !deleted[i] {
+            cur += 1;
+        }
+    }
+    new_pc[n] = cur;
+    let mut ops = Vec::with_capacity(cur as usize);
+    for (i, op) in module.ops.iter().enumerate() {
+        if !deleted[i] {
+            let mut op = *op;
+            map_target(&mut op, |t| new_pc[t as usize]);
+            ops.push(op);
+        }
+    }
+    module.ops = ops;
+    for f in &mut module.funcs {
+        f.entry = new_pc[f.entry as usize];
+        f.end = new_pc[f.end as usize];
+    }
+}
+
+// ---- pass 1: constant folding --------------------------------------------
+
+/// Interns `v` into the module's constant pool (bit-level float identity,
+/// so folding never conflates `0.0` and `-0.0` or distinct NaNs).
+fn intern_const(module: &mut Module, v: Value) -> Option<u16> {
+    let same = |a: &Value, b: &Value| match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => false,
+    };
+    if let Some(i) = module.consts.iter().position(|c| same(c, &v)) {
+        return Some(i as u16);
+    }
+    if module.consts.len() >= u16::MAX as usize {
+        return None; // pool full: skip the fold rather than overflow
+    }
+    module.consts.push(v);
+    Some((module.consts.len() - 1) as u16)
+}
+
+/// Folds `op l r` when the result is statically computable with exactly
+/// the runtime's semantics. Operand kinds the kernel would panic on are
+/// left unfolded so the panic still happens at run time.
+fn fold_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
+    let numeric = |v: Value| matches!(v, Value::Int(_) | Value::Float(_));
+    match op {
+        BinOp::Add
+        | BinOp::Sub
+        | BinOp::Mul
+        | BinOp::Div
+        | BinOp::Rem
+        | BinOp::Lt
+        | BinOp::Le
+        | BinOp::Gt
+        | BinOp::Ge => (numeric(l) && numeric(r)).then(|| binop(op, l, r)),
+        BinOp::Eq | BinOp::Ne => {
+            let comparable =
+                matches!((l, r), (Value::Bool(_), Value::Bool(_))) || (numeric(l) && numeric(r));
+            comparable.then(|| Value::Bool(values_equal(l, r) == (op == BinOp::Eq)))
+        }
+        BinOp::And | BinOp::Or => None, // short-circuited before lowering
+    }
+}
+
+/// Folds `op v` through the runtime's unary kernel when the operand
+/// kind is legal for the operator (illegal kinds stay unfolded so the
+/// kernel's panic still happens at run time).
+fn fold_unop(op: UnOp, v: Value) -> Option<Value> {
+    let legal = match op {
+        UnOp::Neg => matches!(v, Value::Int(_) | Value::Float(_)),
+        UnOp::Not => matches!(v, Value::Bool(_)),
+    };
+    legal.then(|| unop(op, v))
+}
+
+/// Constant folding: inside each basic block, registers holding known
+/// constants flow into `Un`/`Bin` operators, which collapse to
+/// [`Op::FoldedConst`] carrying the operator's original instruction
+/// charge (the producing `Const`s stay behind — they are free — and are
+/// swept by `dce` at `O2`).
+fn fold_pass(module: &mut Module) -> PassStat {
+    let before = module.ops.len();
+    let targets = jump_target_flags(module);
+    let mut rewrites = 0usize;
+    for fi in 0..module.funcs.len() {
+        let (entry, end) = (module.funcs[fi].entry, module.funcs[fi].end);
+        let mut known: HashMap<u16, Value> = HashMap::new();
+        for pc in entry..end {
+            if targets[pc as usize] {
+                known.clear(); // block boundary: control may enter here
+            }
+            let op = module.ops[pc as usize];
+            match op {
+                Op::Const { dst, c } | Op::FoldedConst { dst, c, .. } => {
+                    known.insert(dst, module.consts[c as usize]);
+                }
+                Op::Un { op: uo, dst, src } => {
+                    let folded = known
+                        .get(&src)
+                        .and_then(|&v| fold_unop(uo, v))
+                        .and_then(|v| intern_const(module, v).map(|c| (v, c)));
+                    match folded {
+                        Some((v, c)) => {
+                            module.ops[pc as usize] = Op::FoldedConst { dst, c, charge: 1 };
+                            known.insert(dst, v);
+                            rewrites += 1;
+                        }
+                        None => {
+                            known.remove(&dst);
+                        }
+                    }
+                }
+                Op::Bin { op: bo, dst, a, b } => {
+                    let folded = match (known.get(&a), known.get(&b)) {
+                        (Some(&l), Some(&r)) => fold_binop(bo, l, r)
+                            .and_then(|v| intern_const(module, v).map(|c| (v, c))),
+                        _ => None,
+                    };
+                    match folded {
+                        Some((v, c)) => {
+                            module.ops[pc as usize] = Op::FoldedConst { dst, c, charge: 1 };
+                            known.insert(dst, v);
+                            rewrites += 1;
+                        }
+                        None => {
+                            known.remove(&dst);
+                        }
+                    }
+                }
+                other => {
+                    if let Some(w) = reg_write(&other) {
+                        known.remove(&w);
+                    }
+                }
+            }
+        }
+    }
+    PassStat {
+        pass: "fold",
+        before,
+        after: module.ops.len(),
+        unit: "op",
+        rewrites,
+        action: "folded",
+    }
+}
+
+// ---- pass 2: peephole superinstructions ----------------------------------
+
+/// Fuses the adjacent pair `(a, b)` into one superinstruction, or `None`.
+///
+/// Every fusion requires that the intermediate register the pair
+/// communicates through is dead after `b` (checked by the caller via
+/// liveness) — the condition is passed in as `dead` to keep this a pure
+/// pattern match.
+fn fuse_pair(a: Op, b: Op, dead: impl Fn(u16) -> bool) -> Option<Op> {
+    match (a, b) {
+        // ---- producer feeding a binop's rhs ----
+        (Op::Const { dst: r, c }, Op::Bin { op, dst, a, b }) if b == r && a != r && dead(r) => {
+            Some(Op::ConstBin { op, dst, a, c })
+        }
+        (Op::Mov { dst: r, src }, Op::Bin { op, dst, a, b }) if b == r && a != r && dead(r) => {
+            Some(Op::LocBin { op, dst, a, src })
+        }
+        (
+            Op::ReadTree {
+                dst: r,
+                path,
+                field,
+                addend,
+            },
+            Op::Bin { op, dst, a, b },
+        ) if b == r && a != r && dead(r) => Some(Op::TreeBin {
+            op,
+            dst,
+            a,
+            path,
+            field,
+            addend,
+        }),
+        (Op::ReadGlobal { dst: r, idx }, Op::Bin { op, dst, a, b })
+            if b == r && a != r && dead(r) =>
+        {
+            Some(Op::GlobBin { op, dst, a, idx })
+        }
+        // ---- binop feeding a consumer ----
+        (Op::Bin { op, dst: r, a, b }, Op::Branch { cond, target }) if cond == r && dead(r) => {
+            Some(Op::BinBranch { op, a, b, target })
+        }
+        // Second-round patterns: a fused compare feeding a branch (the
+        // kind-tag test `if (x.kind == K)` fuses Const+Bin in round one,
+        // then ConstBin+Branch here).
+        (Op::ConstBin { op, dst: r, a, c }, Op::Branch { cond, target })
+            if cond == r && dead(r) =>
+        {
+            Some(Op::ConstBinBranch { op, a, c, target })
+        }
+        (Op::LocBin { op, dst: r, a, src }, Op::Branch { cond, target })
+            if cond == r && dead(r) =>
+        {
+            Some(Op::LocBinBranch { op, a, src, target })
+        }
+        (Op::Mov { dst: r, src }, Op::Branch { cond, target }) if cond == r && dead(r) => {
+            Some(Op::LocBranch { src, target })
+        }
+        (
+            Op::ReadTree {
+                dst: r,
+                path,
+                field,
+                addend,
+            },
+            Op::Branch { cond, target },
+        ) if cond == r && dead(r) => Some(Op::TreeBranch {
+            path,
+            field,
+            addend,
+            target,
+        }),
+        (Op::Bin { op, dst: r, a, b }, Op::StoreLocal { dst, src, co }) if src == r && dead(r) => {
+            Some(Op::BinLoc { op, dst, a, b, co })
+        }
+        (
+            Op::Bin { op, dst: r, a, b },
+            Op::WriteTree {
+                src,
+                path,
+                field,
+                addend,
+                co,
+            },
+        ) if src == r && dead(r) => Some(Op::BinTree {
+            op,
+            a,
+            b,
+            path,
+            field,
+            addend,
+            co,
+        }),
+        (Op::Bin { op, dst: r, a, b }, Op::WriteGlobal { src, idx, co }) if src == r && dead(r) => {
+            Some(Op::BinGlob { op, a, b, idx, co })
+        }
+        // ---- receiver navigation feeding an argument-less call ----
+        (
+            Op::Nav {
+                dst: r,
+                path,
+                null_target,
+            },
+            Op::Call {
+                call,
+                child,
+                argbase,
+            },
+        ) if child == r && dead(r) => Some(Op::NavCall {
+            call,
+            path,
+            argbase,
+            null_target,
+        }),
+        // ---- straight copies ----
+        (
+            Op::ReadTree {
+                dst: r,
+                path,
+                field,
+                addend,
+            },
+            Op::StoreLocal { dst, src, co },
+        ) if src == r && dead(r) => Some(Op::TreeLoc {
+            dst,
+            path,
+            field,
+            addend,
+            co,
+        }),
+        (
+            Op::ReadTree {
+                dst: r,
+                path: rpath,
+                field: rfield,
+                addend: raddend,
+            },
+            Op::WriteTree {
+                src,
+                path: wpath,
+                field: wfield,
+                addend: waddend,
+                co,
+            },
+        ) if src == r && dead(r) && rfield <= u16::MAX as u32 && wfield <= u16::MAX as u32 => {
+            Some(Op::TreeTree {
+                rpath,
+                rfield: rfield as u16,
+                raddend,
+                wpath,
+                wfield: wfield as u16,
+                waddend,
+                co,
+            })
+        }
+        (
+            Op::Const { dst: r, c },
+            Op::WriteTree {
+                src,
+                path,
+                field,
+                addend,
+                co,
+            },
+        ) if src == r && dead(r) => Some(Op::ConstTree {
+            c,
+            path,
+            field,
+            addend,
+            co,
+        }),
+        (Op::Const { dst: r, c }, Op::WriteGlobal { src, idx, co }) if src == r && dead(r) => {
+            Some(Op::ConstGlob { c, idx, co })
+        }
+        (Op::Const { dst: r, c }, Op::StoreLocal { dst, src, co }) if src == r && dead(r) => {
+            Some(Op::ConstLoc { dst, c, co })
+        }
+        (
+            Op::Mov { dst: r, src },
+            Op::WriteTree {
+                src: wsrc,
+                path,
+                field,
+                addend,
+                co,
+            },
+        ) if wsrc == r && src != r && dead(r) => Some(Op::LocTree {
+            src,
+            path,
+            field,
+            addend,
+            co,
+        }),
+        (Op::Mov { dst: r, src }, Op::WriteGlobal { src: wsrc, idx, co })
+            if wsrc == r && src != r && dead(r) =>
+        {
+            Some(Op::LocGlob { src, idx, co })
+        }
+        (Op::Mov { dst: r, src }, Op::StoreLocal { dst, src: ssrc, co })
+            if ssrc == r && src != r && dead(r) =>
+        {
+            Some(Op::LocLoc { dst, src, co })
+        }
+        _ => None,
+    }
+}
+
+/// Peephole fusion of adjacent op pairs into superinstructions, iterated
+/// to a fixpoint (a round-one superinstruction can fuse again — e.g.
+/// `Const+Bin` → `ConstBin`, then `ConstBin+Branch` → `ConstBinBranch`).
+///
+/// A pair fuses only when (a) the second op is not a jump target (control
+/// could enter mid-pair) and (b) the register the pair communicates
+/// through is dead afterwards, per the function's liveness solution. The
+/// replacement charges exactly what the pair charged.
+fn peephole_pass(module: &mut Module) -> PassStat {
+    let before = module.ops.len();
+    let mut rewrites = 0usize;
+    loop {
+        let round = peephole_round(module);
+        rewrites += round;
+        if round == 0 {
+            break;
+        }
+    }
+    PassStat {
+        pass: "peephole",
+        before,
+        after: module.ops.len(),
+        unit: "op",
+        rewrites,
+        action: "fused",
+    }
+}
+
+/// One scan-and-compact round of the peephole pass; returns the number
+/// of pairs fused.
+fn peephole_round(module: &mut Module) -> usize {
+    let targets = jump_target_flags(module);
+    let mut deleted = vec![false; module.ops.len()];
+    let mut rewrites = 0usize;
+    for fi in 0..module.funcs.len() {
+        let (entry, end, total_regs) = {
+            let f = &module.funcs[fi];
+            (f.entry, f.end, f.total_regs)
+        };
+        let live = Liveness::compute(&module.ops, &module.calls, entry, end, total_regs);
+        let mut pc = entry;
+        while pc + 1 < end {
+            if deleted[pc as usize] {
+                pc += 1;
+                continue;
+            }
+            if targets[(pc + 1) as usize] {
+                pc += 1;
+                continue;
+            }
+            let (a, b) = (module.ops[pc as usize], module.ops[(pc + 1) as usize]);
+            if let Some(fused) = fuse_pair(a, b, |r| !live.live_after(pc + 1, r)) {
+                module.ops[pc as usize] = fused;
+                deleted[(pc + 1) as usize] = true;
+                rewrites += 1;
+                pc += 2;
+            } else {
+                pc += 1;
+            }
+        }
+    }
+    compact(module, &deleted);
+    rewrites
+}
+
+// ---- pass 3: dead-register elimination -----------------------------------
+
+/// Dead-register elimination and jump threading.
+///
+/// Only *free* ops are ever deleted — `Const`/`CastBool` writing a dead
+/// register, `Jump`s to the next pc — so `Metrics` cannot change; charged
+/// dead stores stay behind precisely because removing them would. Jump
+/// chains thread through intermediate `Jump`s (also free).
+fn dce_pass(module: &mut Module) -> PassStat {
+    let before = module.ops.len();
+    let mut rewrites = 0usize;
+
+    // Thread jump chains: any target landing on a `Jump` follows it
+    // (bounded — lowered control flow is forward-only, but be safe).
+    let resolved: Vec<Op> = module.ops.clone();
+    for op in &mut module.ops {
+        map_target(op, |mut t| {
+            for _ in 0..64 {
+                match resolved[t as usize] {
+                    Op::Jump { target } if target != t => t = target,
+                    _ => break,
+                }
+            }
+            t
+        });
+    }
+
+    let mut deleted = vec![false; module.ops.len()];
+    for fi in 0..module.funcs.len() {
+        let (entry, end, total_regs) = {
+            let f = &module.funcs[fi];
+            (f.entry, f.end, f.total_regs)
+        };
+        let live = Liveness::compute(&module.ops, &module.calls, entry, end, total_regs);
+        for pc in entry..end {
+            let dead = match module.ops[pc as usize] {
+                Op::Const { dst, .. } => !live.live_after(pc, dst),
+                Op::CastBool { reg } => !live.live_after(pc, reg),
+                Op::Jump { target } => target == pc + 1,
+                _ => false,
+            };
+            if dead {
+                deleted[pc as usize] = true;
+                rewrites += 1;
+            }
+        }
+    }
+    compact(module, &deleted);
+    PassStat {
+        pass: "dce",
+        before,
+        after: module.ops.len(),
+        unit: "op",
+        rewrites,
+        action: "removed",
+    }
+}
+
+/// Register-window compaction: shrinks each function's `total_regs` to
+/// the registers its (optimized) body actually touches, so every
+/// activation zeroes a smaller window. Locals always stay mapped.
+fn regs_pass(module: &mut Module) -> PassStat {
+    let before: usize = module.funcs.iter().map(|f| f.total_regs as usize).sum();
+    let mut rewrites = 0usize;
+    let mut reads = Vec::new();
+    for f in &mut module.funcs {
+        let mut max_used: u16 = f.frame_regs.saturating_sub(1);
+        for pc in f.entry..f.end {
+            let op = &module.ops[pc as usize];
+            reads.clear();
+            reg_reads(op, &module.calls, &mut reads);
+            if let Some(w) = reg_write(op) {
+                reads.push(w);
+            }
+            for &r in &reads {
+                max_used = max_used.max(r);
+            }
+        }
+        let shrunk = (max_used + 1).max(f.frame_regs);
+        if shrunk < f.total_regs {
+            f.total_regs = shrunk;
+            rewrites += 1;
+        }
+    }
+    PassStat {
+        pass: "regs",
+        before,
+        after: module.funcs.iter().map(|f| f.total_regs as usize).sum(),
+        unit: "reg",
+        rewrites,
+        action: "shrunk",
+    }
+}
+
+// ---- pass 4: monomorphic dispatch ----------------------------------------
+
+/// Jump-table compaction: a [`Op::Call`] through a stub whose table has a
+/// single live entry devirtualises into [`Op::CallMono`] — one class
+/// check and a direct jump instead of the table indirection, with the
+/// same dispatch charges and the same `MissingTarget` error on mismatch.
+fn mono_pass(module: &mut Module) -> PassStat {
+    let before = module.ops.len();
+    let mut rewrites = 0usize;
+    for pc in 0..module.ops.len() {
+        let Op::Call {
+            call,
+            child,
+            argbase,
+        } = module.ops[pc]
+        else {
+            continue;
+        };
+        let stub = module.calls[call as usize].stub;
+        let mut live = module.stubs[stub as usize]
+            .targets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != NO_TARGET);
+        if let (Some((class, &target)), None) = (live.next(), live.next()) {
+            module.ops[pc] = Op::CallMono {
+                call,
+                child,
+                argbase,
+                target,
+                class: class as u16,
+            };
+            rewrites += 1;
+        }
+    }
+    PassStat {
+        pass: "mono",
+        before,
+        after: module.ops.len(),
+        unit: "op",
+        rewrites,
+        action: "devirtualised",
+    }
+}
+
+// ---- pass 5: constant-pool compaction ------------------------------------
+
+/// Drops constants no surviving op references and renumbers the pool
+/// (re-deduplication: folding interns bit-identical values once, and the
+/// passes above orphan the literals they swallowed).
+fn pool_pass(module: &mut Module) -> PassStat {
+    let before = module.consts.len();
+    let mut used = vec![false; module.consts.len()];
+    let const_ref = |op: &Op| match *op {
+        Op::Const { c, .. }
+        | Op::FoldedConst { c, .. }
+        | Op::ConstBin { c, .. }
+        | Op::ConstBinBranch { c, .. }
+        | Op::ConstTree { c, .. }
+        | Op::ConstGlob { c, .. }
+        | Op::ConstLoc { c, .. } => Some(c),
+        _ => None,
+    };
+    for op in &module.ops {
+        if let Some(c) = const_ref(op) {
+            used[c as usize] = true;
+        }
+    }
+    let mut remap = vec![0u16; module.consts.len()];
+    let mut consts = Vec::new();
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            remap[i] = consts.len() as u16;
+            consts.push(module.consts[i]);
+        }
+    }
+    let rewrites = before - consts.len();
+    module.consts = consts;
+    for op in &mut module.ops {
+        match op {
+            Op::Const { c, .. }
+            | Op::FoldedConst { c, .. }
+            | Op::ConstBin { c, .. }
+            | Op::ConstBinBranch { c, .. }
+            | Op::ConstTree { c, .. }
+            | Op::ConstGlob { c, .. }
+            | Op::ConstLoc { c, .. } => *c = remap[*c as usize],
+            _ => {}
+        }
+    }
+    PassStat {
+        pass: "pool",
+        before,
+        after: module.consts.len(),
+        unit: "const",
+        rewrites,
+        action: "dropped",
+    }
+}

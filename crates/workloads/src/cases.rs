@@ -8,7 +8,7 @@
 
 use grafter::pipeline::Compiled;
 use grafter::FusionOptions;
-use grafter_engine::{Backend, Engine};
+use grafter_engine::{Backend, Engine, OptLevel};
 use grafter_runtime::{Heap, NodeId, Value};
 
 use crate::{ast, fmm, kdtree, render};
@@ -44,15 +44,23 @@ impl CaseStudy {
         (self.build)(heap, self.test_size, 42)
     }
 
-    /// Builds the case study's immutable [`Engine`] for `backend` with
-    /// custom fusion options (entry sequence and arguments pre-wired).
-    pub fn engine_with(&self, opts: FusionOptions, backend: Backend) -> Engine {
+    /// The case study's pre-wired engine builder (program, entry
+    /// sequence, fusion options and arguments filled in) — the single
+    /// place every `engine*` helper below goes through, so a new builder
+    /// knob applies to all drivers at once.
+    fn builder(&self, opts: FusionOptions, backend: Backend) -> grafter_engine::EngineBuilder {
         Engine::builder()
             .compiled(self.compiled.clone())
             .entry(self.root_class, &self.passes)
             .fusion(opts)
             .backend(backend)
             .args(self.args.clone())
+    }
+
+    /// Builds the case study's immutable [`Engine`] for `backend` with
+    /// custom fusion options (entry sequence and arguments pre-wired).
+    pub fn engine_with(&self, opts: FusionOptions, backend: Backend) -> Engine {
+        self.builder(opts, backend)
             .build()
             .expect("case-study entry sequence resolves")
     }
@@ -60,6 +68,16 @@ impl CaseStudy {
     /// [`CaseStudy::engine_with`] with default (fused) options.
     pub fn engine(&self, backend: Backend) -> Engine {
         self.engine_with(FusionOptions::default(), backend)
+    }
+
+    /// Builds the case study's VM-tier engine at a specific bytecode
+    /// optimization level (the per-opt-level sweep of `vm_compare` and
+    /// the opt differential suite).
+    pub fn engine_opt(&self, opts: FusionOptions, opt_level: OptLevel) -> Engine {
+        self.builder(opts, Backend::Vm)
+            .opt_level(opt_level)
+            .build()
+            .expect("case-study entry sequence resolves")
     }
 }
 

@@ -11,13 +11,15 @@
 //!
 //! ```text
 //! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
-//!          [--unfused] [--stats] [--backend interp|vm]
+//!          [--unfused] [--stats] [--backend interp|vm] [-O0|-O1|-O2]
 //!          [--emit cpp|bytecode|none] [--run] [--json]
 //! ```
 //!
 //! `--backend` names the execution tier the artifact is being prepared
 //! for: it selects the default `--emit` (the VM tier disassembles its
 //! bytecode) and, with `--stats`/`--run`, that tier compiles/executes.
+//! `-O{0,1,2}` picks the bytecode optimization level (default `-O2`);
+//! the disassembly header lists what each optimizer pass did.
 //! `--json` switches diagnostics (stderr) to a JSON array; the emitted
 //! artifact stays on stdout. `--run` executes the program once on a
 //! freshly allocated root-class node with null children — a smoke
@@ -36,11 +38,12 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use grafter::{DiagnosticBag, Error, FuseOptions};
-use grafter_engine::{Backend, Engine};
+use grafter::{Diag, DiagnosticBag, Error, FuseOptions, Stage};
+use grafter_engine::{Backend, Engine, OptLevel};
 
 const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
-     [--unfused] [--stats] [--backend interp|vm] [--emit cpp|bytecode|none] [--run] [--json]";
+     [--unfused] [--stats] [--backend interp|vm] [-O0|-O1|-O2] \
+     [--emit cpp|bytecode|none] [--run] [--json]";
 
 const EXIT_IO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -122,6 +125,18 @@ fn main() -> ExitCode {
             }
         },
     };
+    let mut opt_level = OptLevel::O2;
+    for a in &args {
+        if let Some(lvl) = a.strip_prefix("-O") {
+            match lvl.parse::<OptLevel>() {
+                Ok(l) => opt_level = l,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+    }
     // The VM tier's natural artifact is its bytecode; the interpreter
     // walks the rendered (C++-style) program shape.
     let default_emit = match backend {
@@ -147,6 +162,7 @@ fn main() -> ExitCode {
         .entry(root.as_str(), &pass_list)
         .fusion(opts)
         .backend(backend)
+        .opt_level(opt_level)
         .build()
     {
         Ok(engine) => engine,
@@ -154,20 +170,41 @@ fn main() -> ExitCode {
     };
     // In JSON mode warnings are held back and merged into the single
     // end-of-invocation array (one parseable document per run); rendered
-    // mode streams them immediately.
+    // mode streams them immediately. `pending` accumulates the build
+    // warnings plus anything emission adds below.
+    let mut pending = engine.warnings().clone();
     if !json {
-        for w in engine.warnings().iter() {
+        for w in pending.iter() {
             eprintln!("{path}:{}", w.render(&source));
         }
     }
 
     // Lower at most once even on the interp tier: reuse the engine's
     // cached module when it has one.
-    let adhoc_module = (emit == "bytecode" && engine.module().is_none())
-        .then(|| grafter_vm::lower(engine.fused_program()));
+    let adhoc_module = (emit == "bytecode" && engine.module().is_none()).then(|| {
+        grafter_vm::lower_with(engine.fused_program(), &grafter_vm::VmOptions { opt_level })
+    });
     match emit.as_str() {
         "bytecode" => {
             let module = engine.module().or(adhoc_module.as_ref()).unwrap();
+            if module.is_empty() {
+                // Dispatch on the entry class resolves no concrete target
+                // (e.g. no concrete subtype implements every pass):
+                // without a diagnostic the empty module header below looks
+                // like a compiler bug rather than a configuration problem.
+                let warn = Diag::warning_global(
+                    Stage::Config,
+                    format!(
+                        "bytecode module is empty: dispatch on `{root}` resolves no \
+                         concrete implementation of the entry passes"
+                    ),
+                );
+                if json {
+                    pending.push(warn);
+                } else {
+                    eprintln!("{path}:{}", warn.render(&source));
+                }
+            }
             print!("{}", module.disassemble());
         }
         "cpp" => print!("{}", engine.render_cpp()),
@@ -182,8 +219,9 @@ fn main() -> ExitCode {
                 pass_list.len()
             ),
             Some(module) => eprintln!(
-                "fused {} traversal(s) on `{root}`: {m} [backend: vm, {} op(s), {} stub table(s)]",
+                "fused {} traversal(s) on `{root}`: {m} [backend: vm {}, {} op(s), {} stub table(s)]",
                 pass_list.len(),
+                opt_level,
                 module.n_ops(),
                 module.n_stubs()
             ),
@@ -194,15 +232,15 @@ fn main() -> ExitCode {
         let mut session = engine.session();
         let node = match session.alloc(&root) {
             Ok(node) => node,
-            Err(err) => return report(&err, engine.warnings(), &source, &path, json),
+            Err(err) => return report(&err, &pending, &source, &path, json),
         };
         match session.run(node) {
             Ok(r) => eprintln!("run ok: {r}"),
-            Err(err) => return report(&err, engine.warnings(), &source, &path, json),
+            Err(err) => return report(&err, &pending, &source, &path, json),
         }
     }
-    if json && !engine.warnings().is_empty() {
-        eprintln!("{}", engine.warnings().render_json(&source));
+    if json && !pending.is_empty() {
+        eprintln!("{}", pending.render_json(&source));
     }
     ExitCode::SUCCESS
 }

