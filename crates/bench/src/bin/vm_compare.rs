@@ -1,5 +1,6 @@
-//! Interp-vs-VM wall-clock comparison over the four case-study workloads,
-//! fused and unfused, plus per-opt-level fused VM medians (`O0` vs `O2`)
+//! Interp-vs-VM-vs-JIT wall-clock comparison over the four case-study
+//! workloads, fused and unfused, plus per-opt-level fused VM medians
+//! (`O0` vs `O2`), fused JIT medians in both counted and release mode,
 //! and batch throughput of the fused VM engine at 1, 4 and 8 worker
 //! threads — recorded to `BENCH_vm.json`.
 //!
@@ -20,9 +21,15 @@
 //! ```
 //!
 //! `--check` is the CI perf-regression gate: instead of writing a new
-//! JSON it measures only the fused VM (default `O2`) medians and fails —
-//! exit code 1 — when any workload regresses more than 25% against the
-//! committed baseline (`--baseline`, default `BENCH_vm.json`). The
+//! JSON it measures only the fused medians — VM (default `O2`) plus the
+//! JIT tier in counted and release mode — and fails with exit code 1
+//! when any workload/tier regresses more than 25% against the committed
+//! baseline (`--baseline`, default `BENCH_vm.json`). Before measuring
+//! anything, the baseline itself is strictly validated against the
+//! current case studies: a workload missing from the baseline, a stale
+//! baseline workload the code no longer has, or an absent median key is
+//! a hard error rather than a silently skipped comparison (the
+//! `grafter_bench::baseline` unit tests pin that contract). The
 //! tolerance absorbs shared-runner noise at `--samples 3` while still
 //! catching real regressions; `--inject-slowdown F` multiplies the
 //! measured medians by `F` to prove the gate trips (used to validate the
@@ -32,8 +39,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use grafter::FusionOptions;
-use grafter_bench::arg_value;
-use grafter_engine::{Backend, Engine, OptLevel};
+use grafter_bench::{arg_value, baseline};
+use grafter_engine::{Backend, Engine, JitMode, OptLevel};
 use grafter_runtime::{with_stack, Heap};
 use grafter_workloads::harness::{batch_throughput, Throughput, RUN_STACK};
 use grafter_workloads::{case_studies, CaseStudy};
@@ -41,14 +48,20 @@ use grafter_workloads::{case_studies, CaseStudy};
 /// Worker-thread counts swept by the throughput experiment.
 const BATCH_WORKERS: [usize; 3] = [1, 4, 8];
 
-/// Allowed fused-VM median regression before `--check` fails (25%).
+/// Allowed fused-median regression per tier before `--check` fails (25%).
 const CHECK_TOLERANCE: f64 = 1.25;
+
+/// Fused median keys every baseline workload must record for `--check`
+/// to have anything to gate against.
+const REQUIRED_BASELINE_KEYS: &[&[&str]] = &[&["vm_ns"], &["jit", "counted"], &["jit", "release"]];
 
 struct Config {
     interp_ns: u128,
     vm_ns: u128,
     /// Fused-only: per-opt-level VM medians (`O0`, `O2`).
     opt_ns: Option<(u128, u128)>,
+    /// Fused-only: JIT medians (counted, release).
+    jit_ns: Option<(u128, u128)>,
     visits: u64,
 }
 
@@ -118,10 +131,22 @@ fn compare(
         // The default engine above already is O2; reuse its median.
         (o0_ns, vm_ns)
     });
+    let jit_ns = sweep_opt_levels.then(|| {
+        // Both jit modes count visits (release drops every *other*
+        // counter), so the like-for-like cross-check holds for them too.
+        let counted = case.engine_with(opts.clone(), Backend::Jit(JitMode::Counted));
+        let release = case.engine_with(opts.clone(), Backend::Jit(JitMode::Release));
+        let (counted_ns, v_counted) = time_runs(samples, &counted, heap, root);
+        let (release_ns, v_release) = time_runs(samples, &release, heap, root);
+        assert_eq!(v_counted, v_vm, "jit-counted disagrees on visit counts");
+        assert_eq!(v_release, v_vm, "jit-release disagrees on visit counts");
+        (counted_ns, release_ns)
+    });
     Config {
         interp_ns,
         vm_ns,
         opt_ns,
+        jit_ns,
         visits: v_vm,
     }
 }
@@ -160,13 +185,20 @@ fn json_config(c: &Config) -> String {
         Some((o0, o2)) => format!(r#", "opt": {{"O0": {o0}, "O2": {o2}}}"#),
         None => String::new(),
     };
+    let jit = match c.jit_ns {
+        Some((counted, release)) => {
+            format!(r#", "jit": {{"counted": {counted}, "release": {release}}}"#)
+        }
+        None => String::new(),
+    };
     format!(
-        r#"{{"interp_ns": {}, "vm_ns": {}, "speedup": {:.3}, "visits": {}{}}}"#,
+        r#"{{"interp_ns": {}, "vm_ns": {}, "speedup": {:.3}, "visits": {}{}{}}}"#,
         c.interp_ns,
         c.vm_ns,
         c.speedup(),
         c.visits,
-        opt
+        opt,
+        jit
     )
 }
 
@@ -187,57 +219,65 @@ fn json_batch(batch: &[Throughput]) -> String {
     format!("[{items}]")
 }
 
-/// Extracts `"vm_ns": N` of workload `name`'s `"fused"` object from the
-/// committed baseline JSON (which this binary itself writes, so the
-/// hand-rolled scan matches the hand-rolled emitter).
-fn baseline_fused_vm_ns(json: &str, name: &str) -> Option<u128> {
-    let row = json.find(&format!("\"name\": \"{name}\""))?;
-    let fused = json[row..].find("\"fused\":")? + row;
-    let key = json[fused..].find("\"vm_ns\": ")? + fused + "\"vm_ns\": ".len();
-    let digits: String = json[key..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().ok()
-}
-
-/// The `--check` gate: measure fused VM medians only and compare against
-/// the committed baseline. Returns the number of regressed workloads.
+/// The `--check` gate: strictly validate the committed baseline, then
+/// measure the fused medians of every gated tier (VM `O2`, JIT counted,
+/// JIT release) and compare each against it. Returns the number of
+/// regressed workload/tier pairs.
+///
+/// Validation runs first and panics on any mismatch — a renamed
+/// workload, a stale baseline row or a missing median key must fail the
+/// gate, not silently shrink what it compares.
 fn check(samples: usize, baseline_path: &str, slowdown: f64) -> usize {
-    let baseline = std::fs::read_to_string(baseline_path)
+    let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline `{baseline_path}`: {e}"));
+    let cases = case_studies();
+    let expected: Vec<&str> = cases.iter().map(|c| c.name).collect();
+    if let Err(problems) = baseline::validate(&json, &expected, REQUIRED_BASELINE_KEYS) {
+        panic!(
+            "baseline `{baseline_path}` fails validation (regenerate it with `vm_compare`):\n  {}",
+            problems.join("\n  ")
+        );
+    }
+    let tiers: [(&str, Backend, &[&str]); 3] = [
+        ("vm", Backend::Vm, &["vm_ns"]),
+        ("jit", Backend::Jit(JitMode::Counted), &["jit", "counted"]),
+        (
+            "jit-release",
+            Backend::Jit(JitMode::Release),
+            &["jit", "release"],
+        ),
+    ];
     let mut regressed = 0;
     println!(
-        "{:<10} {:>14} {:>14} {:>9}   (tolerance: +{:.0}%)",
+        "{:<10} {:<12} {:>14} {:>14} {:>9}   (tolerance: +{:.0}%)",
         "workload",
+        "tier",
         "baseline",
         "measured",
         "ratio",
         (CHECK_TOLERANCE - 1.0) * 100.0
     );
-    for case in case_studies() {
-        let Some(base_ns) = baseline_fused_vm_ns(&baseline, case.name) else {
-            panic!(
-                "baseline `{baseline_path}` has no fused vm_ns for `{}`",
-                case.name
-            );
-        };
+    for case in &cases {
         let mut heap = Heap::new(case.compiled.program());
         let root = case.build_bench(&mut heap);
-        let engine = case.engine_with(FusionOptions::default(), Backend::Vm);
-        let (measured, _) = time_runs(samples, &engine, &heap, root);
-        let measured = (measured as f64 * slowdown) as u128;
-        let ratio = measured as f64 / base_ns as f64;
-        let verdict = if ratio > CHECK_TOLERANCE {
-            regressed += 1;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
-            "{:<10} {:>12}ns {:>12}ns {:>8.2}x   {verdict}",
-            case.name, base_ns, measured, ratio
-        );
+        for (tier, backend, keys) in tiers {
+            let base_ns = baseline::fused_u128(&json, case.name, keys)
+                .expect("validate() guaranteed the key is present");
+            let engine = case.engine_with(FusionOptions::default(), backend);
+            let (measured, _) = time_runs(samples, &engine, &heap, root);
+            let measured = (measured as f64 * slowdown) as u128;
+            let ratio = measured as f64 / base_ns as f64;
+            let verdict = if ratio > CHECK_TOLERANCE {
+                regressed += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<10} {:<12} {:>12}ns {:>12}ns {:>8.2}x   {verdict}",
+                case.name, tier, base_ns, measured, ratio
+            );
+        }
     }
     regressed
 }
@@ -260,10 +300,12 @@ fn main() {
             .unwrap_or(1.0);
         let regressed = with_stack(RUN_STACK, move || check(samples, &baseline, slowdown));
         if regressed > 0 {
-            eprintln!("perf check FAILED: {regressed} workload(s) regressed >25% vs baseline");
+            eprintln!(
+                "perf check FAILED: {regressed} workload/tier pair(s) regressed >25% vs baseline"
+            );
             std::process::exit(1);
         }
-        println!("perf check ok: no fused VM median regressed >25% vs baseline");
+        println!("perf check ok: no fused vm/jit median regressed >25% vs baseline");
         return;
     }
 
@@ -308,6 +350,27 @@ fn main() {
                 o0,
                 o2,
                 if o2 == 0 { 1.0 } else { o0 as f64 / o2 as f64 }
+            );
+        }
+    }
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>14} {:>9}",
+        "workload", "vm -O2", "jit counted", "jit release", "speedup"
+    );
+    for r in &rows {
+        if let Some((counted, release)) = r.fused.jit_ns {
+            // The headline column: release-mode jit over the fused O2 VM.
+            println!(
+                "{:<10} {:>12}ns {:>12}ns {:>12}ns {:>8.2}x",
+                r.name,
+                r.fused.vm_ns,
+                counted,
+                release,
+                if release == 0 {
+                    1.0
+                } else {
+                    r.fused.vm_ns as f64 / release as f64
+                }
             );
         }
     }

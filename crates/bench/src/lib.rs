@@ -88,3 +88,170 @@ pub fn arg_value(key: &str) -> Option<String> {
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
+
+/// Reading and strictly validating the committed `BENCH_vm.json` baseline
+/// the `vm_compare --check` perf gate compares against.
+///
+/// The baseline is written by `vm_compare` itself, so the hand-rolled
+/// scanner here matches the hand-rolled emitter there. The gate's
+/// correctness depends on *strictness*: a workload renamed in either the
+/// code or the committed file, or a median key that was never recorded,
+/// must fail the gate loudly instead of silently skipping the comparison
+/// ([`validate`](baseline::validate) is the single place that contract
+/// is enforced, and the unit tests below pin it).
+pub mod baseline {
+    /// All workload names recorded in the baseline JSON, in file order.
+    pub fn workload_names(json: &str) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut rest = json;
+        const KEY: &str = "\"name\": \"";
+        while let Some(at) = rest.find(KEY) {
+            rest = &rest[at + KEY.len()..];
+            if let Some(end) = rest.find('"') {
+                names.push(rest[..end].to_string());
+                rest = &rest[end..];
+            }
+        }
+        names
+    }
+
+    /// The byte range of `workload`'s row object within the baseline (from
+    /// its `"name"` key to the next row's, or end of input) — scoping key
+    /// lookups so a key absent from this row is never satisfied by the
+    /// next one.
+    fn row<'j>(json: &'j str, workload: &str) -> Option<&'j str> {
+        let at = json.find(&format!("\"name\": \"{workload}\""))?;
+        let body = &json[at..];
+        let end = body[1..].find("\"name\": \"").map_or(body.len(), |e| e + 1);
+        Some(&body[..end])
+    }
+
+    /// Extracts an integer median of `workload`'s `"fused"` object by key
+    /// path, e.g. `["vm_ns"]` or `["jit", "release"]`.
+    pub fn fused_u128(json: &str, workload: &str, keys: &[&str]) -> Option<u128> {
+        let row = row(json, workload)?;
+        let mut scope = &row[row.find("\"fused\":")?..];
+        // Bound the fused object to keep nested lookups from drifting
+        // into the sibling "unfused"/"batch" objects.
+        if let Some(end) = scope.find("\"unfused\":") {
+            scope = &scope[..end];
+        }
+        for key in keys {
+            scope = &scope[scope.find(&format!("\"{key}\":"))? + key.len() + 3..];
+        }
+        let digits: String = scope
+            .chars()
+            .skip_while(|c| *c == ' ')
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+
+    /// Strictly validates the baseline against the expected workload set
+    /// and the required fused key paths, returning every violation:
+    /// workloads missing from the baseline, stale baseline workloads the
+    /// expected set no longer contains, and absent keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full list of violation messages (never a silent skip).
+    pub fn validate(
+        json: &str,
+        expected: &[&str],
+        required_keys: &[&[&str]],
+    ) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let found = workload_names(json);
+        for want in expected {
+            if !found.iter().any(|n| n == want) {
+                problems.push(format!("baseline is missing workload `{want}`"));
+            }
+        }
+        for have in &found {
+            if !expected.contains(&have.as_str()) {
+                problems.push(format!(
+                    "baseline has stale workload `{have}` (not in the current case studies)"
+                ));
+            }
+        }
+        for want in expected {
+            if !found.iter().any(|n| n == want) {
+                continue; // already reported above
+            }
+            for keys in required_keys {
+                if fused_u128(json, want, keys).is_none() {
+                    problems.push(format!(
+                        "baseline workload `{want}` is missing fused key `{}`",
+                        keys.join(".")
+                    ));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const GOOD: &str = r#"{
+          "workloads": [
+            {"name": "ast", "fused": {"interp_ns": 9, "vm_ns": 3, "jit": {"counted": 4, "release": 2}}, "unfused": {"vm_ns": 7}},
+            {"name": "fmm", "fused": {"interp_ns": 90, "vm_ns": 30, "jit": {"counted": 40, "release": 20}}, "unfused": {"vm_ns": 70}}
+          ]
+        }"#;
+
+        #[test]
+        fn extracts_names_and_medians() {
+            assert_eq!(workload_names(GOOD), vec!["ast", "fmm"]);
+            assert_eq!(fused_u128(GOOD, "ast", &["vm_ns"]), Some(3));
+            assert_eq!(fused_u128(GOOD, "fmm", &["jit", "release"]), Some(20));
+            assert_eq!(fused_u128(GOOD, "fmm", &["jit", "counted"]), Some(40));
+        }
+
+        #[test]
+        fn fused_lookup_stays_inside_the_row_and_fused_object() {
+            // `ast` has no jit key here; the lookup must not drift into
+            // `fmm`'s fused object or into ast's unfused object.
+            let json = r#"{"workloads": [
+                {"name": "ast", "fused": {"vm_ns": 3}, "unfused": {"vm_ns": 7, "jit": {"release": 9}}},
+                {"name": "fmm", "fused": {"vm_ns": 30, "jit": {"counted": 40, "release": 20}}}
+            ]}"#;
+            assert_eq!(fused_u128(json, "ast", &["jit", "release"]), None);
+            assert_eq!(fused_u128(json, "ast", &["vm_ns"]), Some(3));
+        }
+
+        #[test]
+        fn validate_accepts_a_complete_baseline() {
+            let required: &[&[&str]] = &[&["vm_ns"], &["jit", "counted"], &["jit", "release"]];
+            assert!(validate(GOOD, &["ast", "fmm"], required).is_ok());
+        }
+
+        #[test]
+        fn validate_fails_on_missing_workload() {
+            // A workload renamed in the code ("render" here) must fail the
+            // gate, not silently skip its regression comparison.
+            let problems = validate(GOOD, &["ast", "render"], &[&["vm_ns"]]).unwrap_err();
+            assert!(problems
+                .iter()
+                .any(|p| p.contains("missing workload `render`")));
+            // The stale leftover under the old name is reported too.
+            assert!(problems.iter().any(|p| p.contains("stale workload `fmm`")));
+        }
+
+        #[test]
+        fn validate_fails_on_missing_key() {
+            let no_jit = r#"{"workloads": [
+                {"name": "ast", "fused": {"vm_ns": 3}, "unfused": {"vm_ns": 7}}
+            ]}"#;
+            let required: &[&[&str]] = &[&["vm_ns"], &["jit", "release"]];
+            let problems = validate(no_jit, &["ast"], required).unwrap_err();
+            assert_eq!(problems.len(), 1);
+            assert!(problems[0].contains("missing fused key `jit.release`"));
+        }
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use grafter::pipeline::Compiled;
 use grafter::{fuse, Error, FusionMetrics, FusionOptions};
 use grafter_runtime::{Layouts, PureRegistry, Value};
-use grafter_vm::{lower_with, Backend, OptLevel, VmOptions};
+use grafter_vm::{jit, lower_with, Backend, OptLevel, VmOptions};
 
 use crate::engine::Engine;
 use grafter_cachesim::CacheHierarchy;
@@ -150,17 +150,22 @@ impl EngineBuilder {
             passes: fused.entries.len(),
             fully_fused: fused.fully_fused(),
         };
-        // The compile-once step of the VM tier: lowering (and bytecode
-        // optimization) happens here and nowhere else in the engine's
-        // lifetime.
+        // The compile-once step of the compiled tiers: lowering (and
+        // bytecode optimization) happens here and nowhere else in the
+        // engine's lifetime. The jit tier additionally compiles the
+        // optimized module into its closure program, also exactly once.
         let module = match self.backend {
             Backend::Interp => None,
-            Backend::Vm => Some(lower_with(
+            Backend::Vm | Backend::Jit(_) => Some(lower_with(
                 &fused,
                 &VmOptions {
                     opt_level: self.opt_level,
                 },
             )),
+        };
+        let jit = match self.backend {
+            Backend::Jit(mode) => module.as_ref().map(|m| jit::compile(m, mode)),
+            _ => None,
         };
         let mut warnings = compiled.warnings().clone();
         warnings.dedup();
@@ -173,6 +178,7 @@ impl EngineBuilder {
             fused,
             fusion,
             module,
+            jit,
             backend: self.backend,
             opt_level: self.opt_level,
             shared_program,

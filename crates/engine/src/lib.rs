@@ -88,6 +88,6 @@ pub use batch::BatchOptions;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use grafter::{Error, FusionMetrics, FusionOptions};
-pub use grafter_vm::{Backend, OptLevel};
+pub use grafter_vm::{Backend, JitMode, OptLevel};
 pub use report::Report;
 pub use session::Session;

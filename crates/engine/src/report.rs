@@ -91,10 +91,12 @@ impl PartialEq for Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.backend == Backend::Vm {
-            write!(f, "[{} {}]", self.backend, self.opt_level)?;
-        } else {
+        if self.backend == Backend::Interp {
             write!(f, "[{}]", self.backend)?;
+        } else {
+            // Compiled tiers (vm, jit, jit-release) name the bytecode
+            // level their module was optimized at.
+            write!(f, "[{} {}]", self.backend, self.opt_level)?;
         }
         write!(
             f,

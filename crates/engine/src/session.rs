@@ -5,7 +5,7 @@ use std::time::Instant;
 use grafter::{Diag, Error, Stage};
 use grafter_cachesim::CacheHierarchy;
 use grafter_runtime::{Heap, Interp, NodeId, PureRegistry, SnapValue, Value};
-use grafter_vm::{Backend, Vm};
+use grafter_vm::{Backend, Jit, Vm};
 
 use crate::engine::Engine;
 use crate::report::Report;
@@ -239,6 +239,31 @@ impl<'e> Session<'e> {
                 (
                     vm.metrics,
                     vm.cache.as_ref().map(CacheHierarchy::stats),
+                    globals,
+                    wall,
+                )
+            }
+            Backend::Jit(_) => {
+                let program = engine
+                    .jit
+                    .as_ref()
+                    .expect("jit engine holds its closure program (compiled at build)");
+                let mut jit = Jit::with_pures(program, pures);
+                if let Some(cache) = cache {
+                    jit = jit.with_cache(cache);
+                }
+                let start = Instant::now();
+                jit.run(&mut self.heap, root, args).map_err(runtime_err)?;
+                let wall = start.elapsed();
+                let globals = global_names
+                    .map(|name| {
+                        let value = jit.global(&name).expect("declared global resolves");
+                        (name, value)
+                    })
+                    .collect();
+                (
+                    jit.metrics().clone(),
+                    jit.cache().map(CacheHierarchy::stats),
                     globals,
                     wall,
                 )

@@ -91,6 +91,7 @@ pub fn coerce(ty: Ty, v: Value) -> Value {
 ///
 /// Panics if an operand has a type the operator cannot accept (the same
 /// ill-typed programs panic identically in both backends).
+#[inline]
 pub fn binop(op: BinOp, l: Value, r: Value) -> Value {
     use Value::*;
     let both_int = matches!((l, r), (Int(_), Int(_)));
@@ -156,6 +157,7 @@ pub fn binop(op: BinOp, l: Value, r: Value) -> Value {
 ///
 /// Panics if the operand has a type the operator cannot accept (the
 /// same ill-typed programs panic identically in both backends).
+#[inline]
 pub fn unop(op: UnOp, v: Value) -> Value {
     match op {
         UnOp::Neg => match v {

@@ -73,12 +73,14 @@
 //! ```
 
 mod exec;
+pub mod jit;
 mod lower;
 mod module;
 pub mod opt;
 mod pipeline;
 
 pub use exec::Vm;
+pub use jit::{Jit, JitMode, JitProgram};
 pub use lower::{lower, lower_with, lowering_count};
 pub use module::{Co, Module, Op};
 pub use opt::{optimize, OptLevel, OptReport, PassStat, VmOptions};

@@ -505,6 +505,85 @@ impl Module {
         out
     }
 
+    /// Pretty-prints the module grouped into basic blocks with CFG edges —
+    /// exactly the block structure the [`crate::jit`] tier compiles one
+    /// closure per block from (the `--emit bytecode --disasm-blocks`
+    /// format).
+    ///
+    /// Each block line names the function-local block id, its pc range and
+    /// its successor edges (`ret` marks an activation exit; `Deactivate`
+    /// shows both its next-item edge and the final-traversal `ret`).
+    pub fn disassemble_blocks(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; grafter-vm module: {} op(s), {} function(s), {} stub(s), {} const(s)",
+            self.ops.len(),
+            self.funcs.len(),
+            self.stubs.len(),
+            self.consts.len()
+        );
+        let _ = writeln!(
+            out,
+            "; basic-block view: the CFG the jit tier compiles from"
+        );
+        let _ = writeln!(out, "; opt: {}", self.opt.level);
+        for (i, f) in self.funcs.iter().enumerate() {
+            let blocks = crate::jit::basic_blocks(self, i);
+            let _ = writeln!(
+                out,
+                "\nfn {i} {} (traversals={}, {} block(s))",
+                f.name,
+                f.n_traversals,
+                blocks.len()
+            );
+            let block_of = |pc: u32| {
+                blocks
+                    .binary_search_by_key(&pc, |&(s, _)| s)
+                    .expect("edge lands on a block start")
+            };
+            for (bi, &(start, end)) in blocks.iter().enumerate() {
+                let last = self.ops[(end - 1) as usize];
+                let mut succ_pcs = Vec::new();
+                crate::opt::successors(end - 1, &last, &mut succ_pcs);
+                succ_pcs.retain(|&pc| pc < f.end);
+                succ_pcs.dedup();
+                let mut edges: Vec<String> = succ_pcs
+                    .iter()
+                    .map(|&pc| format!("b{}", block_of(pc)))
+                    .collect();
+                if matches!(last, Op::Ret | Op::Deactivate { .. }) {
+                    edges.push("ret".to_string());
+                }
+                let _ = writeln!(
+                    out,
+                    "  b{bi}  {start:04}..{end:04}  -> {}",
+                    edges.join(", ")
+                );
+                for pc in start..end {
+                    let _ = writeln!(
+                        out,
+                        "    {pc:04}  {}",
+                        self.render_op(self.ops[pc as usize])
+                    );
+                }
+            }
+        }
+        for (i, s) in self.stubs.iter().enumerate() {
+            let _ = writeln!(out, "\nstub {i} {} (slots={})", s.name, s.n_parts);
+            for (class, &t) in s.targets.iter().enumerate() {
+                if t != NO_TARGET {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} -> fn {} {}",
+                        self.class_names[class], t, self.funcs[t as usize].name
+                    );
+                }
+            }
+        }
+        out
+    }
+
     fn render_path(&self, path: u16) -> String {
         let p = &self.paths[path as usize];
         if p.is_empty() {

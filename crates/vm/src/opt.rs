@@ -252,7 +252,7 @@ fn reg_write(op: &Op) -> Option<u16> {
 }
 
 /// The jump target embedded in `op`, if any.
-fn op_target(op: &Op) -> Option<u32> {
+pub(crate) fn op_target(op: &Op) -> Option<u32> {
     match *op {
         Op::Jump { target }
         | Op::Branch { target, .. }
@@ -304,7 +304,7 @@ fn map_target(op: &mut Op, f: impl Fn(u32) -> u32) {
 }
 
 /// Successor pcs of the op at `pc` (within its function body).
-fn successors(pc: u32, op: &Op, out: &mut Vec<u32>) {
+pub(crate) fn successors(pc: u32, op: &Op, out: &mut Vec<u32>) {
     match *op {
         Op::Jump { target } | Op::Deactivate { target, .. } => out.push(target),
         Op::Ret => {}

@@ -28,6 +28,7 @@ use grafter_cachesim::CacheHierarchy;
 use grafter_runtime::{Execute, Heap, Metrics, NodeId, PureRegistry, RunReport, Value};
 
 use crate::exec::Vm;
+use crate::jit::{Jit, JitMode, JitProgram};
 use crate::lower::lower;
 use crate::module::Module;
 
@@ -39,6 +40,10 @@ pub enum Backend {
     Interp,
     /// The bytecode register VM (`grafter-vm`).
     Vm,
+    /// The closure-threaded native tier ([`crate::jit`]): bytecode
+    /// pre-compiled into per-basic-block closures, with the
+    /// [`JitMode`] choosing bit-identical accounting or flat-out speed.
+    Jit(JitMode),
 }
 
 impl fmt::Display for Backend {
@@ -46,6 +51,8 @@ impl fmt::Display for Backend {
         f.pad(match self {
             Backend::Interp => "interp",
             Backend::Vm => "vm",
+            Backend::Jit(JitMode::Counted) => "jit",
+            Backend::Jit(JitMode::Release) => "jit-release",
         })
     }
 }
@@ -57,7 +64,11 @@ impl FromStr for Backend {
         match s {
             "interp" | "interpreter" => Ok(Backend::Interp),
             "vm" | "bytecode" => Ok(Backend::Vm),
-            other => Err(format!("unknown backend `{other}` (expected interp|vm)")),
+            "jit" | "jit-counted" => Ok(Backend::Jit(JitMode::Counted)),
+            "jit-release" => Ok(Backend::Jit(JitMode::Release)),
+            other => Err(format!(
+                "unknown backend `{other}` (expected interp|vm|jit|jit-release)"
+            )),
         }
     }
 }
@@ -73,9 +84,11 @@ impl FromStr for Backend {
 pub struct BackendExecutor<'a> {
     fused: &'a Fused,
     backend: Backend,
-    /// Pre-lowered module (populated for [`Backend::Vm`] at construction
-    /// so the measured region of a run excludes compilation).
+    /// Pre-lowered module (populated for the compiled tiers at
+    /// construction so the measured region of a run excludes compilation).
     module: Option<Module>,
+    /// Pre-compiled closure program (populated for [`Backend::Jit`]).
+    jit: Option<JitProgram>,
     pures: PureRegistry,
     cache: Option<CacheHierarchy>,
     args: Vec<Vec<Value>>,
@@ -128,6 +141,18 @@ impl BackendExecutor<'_> {
                 Ok(RunReport {
                     metrics: vm.metrics,
                     cache: vm.cache.as_ref().map(CacheHierarchy::stats),
+                })
+            }
+            Backend::Jit(_) => {
+                let program = self.jit.expect("jit program compiled at construction");
+                let mut jit = Jit::with_pures(&program, self.pures);
+                if let Some(cache) = self.cache {
+                    jit = jit.with_cache(cache);
+                }
+                jit.run(heap, root, &self.args)?;
+                Ok(RunReport {
+                    metrics: jit.metrics().clone(),
+                    cache: jit.cache().map(CacheHierarchy::stats),
                 })
             }
         }
@@ -225,13 +250,19 @@ impl ExecuteBackend for Fused {
     }
 
     fn backend_executor(&self, backend: Backend) -> BackendExecutor<'_> {
+        let module = match backend {
+            Backend::Interp => None,
+            Backend::Vm | Backend::Jit(_) => Some(self.lower_module()),
+        };
+        let jit = match backend {
+            Backend::Jit(mode) => module.as_ref().map(|m| crate::jit::compile(m, mode)),
+            _ => None,
+        };
         BackendExecutor {
             fused: self,
             backend,
-            module: match backend {
-                Backend::Interp => None,
-                Backend::Vm => Some(self.lower_module()),
-            },
+            module,
+            jit,
             pures: PureRegistry::with_math(),
             cache: None,
             args: Vec::new(),

@@ -11,15 +11,22 @@
 //!
 //! ```text
 //! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
-//!          [--unfused] [--stats] [--backend interp|vm] [-O0|-O1|-O2]
-//!          [--emit cpp|bytecode|none] [--run] [--json]
+//!          [--unfused] [--stats] [--backend interp|vm|jit|jit-release]
+//!          [-O0|-O1|-O2] [--emit cpp|bytecode|none] [--disasm-blocks]
+//!          [--run] [--json]
 //! ```
 //!
 //! `--backend` names the execution tier the artifact is being prepared
-//! for: it selects the default `--emit` (the VM tier disassembles its
-//! bytecode) and, with `--stats`/`--run`, that tier compiles/executes.
-//! `-O{0,1,2}` picks the bytecode optimization level (default `-O2`);
-//! the disassembly header lists what each optimizer pass did.
+//! for: it selects the default `--emit` (the compiled tiers disassemble
+//! their bytecode) and, with `--stats`/`--run`, that tier
+//! compiles/executes. `jit` is the closure-threaded native tier in its
+//! counted (bit-identical accounting) mode; `jit-release` drops the
+//! accounting. `-O{0,1,2}` picks the bytecode optimization level
+//! (default `-O2`); the disassembly header lists what each optimizer
+//! pass did, and `--stats` repeats those per-pass deltas on stderr so
+//! they survive a piped or discarded stdout. `--disasm-blocks` switches
+//! the bytecode emission to the per-basic-block view with CFG edges —
+//! exactly the blocks the jit tier compiles one closure from.
 //! `--json` switches diagnostics (stderr) to a JSON array; the emitted
 //! artifact stays on stdout. `--run` executes the program once on a
 //! freshly allocated root-class node with null children — a smoke
@@ -42,8 +49,8 @@ use grafter::{Diag, DiagnosticBag, Error, FuseOptions, Stage};
 use grafter_engine::{Backend, Engine, OptLevel};
 
 const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
-     [--unfused] [--stats] [--backend interp|vm] [-O0|-O1|-O2] \
-     [--emit cpp|bytecode|none] [--run] [--json]";
+     [--unfused] [--stats] [--backend interp|vm|jit|jit-release] [-O0|-O1|-O2] \
+     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--json]";
 
 const EXIT_IO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -137,15 +144,20 @@ fn main() -> ExitCode {
             }
         }
     }
-    // The VM tier's natural artifact is its bytecode; the interpreter
-    // walks the rendered (C++-style) program shape.
+    // The compiled tiers' natural artifact is their bytecode; the
+    // interpreter walks the rendered (C++-style) program shape.
     let default_emit = match backend {
         Backend::Interp => "cpp",
-        Backend::Vm => "bytecode",
+        Backend::Vm | Backend::Jit(_) => "bytecode",
     };
     let emit = arg_value(&args, "--emit").unwrap_or_else(|| default_emit.to_string());
     if emit != "cpp" && emit != "bytecode" && emit != "none" {
         eprintln!("error: unknown --emit `{emit}` (expected cpp|bytecode|none)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let disasm_blocks = args.iter().any(|a| a == "--disasm-blocks");
+    if disasm_blocks && emit != "bytecode" {
+        eprintln!("error: --disasm-blocks requires `--emit bytecode` (the default on vm/jit)");
         return ExitCode::from(EXIT_USAGE);
     }
     let pass_list: Vec<&str> = passes.split(',').map(str::trim).collect();
@@ -205,7 +217,11 @@ fn main() -> ExitCode {
                     eprintln!("{path}:{}", warn.render(&source));
                 }
             }
-            print!("{}", module.disassemble());
+            if disasm_blocks {
+                print!("{}", module.disassemble_blocks());
+            } else {
+                print!("{}", module.disassemble());
+            }
         }
         "cpp" => print!("{}", engine.render_cpp()),
         _ => {}
@@ -213,18 +229,48 @@ fn main() -> ExitCode {
 
     if args.iter().any(|a| a == "--stats") {
         let m = engine.fusion_metrics();
-        match engine.module() {
-            None => eprintln!(
+        // Stats go to stderr so they survive a piped/discarded stdout
+        // (the emitted artifact): the fusion summary line, then —
+        // compiled tiers — the optimizer's per-pass deltas.
+        match (engine.module().or(adhoc_module.as_ref()), engine.module()) {
+            (None, _) => eprintln!(
                 "fused {} traversal(s) on `{root}`: {m} [backend: interp]",
                 pass_list.len()
             ),
-            Some(module) => eprintln!(
-                "fused {} traversal(s) on `{root}`: {m} [backend: vm {}, {} op(s), {} stub table(s)]",
-                pass_list.len(),
-                opt_level,
-                module.n_ops(),
-                module.n_stubs()
-            ),
+            (Some(module), cached) => {
+                match engine.jit_program() {
+                    Some(program) => eprintln!(
+                        "fused {} traversal(s) on `{root}`: {m} [backend: {backend} {}, \
+                         {} op(s), {} stub table(s), {} compiled block(s)]",
+                        pass_list.len(),
+                        opt_level,
+                        module.n_ops(),
+                        module.n_stubs(),
+                        program.n_blocks()
+                    ),
+                    None => eprintln!(
+                        "fused {} traversal(s) on `{root}`: {m} [backend: {} {}, {} op(s), \
+                         {} stub table(s)]",
+                        pass_list.len(),
+                        if cached.is_some() { "vm" } else { "interp" },
+                        opt_level,
+                        module.n_ops(),
+                        module.n_stubs()
+                    ),
+                }
+                let report = module.opt_report();
+                eprintln!(
+                    "opt {}: {} rewrite(s)",
+                    report.level,
+                    report.total_rewrites()
+                );
+                for p in &report.passes {
+                    eprintln!(
+                        "  {:<9} {:>4} -> {:<4} {}(s) ({} {})",
+                        p.pass, p.before, p.after, p.unit, p.rewrites, p.action
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,245 @@
+//! Differential testing of the closure-threaded JIT tier: for every case
+//! study, fused and unfused, `Backend::Jit` in counted mode must produce
+//! exactly the heap state, exactly the metrics (visits, instructions,
+//! loads, stores), exactly the simulated cache traffic and exactly the
+//! final globals of both the instrumented interpreter and the `O2`
+//! bytecode VM — a three-way bit-identity diff.
+//!
+//! This is the executable statement of the JIT's contract: compiling
+//! basic blocks to fused closures is a pure representation change. The
+//! suite also pins the tier's edge semantics — runtime-error parity,
+//! division-by-zero and wrapping-overflow parity — plus a 100k-node
+//! deep-spine stress run, and the release-mode contract (identical final
+//! trees and globals with only the `visits` counter retained).
+
+use grafter::FusionOptions;
+use grafter_cachesim::CacheHierarchy;
+use grafter_engine::{Backend, Engine, JitMode, Report};
+use grafter_runtime::{with_stack, Heap, NodeId, SnapValue, Value};
+use grafter_workloads::case_studies;
+use grafter_workloads::harness::RUN_STACK;
+
+type Snapshot = Vec<(String, Vec<SnapValue>)>;
+
+/// The three tiers whose deterministic outcomes must be bit-identical.
+const TIERS: [Backend; 3] = [Backend::Interp, Backend::Vm, Backend::Jit(JitMode::Counted)];
+
+/// One fully instrumented run (cache model attached) on a freshly built
+/// tree.
+fn run_once(engine: &Engine, build: &dyn Fn(&mut Heap) -> NodeId) -> (Report, Snapshot) {
+    let mut session = engine.session().with_cache(CacheHierarchy::xeon());
+    let root = session.build_tree(build);
+    let report = session.run(root).expect("program runs");
+    let snapshot = session.snapshot(root);
+    (report, snapshot)
+}
+
+/// Asserts `b`'s deterministic outcome is bit-identical to `a`'s.
+/// `Report::eq` can't be used directly across tiers — it compares the
+/// backend too — so each field is diffed by name for a precise failure.
+fn assert_identical(label: &str, a: &(Report, Snapshot), b: &(Report, Snapshot)) {
+    assert_eq!(a.1, b.1, "{label}: heap snapshots diverge");
+    assert_eq!(a.0.metrics, b.0.metrics, "{label}: metrics diverge");
+    assert_eq!(a.0.cache, b.0.cache, "{label}: cache traffic diverges");
+    assert_eq!(a.0.globals, b.0.globals, "{label}: final globals diverge");
+}
+
+#[test]
+fn jit_counted_matches_interp_and_vm_on_all_case_studies() {
+    with_stack(RUN_STACK, || {
+        for case in case_studies() {
+            let configs = [
+                ("fused", FusionOptions::default()),
+                ("unfused", FusionOptions::unfused()),
+            ];
+            for (kind, opts) in configs {
+                let build = |heap: &mut Heap| case.build_test(heap);
+                let [interp, vm, jit] =
+                    TIERS.map(|backend| run_once(&case.engine_with(opts.clone(), backend), &build));
+                let name = case.name;
+                assert_identical(&format!("{name}/{kind} interp vs vm"), &interp, &vm);
+                assert_identical(&format!("{name}/{kind} interp vs jit"), &interp, &jit);
+            }
+        }
+    });
+}
+
+/// Builds an engine for an ad-hoc source on `backend`.
+fn adhoc(src: &str, root: &str, passes: &[&str], backend: Backend) -> Engine {
+    Engine::builder()
+        .source(src)
+        .entry(root, passes)
+        .backend(backend)
+        .build()
+        .expect("ad-hoc program compiles")
+}
+
+#[test]
+fn runtime_errors_render_identically_on_all_tiers() {
+    // `this->next->a` in a data access with `next` null is the tiers'
+    // canonical runtime failure (a null dereference). All three must
+    // fail, at runtime, with the same rendered error.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int a = 0;
+            virtual traversal probe() {}
+        }
+        tree class Leafless : Node {
+            traversal probe() { a = this->next->a; }
+        }
+    "#;
+    let mut rendered = Vec::new();
+    for backend in TIERS {
+        let engine = adhoc(src, "Node", &["probe"], backend);
+        let mut session = engine.session();
+        let root = session.build_tree(|heap| heap.alloc_by_name("Leafless").unwrap());
+        let err = session
+            .run(root)
+            .expect_err("null dereference must surface as an error");
+        assert!(err.is_runtime(), "{backend}: error stage is not Runtime");
+        rendered.push(err.to_string());
+    }
+    assert_eq!(rendered[0], rendered[1], "interp and vm errors diverge");
+    assert_eq!(rendered[0], rendered[2], "interp and jit errors diverge");
+    assert!(
+        rendered[0].contains("null child dereferenced"),
+        "unexpected error text: {}",
+        rendered[0]
+    );
+}
+
+#[test]
+fn div_by_zero_and_overflow_semantics_match_across_tiers() {
+    // Integer division/remainder by zero yields 0 (deterministic, never
+    // a trap) and multiplication wraps — on every tier, bit-identically.
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int q = 0; int r = 0; int big = 0;
+            virtual traversal crunch() {}
+        }
+        tree class Cell : Node {
+            traversal crunch() {
+                q = this->q / 0;
+                r = this->r % 0;
+                big = this->big * this->big;
+                this->next->crunch();
+            }
+        }
+        tree class End : Node { }
+    "#;
+    let build = |heap: &mut Heap| {
+        let end = heap.alloc_by_name("End").unwrap();
+        let cell = heap.alloc_by_name("Cell").unwrap();
+        heap.set_by_name(cell, "q", Value::Int(41)).unwrap();
+        heap.set_by_name(cell, "r", Value::Int(17)).unwrap();
+        heap.set_by_name(cell, "big", Value::Int(i64::MAX)).unwrap();
+        heap.set_child_by_name(cell, "next", Some(end)).unwrap();
+        cell
+    };
+    let [interp, vm, jit] =
+        TIERS.map(|backend| run_once(&adhoc(src, "Node", &["crunch"], backend), &build));
+    assert_identical("div0 interp vs vm", &interp, &vm);
+    assert_identical("div0 interp vs jit", &interp, &jit);
+    // And the semantics really are div0 → 0 and wrapping multiply.
+    let cell = &interp.1[0].1;
+    assert_eq!(cell[1], SnapValue::Int(0), "q = 41 / 0 must yield 0");
+    assert_eq!(cell[2], SnapValue::Int(0), "r = 17 % 0 must yield 0");
+    assert_eq!(
+        cell[3],
+        SnapValue::Int(i64::MAX.wrapping_mul(i64::MAX)),
+        "big * big must wrap"
+    );
+}
+
+#[test]
+fn deep_spine_100k_nodes_runs_under_the_jit() {
+    // A 100_000-node linked spine: the JIT must sustain one native call
+    // frame per visit without exhausting the stack, and still agree with
+    // the VM on every counter and on the final tree.
+    const SPINE: usize = 100_000;
+    let src = r#"
+        tree class Node {
+            child Node* next;
+            int depth = 0;
+            virtual traversal mark() {}
+        }
+        tree class Cons : Node {
+            traversal mark() { depth = this->depth + 1; this->next->mark(); }
+        }
+        tree class End : Node { }
+    "#;
+    let build = |heap: &mut Heap| {
+        let mut cur = heap.alloc_by_name("End").unwrap();
+        for _ in 0..SPINE {
+            let cons = heap.alloc_by_name("Cons").unwrap();
+            heap.set_child_by_name(cons, "next", Some(cur)).unwrap();
+            cur = cons;
+        }
+        cur
+    };
+    with_stack(RUN_STACK, move || {
+        let vm = run_once(&adhoc(src, "Node", &["mark"], Backend::Vm), &build);
+        let jit = run_once(
+            &adhoc(src, "Node", &["mark"], Backend::Jit(JitMode::Counted)),
+            &build,
+        );
+        assert_identical("deep-spine vm vs jit", &vm, &jit);
+        assert_eq!(
+            jit.0.metrics.visits,
+            SPINE as u64 + 1,
+            "every spine node plus the terminator is visited"
+        );
+        assert!(
+            jit.1[..SPINE]
+                .iter()
+                .all(|(_, slots)| slots[1] == SnapValue::Int(1)),
+            "every Cons carries the incremented depth"
+        );
+    });
+}
+
+#[test]
+fn jit_release_matches_counted_final_state_on_all_case_studies() {
+    // Release mode drops the accounting, not the semantics: final trees,
+    // final globals and the (still counted) visit totals are identical
+    // to counted mode; every other counter reads zero.
+    with_stack(RUN_STACK, || {
+        for case in case_studies() {
+            let build = |heap: &mut Heap| case.build_test(heap);
+            let counted = run_once(&case.engine(Backend::Jit(JitMode::Counted)), &build);
+            let release = {
+                // No cache model: release mode records no traffic.
+                let engine = case.engine(Backend::Jit(JitMode::Release));
+                let mut session = engine.session();
+                let root = session.build_tree(build);
+                let report = session.run(root).expect("program runs");
+                let snapshot = session.snapshot(root);
+                (report, snapshot)
+            };
+            let name = case.name;
+            assert_eq!(
+                counted.1, release.1,
+                "{name}: release-mode final tree diverges from counted"
+            );
+            assert_eq!(
+                counted.0.globals, release.0.globals,
+                "{name}: release-mode final globals diverge from counted"
+            );
+            assert_eq!(
+                counted.0.metrics.visits, release.0.metrics.visits,
+                "{name}: release mode must still count visits"
+            );
+            assert_eq!(
+                (
+                    release.0.metrics.instructions,
+                    release.0.metrics.loads,
+                    release.0.metrics.stores
+                ),
+                (0, 0, 0),
+                "{name}: release mode must not charge instructions or memory traffic"
+            );
+        }
+    });
+}
