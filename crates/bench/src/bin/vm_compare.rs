@@ -2,7 +2,9 @@
 //! workloads, fused and unfused, plus per-opt-level fused VM medians
 //! (`O0` vs `O2`), fused JIT medians in both counted and release mode,
 //! and batch throughput of the fused VM engine at 1, 4 and 8 worker
-//! threads — recorded to `BENCH_vm.json`.
+//! threads — recorded to `BENCH_vm.json` together with per-stage compile
+//! wall times (parse/sema/fusion/lower/opt passes/jit) from each
+//! workload's engine build.
 //!
 //! Every configuration (backend × fusion × opt level) is one immutable
 //! `grafter_engine::Engine`, built once — compile, fusion, bytecode
@@ -80,6 +82,10 @@ struct WorkloadRow {
     fused: Config,
     unfused: Config,
     batch: Vec<Throughput>,
+    /// Per-stage compile wall times (`(stage, ns)`, build order) of one
+    /// fused jit-tier build from source, plus the build's total — every
+    /// stage from parse to jit chain construction appears.
+    compile: (Vec<(String, u128)>, u128),
 }
 
 fn median(mut xs: Vec<u128>) -> u128 {
@@ -172,11 +178,30 @@ fn workload(samples: usize, batch_trees: usize, case: &CaseStudy) -> WorkloadRow
             )
         })
         .collect();
+    // Compile-side stage timings: rebuild the fused jit engine from
+    // *source* (the case studies' engines reuse a pre-compiled frontend
+    // artifact, which would hide the parse/sema stages).
+    let traced = Engine::builder()
+        .source(case.source)
+        .entry(case.root_class, &case.passes)
+        .backend(Backend::Jit(JitMode::Counted))
+        .build()
+        .expect("case-study entry sequence resolves");
+    let trace = traced.compile_trace();
+    let compile = (
+        trace
+            .spans
+            .iter()
+            .map(|s| (s.name.clone(), s.dur.as_nanos()))
+            .collect(),
+        trace.total.as_nanos(),
+    );
     WorkloadRow {
         name: case.name,
         fused,
         unfused,
         batch,
+        compile,
     }
 }
 
@@ -200,6 +225,15 @@ fn json_config(c: &Config) -> String {
         opt,
         jit
     )
+}
+
+fn json_compile((stages, total): &(Vec<(String, u128)>, u128)) -> String {
+    let items = stages
+        .iter()
+        .map(|(name, ns)| format!(r#""{name}": {ns}"#))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(r#"{{"total_ns": {total}, "stages": {{{items}}}}}"#)
 }
 
 fn json_batch(batch: &[Throughput]) -> String {
@@ -400,13 +434,17 @@ fn main() {
     let _ = writeln!(json, "  \"batch_trees\": {batch_trees},");
     let _ = writeln!(json, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
+        // "compile" stays behind "unfused"/"batch": `baseline::fused_u128`
+        // scopes a row's "fused" object by the "unfused" key that follows.
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"fused\": {}, \"unfused\": {}, \"batch\": {}}}{}",
+            "    {{\"name\": \"{}\", \"fused\": {}, \"unfused\": {}, \"batch\": {}, \
+             \"compile\": {}}}{}",
             r.name,
             json_config(&r.fused),
             json_config(&r.unfused),
             json_batch(&r.batch),
+            json_compile(&r.compile),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

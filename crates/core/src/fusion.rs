@@ -174,6 +174,31 @@ impl Stub {
     }
 }
 
+/// Static fusion-coverage statistics, accumulated over every *pair* of
+/// traversing calls that share a receiver path within one merged body —
+/// the candidates fusion could in principle turn into a single child
+/// visit. Counted once per distinct fused function (bodies are memoised),
+/// so the numbers are static code properties, not dynamic visit counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionCoverage {
+    /// Same-receiver call pairs grouped into one dispatch (a saved visit).
+    pub fused_pairs: usize,
+    /// Pairs that were *legal* to fuse in isolation — common dispatch
+    /// supertype, condensation stays acyclic — but were left ungrouped
+    /// (greedy order, cutoffs, or fusion disabled).
+    pub missed_pairs: usize,
+    /// Pairs no legal grouping could fuse (no common supertype, or a
+    /// dependence cycle between them).
+    pub blocked_pairs: usize,
+}
+
+impl FusionCoverage {
+    /// All statically fusable same-receiver pairs, fused or not.
+    pub fn candidate_pairs(&self) -> usize {
+        self.fused_pairs + self.missed_pairs + self.blocked_pairs
+    }
+}
+
 /// The output of fusion: a set of mutually recursive fused functions plus
 /// the dispatch stubs connecting them, with a designated entry stub.
 #[derive(Clone, Debug)]
@@ -191,6 +216,8 @@ pub struct FusedProgram {
     pub entries: Vec<StubId>,
     /// The entry sequence's dispatch slots.
     pub entry_slots: Vec<MethodId>,
+    /// Static coverage accounting of the grouping stage.
+    pub coverage: FusionCoverage,
 }
 
 impl FusedProgram {
@@ -299,6 +326,7 @@ pub fn fuse_slots(
         fn_keys: HashMap::new(),
         stubs: Vec::new(),
         stub_keys: HashMap::new(),
+        coverage: FusionCoverage::default(),
     };
     let entries = if opts.grouping {
         vec![fuser.stub_for(class, slots.to_vec())]
@@ -316,6 +344,7 @@ pub fn fuse_slots(
         stubs: fuser.stubs,
         entries,
         entry_slots: slots.to_vec(),
+        coverage: fuser.coverage,
     }
 }
 
@@ -327,6 +356,7 @@ struct Fuser<'p> {
     fn_keys: HashMap<Vec<MethodId>, FusedFnId>,
     stubs: Vec<Stub>,
     stub_keys: HashMap<(ClassId, Vec<MethodId>), StubId>,
+    coverage: FusionCoverage,
 }
 
 impl Fuser<'_> {
@@ -418,9 +448,6 @@ impl Fuser<'_> {
         let n = merged.len();
         // Initially every vertex is its own group.
         let mut group_of: Vec<usize> = (0..n).collect();
-        if !self.opts.grouping {
-            return (group_of, n);
-        }
 
         let call_vertices: Vec<usize> = (0..n)
             .filter(|&v| matches!(merged[v].stmt, Stmt::Traverse(_)))
@@ -447,6 +474,9 @@ impl Fuser<'_> {
 
         let mut grouped = vec![false; n];
         for &u in &call_vertices {
+            if !self.opts.grouping {
+                break; // skip greedy grouping; coverage below still counts
+            }
             if grouped[u] {
                 continue;
             }
@@ -491,6 +521,39 @@ impl Fuser<'_> {
                     types = tentative_types;
                 } else {
                     group_of[v] = saved;
+                }
+            }
+        }
+
+        // Coverage accounting: every same-receiver pair of traversing
+        // calls is a static fusion candidate. Pairs landing in the same
+        // group were fused; the rest are classified by whether merging
+        // just the two of them would have been legal (a common dispatch
+        // supertype exists and the condensed graph stays acyclic) —
+        // "missed" if so, "blocked" otherwise.
+        for (i, &u) in call_vertices.iter().enumerate() {
+            for &v in &call_vertices[i + 1..] {
+                if receiver_key(u) != receiver_key(v) {
+                    continue;
+                }
+                if self.opts.grouping && group_of[u] == group_of[v] {
+                    self.coverage.fused_pairs += 1;
+                    continue;
+                }
+                let legal = match (static_target(self, u), static_target(self, v)) {
+                    (Some(a), Some(b)) => {
+                        self.program.least_common_ancestor(&[a, b]).is_some() && {
+                            let mut pair: Vec<usize> = (0..n).collect();
+                            pair[v] = u;
+                            condensation_acyclic(graph, &pair)
+                        }
+                    }
+                    _ => false,
+                };
+                if legal {
+                    self.coverage.missed_pairs += 1;
+                } else {
+                    self.coverage.blocked_pairs += 1;
                 }
             }
         }

@@ -58,7 +58,7 @@ pub use depgraph::{DepGraph, MergedStmt};
 pub use error::Error;
 pub use fusion::{
     fuse, fuse_slots, CallPart, FuseError, FuseOptions, FusedFn, FusedFnId, FusedProgram,
-    FusionOptions, ScheduledItem, Stub, StubId,
+    FusionCoverage, FusionOptions, ScheduledItem, Stub, StubId,
 };
 pub use grafter_frontend::{Diag, DiagnosticBag, Severity, Stage};
 #[allow(deprecated)]

@@ -100,13 +100,37 @@ impl Compiled {
     /// when any frontend stage reports an error; warnings ride along on
     /// success via [`Compiled::warnings`].
     pub fn compile(src: impl Into<String>) -> Result<Compiled, Error> {
+        Self::compile_timed(src).map(|(c, _, _)| c)
+    }
+
+    /// Like [`Compiled::compile`], but also reports how long the parse
+    /// (lexing included) and sema stages took — the engine's compile
+    /// trace builds on this.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiled::compile`].
+    pub fn compile_timed(
+        src: impl Into<String>,
+    ) -> Result<(Compiled, std::time::Duration, std::time::Duration), Error> {
         let src = src.into();
-        match grafter_frontend::compile_with_warnings(&src) {
-            Ok((program, warnings)) => Ok(Compiled {
-                src,
-                program,
-                warnings,
-            }),
+        let t0 = std::time::Instant::now();
+        let surface = match grafter_frontend::parser::parse(&src) {
+            Ok(surface) => surface,
+            Err(bag) => return Err(Error::new(bag, &src)),
+        };
+        let parse = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        match grafter_frontend::sema::check_with_warnings(&surface) {
+            Ok((program, warnings)) => Ok((
+                Compiled {
+                    src,
+                    program,
+                    warnings,
+                },
+                parse,
+                t1.elapsed(),
+            )),
             Err(bag) => Err(Error::new(bag, &src)),
         }
     }
@@ -192,14 +216,25 @@ pub struct FusionMetrics {
     pub passes: usize,
     /// Whether fusion achieved a single visit per child everywhere.
     pub fully_fused: bool,
+    /// Same-receiver call pairs merged into one dispatch (static count,
+    /// see [`crate::FusionCoverage`]).
+    pub fused_pairs: usize,
+    /// Statically fusable same-receiver pairs left unfused.
+    pub missed_pairs: usize,
 }
 
 impl fmt::Display for FusionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} function(s), {} stub(s), {} pass(es), fully fused: {}",
-            self.functions, self.stubs, self.passes, self.fully_fused
+            "{} function(s), {} stub(s), {} pass(es), fully fused: {}, \
+             coverage: {} fused / {} missed pair(s)",
+            self.functions,
+            self.stubs,
+            self.passes,
+            self.fully_fused,
+            self.fused_pairs,
+            self.missed_pairs
         )
     }
 }
@@ -226,6 +261,8 @@ impl Fused {
             stubs: self.fused.stubs.len(),
             passes: self.fused.entries.len(),
             fully_fused: self.fused.fully_fused(),
+            fused_pairs: self.fused.coverage.fused_pairs,
+            missed_pairs: self.fused.coverage.missed_pairs,
         }
     }
 

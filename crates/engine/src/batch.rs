@@ -3,8 +3,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use grafter::Error;
+use grafter_obs::{BatchTrace, WorkerStats};
 use grafter_runtime::{Heap, NodeId};
 
 use crate::engine::Engine;
@@ -108,18 +110,27 @@ impl Engine {
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = opts.workers.clamp(1, n);
+        // Batch telemetry exists only when the engine has a probe: the
+        // unprobed fan-out takes no timestamps at all.
+        let probing = self.probe.is_some();
+        let batch_start = Instant::now();
+        let worker_stats: Vec<Mutex<Option<WorkerStats>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
 
         thread::scope(|scope| {
-            for _ in 0..workers {
+            let (slots, results, next) = (&slots, &results, &next);
+            for (w, stats_slot) in worker_stats.iter().enumerate() {
                 thread::Builder::new()
                     .stack_size(opts.stack_bytes)
-                    .spawn_scoped(scope, || {
+                    .spawn_scoped(scope, move || {
                         // One pooled session (and thus one heap arena) per
                         // worker: `reset` between inputs reuses the pool's
                         // capacity instead of reallocating per request,
                         // and keeps simulated addresses — hence reports —
                         // bit-identical to fresh-heap runs.
                         let mut session = self.session();
+                        let spawned = Instant::now();
+                        let (mut done, mut resets, mut busy) = (0u64, 0u64, Duration::ZERO);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
@@ -130,15 +141,40 @@ impl Engine {
                                 .expect("input slot lock")
                                 .take()
                                 .expect("each input is claimed once");
+                            let t = probing.then(Instant::now);
                             session.reset();
                             let root = session.build_tree(build);
                             let result = session.run(root);
                             *results[i].lock().expect("result slot lock") = Some(result);
+                            if let Some(t) = t {
+                                busy += t.elapsed();
+                                done += 1;
+                                resets += 1;
+                            }
+                        }
+                        if probing {
+                            *stats_slot.lock().expect("worker stats lock") = Some(WorkerStats {
+                                worker: w,
+                                inputs: done,
+                                resets,
+                                busy,
+                                idle: spawned.elapsed().saturating_sub(busy),
+                            });
                         }
                     })
                     .expect("spawn batch worker thread");
             }
         });
+
+        if let Some(probe) = &self.probe {
+            probe.on_batch(&BatchTrace {
+                workers: worker_stats
+                    .into_iter()
+                    .filter_map(|slot| slot.into_inner().expect("worker stats lock"))
+                    .collect(),
+                wall: batch_start.elapsed(),
+            });
+        }
 
         results
             .into_iter()

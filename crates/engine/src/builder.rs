@@ -1,9 +1,11 @@
 //! Engine configuration and the build step that compiles everything once.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use grafter::pipeline::Compiled;
 use grafter::{fuse, Error, FusionMetrics, FusionOptions};
+use grafter_obs::{CompileTrace, Probe, Span};
 use grafter_runtime::{Layouts, PureRegistry, Value};
 use grafter_vm::{jit, lower_with, Backend, OptLevel, VmOptions};
 
@@ -34,6 +36,7 @@ pub struct EngineBuilder {
     pures: Option<PureRegistry>,
     args: Vec<Vec<Value>>,
     cache: Option<CacheHierarchy>,
+    probe: Option<Arc<dyn Probe>>,
 }
 
 impl EngineBuilder {
@@ -109,6 +112,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches an observability probe (e.g.
+    /// [`grafter_obs::TraceProbe`]). The build delivers its
+    /// [`CompileTrace`] to the probe, every session run records a runtime
+    /// profile (per-function/per-block hit counters, opcode fire
+    /// histograms, interpreter class-visit counts) delivered as a
+    /// [`grafter_obs::RunTrace`], and batch runs report per-worker
+    /// telemetry. Without a probe none of the run-side counters exist —
+    /// the hooks monomorphize away and execution is bit-identical.
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Compiles, fuses and (for the VM tier) lowers — each exactly once —
     /// into an immutable, `Send + Sync` [`Engine`].
     ///
@@ -120,9 +136,27 @@ impl EngineBuilder {
     ///
     /// [`Stage::Config`]: grafter_frontend::Stage::Config
     pub fn build(self) -> Result<Engine, Error> {
+        let build_start = Instant::now();
+        let mut spans: Vec<Span> = Vec::new();
         let compiled = match (self.compiled, self.source) {
             (Some(c), _) => c,
-            (None, Some(src)) => Compiled::compile(src)?,
+            (None, Some(src)) => {
+                let t = build_start.elapsed();
+                let (c, parse, sema) = Compiled::compile_timed(src)?;
+                spans.push(Span {
+                    name: "parse".to_string(),
+                    start: t,
+                    dur: parse,
+                    meta: vec![("bytes".to_string(), c.source().len().to_string())],
+                });
+                spans.push(Span {
+                    name: "sema".to_string(),
+                    start: t + parse,
+                    dur: sema,
+                    meta: vec![("classes".to_string(), c.program().classes.len().to_string())],
+                });
+                c
+            }
             (None, None) => {
                 return Err(Error::config(
                     "engine needs a program: call `.source(..)` or `.compiled(..)`",
@@ -142,13 +176,33 @@ impl EngineBuilder {
 
         let opts = self.fusion.unwrap_or_default();
         let passes: Vec<&str> = self.passes.iter().map(String::as_str).collect();
+        let t = build_start.elapsed();
         let fused = fuse(compiled.program(), &root, &passes, &opts)
             .map_err(|e| Error::from_diag(e.into(), compiled.source()))?;
+        spans.push(Span {
+            name: "fusion".to_string(),
+            start: t,
+            dur: build_start.elapsed() - t,
+            meta: vec![
+                ("functions".to_string(), fused.n_functions().to_string()),
+                ("stubs".to_string(), fused.stubs.len().to_string()),
+                (
+                    "fused_pairs".to_string(),
+                    fused.coverage.fused_pairs.to_string(),
+                ),
+                (
+                    "missed_pairs".to_string(),
+                    fused.coverage.missed_pairs.to_string(),
+                ),
+            ],
+        });
         let fusion = FusionMetrics {
             functions: fused.n_functions(),
             stubs: fused.stubs.len(),
             passes: fused.entries.len(),
             fully_fused: fused.fully_fused(),
+            fused_pairs: fused.coverage.fused_pairs,
+            missed_pairs: fused.coverage.missed_pairs,
         };
         // The compile-once step of the compiled tiers: lowering (and
         // bytecode optimization) happens here and nowhere else in the
@@ -156,15 +210,65 @@ impl EngineBuilder {
         // optimized module into its closure program, also exactly once.
         let module = match self.backend {
             Backend::Interp => None,
-            Backend::Vm | Backend::Jit(_) => Some(lower_with(
-                &fused,
-                &VmOptions {
-                    opt_level: self.opt_level,
-                },
-            )),
+            Backend::Vm | Backend::Jit(_) => {
+                let t = build_start.elapsed();
+                let m = lower_with(
+                    &fused,
+                    &VmOptions {
+                        opt_level: self.opt_level,
+                    },
+                );
+                let dur = build_start.elapsed() - t;
+                spans.push(Span {
+                    name: "lower".to_string(),
+                    start: t,
+                    dur,
+                    meta: vec![
+                        ("ops".to_string(), m.n_ops().to_string()),
+                        ("opt_level".to_string(), format!("{}", self.opt_level)),
+                    ],
+                });
+                // Each optimization pass already timed itself
+                // (`PassStat::wall_ns`); lay the per-pass spans out
+                // back-to-back at the tail of the lower span.
+                let opt_total: u64 = m.opt_report().passes.iter().map(|p| p.wall_ns).sum();
+                let mut cursor = (t + dur)
+                    .checked_sub(Duration::from_nanos(opt_total))
+                    .unwrap_or(t);
+                for p in &m.opt_report().passes {
+                    let d = Duration::from_nanos(p.wall_ns);
+                    spans.push(Span {
+                        name: format!("opt/{}", p.pass),
+                        start: cursor,
+                        dur: d,
+                        meta: vec![
+                            ("before".to_string(), p.before.to_string()),
+                            ("after".to_string(), p.after.to_string()),
+                            ("unit".to_string(), p.unit.to_string()),
+                            ("rewrites".to_string(), p.rewrites.to_string()),
+                            ("action".to_string(), p.action.to_string()),
+                        ],
+                    });
+                    cursor += d;
+                }
+                Some(m)
+            }
         };
         let jit = match self.backend {
-            Backend::Jit(mode) => module.as_ref().map(|m| jit::compile(m, mode)),
+            Backend::Jit(mode) => module.as_ref().map(|m| {
+                let t = build_start.elapsed();
+                let p = jit::compile_with(m, mode, self.probe.is_some());
+                spans.push(Span {
+                    name: "jit".to_string(),
+                    start: t,
+                    dur: build_start.elapsed() - t,
+                    meta: vec![
+                        ("blocks".to_string(), p.n_blocks().to_string()),
+                        ("mode".to_string(), format!("{mode:?}")),
+                    ],
+                });
+                p
+            }),
             _ => None,
         };
         let mut warnings = compiled.warnings().clone();
@@ -173,6 +277,13 @@ impl EngineBuilder {
         // program's own `Arc` (no second program copy) and these layouts.
         let shared_program = Arc::clone(&fused.program);
         let shared_layouts = Arc::new(Layouts::new(&shared_program));
+        let compile_trace = CompileTrace {
+            spans,
+            total: build_start.elapsed(),
+        };
+        if let Some(probe) = &self.probe {
+            probe.on_compile(&compile_trace);
+        }
         Ok(Engine {
             src: compiled.source().to_string(),
             fused,
@@ -187,6 +298,8 @@ impl EngineBuilder {
             args: self.args,
             cache: self.cache,
             warnings,
+            probe: self.probe,
+            compile_trace,
         })
     }
 }

@@ -46,6 +46,12 @@ pub struct Engine {
     /// Fresh-state cache prototype cloned into each session.
     pub(crate) cache: Option<CacheHierarchy>,
     pub(crate) warnings: DiagnosticBag,
+    /// Observability sink (see [`EngineBuilder::probe`]); when attached,
+    /// sessions record runtime profiles and report them here.
+    pub(crate) probe: Option<Arc<dyn grafter_obs::Probe>>,
+    /// Per-stage wall times of this engine's build, recorded
+    /// unconditionally (a handful of `Instant` reads).
+    pub(crate) compile_trace: grafter_obs::CompileTrace,
 }
 
 impl Engine {
@@ -86,6 +92,19 @@ impl Engine {
     /// Warnings accumulated while building, deduplicated.
     pub fn warnings(&self) -> &DiagnosticBag {
         &self.warnings
+    }
+
+    /// Per-stage wall times of the build (parse/sema when built from
+    /// source, fusion, lowering, each optimization pass, jit compile).
+    /// Always recorded; attaching a probe additionally delivers it to
+    /// [`grafter_obs::Probe::on_compile`].
+    pub fn compile_trace(&self) -> &grafter_obs::CompileTrace {
+        &self.compile_trace
+    }
+
+    /// The attached observability probe, if any.
+    pub fn probe(&self) -> Option<&Arc<dyn grafter_obs::Probe>> {
+        self.probe.as_ref()
     }
 
     /// The DSL source the engine was built from.

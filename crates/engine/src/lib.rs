@@ -88,6 +88,9 @@ pub use batch::BatchOptions;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
 pub use grafter::{Error, FusionMetrics, FusionOptions};
+pub use grafter_obs::{
+    BatchTrace, CompileTrace, NullProbe, Probe, RunTrace, TierProfile, TraceProbe,
+};
 pub use grafter_vm::{Backend, JitMode, OptLevel};
 pub use report::Report;
 pub use session::Session;

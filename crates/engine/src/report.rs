@@ -46,6 +46,11 @@ pub struct Report {
     pub globals: Vec<(String, Value)>,
     /// Wall-clock time of the execution (excluded from equality).
     pub wall: Duration,
+    /// Runtime profile of the run — `Some` exactly when the engine has a
+    /// probe attached (excluded from equality: profiles describe *how*
+    /// the run executed, not its deterministic outcome; the parity suite
+    /// asserts probed and unprobed reports compare equal).
+    pub trace: Option<Box<grafter_obs::RunTrace>>,
 }
 
 impl Report {
@@ -74,6 +79,119 @@ impl Report {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Serializes the report as one JSON object (what `grafterc --run
+    /// --json` prints). Hand-rolled — the repro vendors no serde — with
+    /// stable keys; durations are nanoseconds, and the `trace` key is
+    /// non-null exactly when the run was probed.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let esc = grafter_obs::chrome::escape;
+        let mut o = String::with_capacity(512);
+        let _ = write!(
+            o,
+            "{{\"backend\":\"{}\",\"opt_level\":\"{}\"",
+            self.backend, self.opt_level
+        );
+        let f = &self.fusion;
+        let _ = write!(
+            o,
+            ",\"fusion\":{{\"functions\":{},\"stubs\":{},\"passes\":{},\"fully_fused\":{},\
+             \"fused_pairs\":{},\"missed_pairs\":{}}}",
+            f.functions, f.stubs, f.passes, f.fully_fused, f.fused_pairs, f.missed_pairs
+        );
+        let m = &self.metrics;
+        let _ = write!(
+            o,
+            ",\"metrics\":{{\"visits\":{},\"instructions\":{},\"loads\":{},\"stores\":{}}}",
+            m.visits, m.instructions, m.loads, m.stores
+        );
+        let _ = write!(o, ",\"cycles\":{}", self.cycles());
+        match &self.cache {
+            None => o.push_str(",\"cache\":null"),
+            Some(c) => {
+                let _ = write!(
+                    o,
+                    ",\"cache\":{{\"accesses\":{},\"cycles\":{},\"levels\":[",
+                    c.accesses, c.cycles
+                );
+                for (i, l) in c.levels.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(o, "{{\"hits\":{},\"misses\":{}}}", l.hits, l.misses);
+                }
+                o.push_str("]}");
+            }
+        }
+        o.push_str(",\"globals\":[");
+        for (i, (name, value)) in self.globals.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                esc(name),
+                json_value(value)
+            );
+        }
+        let _ = write!(o, "],\"wall_ns\":{}", self.wall.as_nanos());
+        match &self.trace {
+            None => o.push_str(",\"trace\":null"),
+            Some(t) => {
+                let _ = write!(
+                    o,
+                    ",\"trace\":{{\"tier\":\"{}\",\"wall_ns\":{}",
+                    esc(&t.tier),
+                    t.wall.as_nanos()
+                );
+                let named = |o: &mut String, key: &str, rows: &[(String, u64)]| {
+                    let _ = write!(o, ",\"{key}\":[");
+                    for (i, (name, n)) in rows.iter().enumerate() {
+                        if i > 0 {
+                            o.push(',');
+                        }
+                        let _ = write!(o, "{{\"name\":\"{}\",\"count\":{n}}}", esc(name));
+                    }
+                    o.push(']');
+                };
+                named(&mut o, "func_hits", &t.profile.func_hits);
+                named(&mut o, "block_hits", &t.profile.block_hits);
+                named(&mut o, "class_visits", &t.profile.class_visits);
+                o.push_str(",\"op_fires\":[");
+                for (i, op) in t.profile.op_fires.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(
+                        o,
+                        "{{\"name\":\"{}\",\"fires\":{},\"superinstruction\":{}}}",
+                        esc(&op.name),
+                        op.fires,
+                        op.superinstruction
+                    );
+                }
+                o.push_str("]}");
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// A [`Value`] as a JSON literal (node refs become their id, null refs
+/// `null`; non-finite floats fall back to a quoted string to keep the
+/// document parseable).
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) if x.is_finite() => format!("{x}"),
+        Value::Float(x) => format!("\"{x}\""),
+        Value::Bool(b) => b.to_string(),
+        Value::Ref(None) => "null".to_string(),
+        Value::Ref(Some(n)) => n.0.to_string(),
     }
 }
 

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use grafter::{Diag, Error, Stage};
 use grafter_cachesim::CacheHierarchy;
+use grafter_obs::{ExecCounters, RunTrace, TierProfile};
 use grafter_runtime::{Heap, Interp, NodeId, PureRegistry, SnapValue, Value};
 use grafter_vm::{Backend, Jit, Vm};
 
@@ -192,13 +193,20 @@ impl<'e> Session<'e> {
         };
 
         let global_names = engine.program().globals.iter().map(|g| g.name.clone());
+        // Run-side profiling exists only when the engine has a probe; the
+        // unprobed paths are exactly the pre-observability ones (the VM
+        // hooks monomorphize away, the jit compiles without counters).
+        let probing = engine.probe.is_some();
         // `wall` times the execution alone; executor setup and the
         // post-run globals readout stay outside the measured region.
-        let (metrics, cache_stats, globals, wall) = match engine.backend {
+        let (metrics, cache_stats, globals, wall, profile) = match engine.backend {
             Backend::Interp => {
                 let mut interp = Interp::with_pures(&engine.fused, pures);
                 if let Some(cache) = cache {
                     interp = interp.with_cache(cache);
+                }
+                if probing {
+                    interp = interp.with_class_counts();
                 }
                 let start = Instant::now();
                 interp
@@ -211,11 +219,23 @@ impl<'e> Session<'e> {
                         (name, value)
                     })
                     .collect();
+                let profile = interp.take_class_counts().map(|counts| TierProfile {
+                    class_visits: engine
+                        .program()
+                        .classes
+                        .iter()
+                        .zip(counts)
+                        .filter(|&(_, n)| n > 0)
+                        .map(|(c, n)| (c.name.clone(), n))
+                        .collect(),
+                    ..TierProfile::default()
+                });
                 (
                     interp.metrics,
                     interp.cache.as_ref().map(CacheHierarchy::stats),
                     globals,
                     wall,
+                    profile,
                 )
             }
             Backend::Vm => {
@@ -228,7 +248,15 @@ impl<'e> Session<'e> {
                     vm = vm.with_cache(cache);
                 }
                 let start = Instant::now();
-                vm.run(&mut self.heap, root, args).map_err(runtime_err)?;
+                let profile = if probing {
+                    let mut counters = ExecCounters::new(module.n_functions(), module.n_ops());
+                    vm.run_probed(&mut self.heap, root, args, &mut counters)
+                        .map_err(runtime_err)?;
+                    Some(module.profile(&counters))
+                } else {
+                    vm.run(&mut self.heap, root, args).map_err(runtime_err)?;
+                    None
+                };
                 let wall = start.elapsed();
                 let globals = global_names
                     .map(|name| {
@@ -241,6 +269,7 @@ impl<'e> Session<'e> {
                     vm.cache.as_ref().map(CacheHierarchy::stats),
                     globals,
                     wall,
+                    profile,
                 )
             }
             Backend::Jit(_) => {
@@ -252,6 +281,9 @@ impl<'e> Session<'e> {
                 if let Some(cache) = cache {
                     jit = jit.with_cache(cache);
                 }
+                if probing {
+                    jit = jit.with_counters();
+                }
                 let start = Instant::now();
                 jit.run(&mut self.heap, root, args).map_err(runtime_err)?;
                 let wall = start.elapsed();
@@ -261,14 +293,30 @@ impl<'e> Session<'e> {
                         (name, value)
                     })
                     .collect();
+                let module = engine
+                    .module
+                    .as_ref()
+                    .expect("jit engine holds its module (lowered at build)");
+                let profile = jit.take_counters().map(|c| program.profile(&c, module));
                 (
                     jit.metrics().clone(),
                     jit.cache().map(CacheHierarchy::stats),
                     globals,
                     wall,
+                    profile,
                 )
             }
         };
+        let trace = profile.map(|profile| {
+            Box::new(RunTrace {
+                tier: engine.backend.to_string(),
+                wall,
+                profile,
+            })
+        });
+        if let (Some(probe), Some(trace)) = (&engine.probe, &trace) {
+            probe.on_run(trace);
+        }
         Ok(Report {
             backend: engine.backend,
             opt_level: engine.opt_level,
@@ -277,6 +325,7 @@ impl<'e> Session<'e> {
             cache: cache_stats,
             globals,
             wall,
+            trace,
         })
     }
 

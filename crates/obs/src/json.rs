@@ -1,0 +1,381 @@
+//! A minimal JSON parser and a Chrome trace-event schema check.
+//!
+//! The build environment vendors no serde, so the schema round-trip the
+//! `probe_parity` suite needs is done by hand: [`parse`] turns a JSON
+//! document into a [`Json`] tree (numbers kept as `f64`, which is enough
+//! for microsecond timestamps at trace scale), and
+//! [`validate_chrome_trace`] checks the shape Perfetto requires —
+//! a top-level `traceEvents` array whose events carry `name`/`ph`/`pid`,
+//! with `ts` and `dur` on every complete (`"X"`) event.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse or validation failure, with a byte offset for parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input (0 for schema errors).
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            msg: msg.to_string(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, val: Json) -> Result<Json, JsonError> {
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                // Surrogate pairs are not needed for the
+                                // identifiers this crate emits.
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through byte-by-byte; input is valid UTF-8 by
+                    // construction of &str).
+                    let rest = &self.src[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        msg: "invalid utf-8".into(),
+                        at: self.pos,
+                    })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => self.err("bad number"),
+        }
+    }
+}
+
+/// Parses a JSON document, requiring it to be fully consumed.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let val = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return p.err("trailing data after document");
+    }
+    Ok(val)
+}
+
+fn schema_err(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// Checks that `doc` has the shape of a Chrome trace-event document:
+/// a top-level object with a `traceEvents` array, every event an object
+/// with string `name`/`ph` and numeric `pid`, and `ts`/`dur` present and
+/// non-negative on every complete (`"X"`) event. Returns the number of
+/// events on success.
+pub fn validate_chrome_trace(doc: &Json) -> Result<usize, JsonError> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| schema_err("missing traceEvents"))?
+        .as_arr()
+        .ok_or_else(|| schema_err("traceEvents is not an array"))?;
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |what: &str| schema_err(format!("event {i}: {what}"));
+        if !matches!(ev, Json::Obj(_)) {
+            return Err(fail("not an object"));
+        }
+        let name = ev.get("name").and_then(Json::as_str);
+        if name.map_or(true, str::is_empty) {
+            return Err(fail("missing name"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing ph"))?;
+        if ev.get("pid").and_then(Json::as_num).is_none() {
+            return Err(fail("missing pid"));
+        }
+        if ph == "X" {
+            for field in ["ts", "dur"] {
+                match ev.get(field).and_then(Json::as_num) {
+                    Some(n) if n >= 0.0 => {}
+                    _ => return Err(fail(&format!("complete event missing {field}"))),
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse(r#"{"a": [1, -2.5, "x\n", true, null], "b": {"c": 3e2}}"#).unwrap();
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_num(),
+            Some(300.0)
+        );
+        let arr = doc.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_num(), Some(-2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n"));
+        assert_eq!(arr[3], Json::Bool(true));
+        assert_eq!(arr[4], Json::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} junk").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn validates_trace_shape() {
+        let good =
+            parse(r#"{"traceEvents":[{"name":"parse","ph":"X","pid":1,"tid":1,"ts":0,"dur":5}]}"#)
+                .unwrap();
+        assert_eq!(validate_chrome_trace(&good), Ok(1));
+
+        let no_dur =
+            parse(r#"{"traceEvents":[{"name":"parse","ph":"X","pid":1,"ts":0}]}"#).unwrap();
+        assert!(validate_chrome_trace(&no_dur).is_err());
+
+        let no_events = parse(r#"{"displayTimeUnit":"ms"}"#).unwrap();
+        assert!(validate_chrome_trace(&no_events).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let doc = parse(r#""Aé""#).unwrap();
+        assert_eq!(doc.as_str(), Some("Aé"));
+    }
+}

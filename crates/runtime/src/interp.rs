@@ -65,6 +65,10 @@ pub struct Interp<'a> {
     global_offsets: Vec<usize>,
     /// Per-method local frame layout: slot offset of each local, total size.
     local_layouts: HashMap<MethodId, Rc<(Vec<usize>, usize)>>,
+    /// Per-class visit counters of a probed run, indexed by
+    /// [`grafter_frontend::ClassId`]; `None` (the default) records
+    /// nothing and costs one predicted branch per dispatch.
+    class_visits: Option<Vec<u64>>,
 }
 
 const GLOBALS_BASE_ADDR: u64 = 0x1000;
@@ -86,6 +90,7 @@ impl<'a> Interp<'a> {
             globals,
             global_offsets,
             local_layouts: HashMap::new(),
+            class_visits: None,
         }
     }
 
@@ -93,6 +98,20 @@ impl<'a> Interp<'a> {
     pub fn with_cache(mut self, cache: CacheHierarchy) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches zeroed per-class visit counters: every successful dispatch
+    /// bumps the receiver's dynamic-class slot. `Metrics` and cache
+    /// traffic are unchanged — the counters sit outside the cost model.
+    pub fn with_class_counts(mut self) -> Self {
+        self.class_visits = Some(vec![0; self.fp.program.classes.len()]);
+        self
+    }
+
+    /// Detaches and returns the per-class visit counters, if
+    /// [`Interp::with_class_counts`] attached any (indexed by class id).
+    pub fn take_class_counts(&mut self) -> Option<Vec<u64>> {
+        self.class_visits.take()
     }
 
     /// Sets a global variable by name before a run.
@@ -172,6 +191,9 @@ impl<'a> Interp<'a> {
                 self.fp.program.classes[class.index()].name.clone(),
             ));
         };
+        if let Some(counts) = &mut self.class_visits {
+            counts[class.index()] += 1;
+        }
         self.run_fn(heap, target, node, flags, part_args)
     }
 

@@ -16,6 +16,7 @@
 
 use grafter_cachesim::CacheHierarchy;
 use grafter_frontend::ClassId;
+use grafter_obs::{ExecCounters, ExecProbe, NoProbe};
 use grafter_runtime::ops::{binop, unop};
 use grafter_runtime::{
     cost, Heap, Metrics, NativeFn, NodeId, PureRegistry, RuntimeError, Value, NODE_HEADER_BYTES,
@@ -100,16 +101,44 @@ impl<'a> Vm<'a> {
     /// Returns a [`RuntimeError`] if execution dereferences a null child in
     /// a data access, calls an unregistered pure, or dispatch fails.
     pub fn run(&mut self, heap: &mut Heap, root: NodeId, args: &[Vec<Value>]) -> RResult<()> {
+        // `NoProbe::ENABLED` is false, so every probe hook below
+        // const-folds away: this is the uninstrumented dispatch loop.
+        self.run_with(heap, root, args, &mut NoProbe)
+    }
+
+    /// Runs the module's entry sequence with a recording probe attached:
+    /// `probe` (sized via [`ExecCounters::new`] from [`Module::n_functions`]
+    /// and [`Module::n_ops`]) accumulates per-function activation and
+    /// per-pc execution counts. `Metrics`, cache traffic and heap effects
+    /// are bit-identical to [`Vm::run`] — the probe only adds counter
+    /// increments.
+    pub fn run_probed(
+        &mut self,
+        heap: &mut Heap,
+        root: NodeId,
+        args: &[Vec<Value>],
+        probe: &mut ExecCounters,
+    ) -> RResult<()> {
+        self.run_with(heap, root, args, probe)
+    }
+
+    fn run_with<P: ExecProbe>(
+        &mut self,
+        heap: &mut Heap,
+        root: NodeId,
+        args: &[Vec<Value>],
+        probe: &mut P,
+    ) -> RResult<()> {
         let entries = self.module.entries.clone();
         if entries.len() == 1 {
             let n = self.module.stubs[entries[0] as usize].n_parts as usize;
             let flags: u64 = (1u64 << n) - 1;
-            self.enter(heap, entries[0], root, flags, args)?;
+            self.enter(heap, entries[0], root, flags, args, probe)?;
         } else {
             let empty: Vec<Value> = Vec::new();
             for (i, &entry) in entries.iter().enumerate() {
                 let part = std::slice::from_ref(args.get(i).unwrap_or(&empty));
-                self.enter(heap, entry, root, 0b1, part)?;
+                self.enter(heap, entry, root, 0b1, part, probe)?;
             }
         }
         Ok(())
@@ -154,13 +183,14 @@ impl<'a> Vm<'a> {
 
     /// Entry-point dispatch: arguments arrive as caller-provided vectors
     /// (one per entry part), as in [`grafter_runtime::Interp::run`].
-    fn enter(
+    fn enter<P: ExecProbe>(
         &mut self,
         heap: &mut Heap,
         stub: u16,
         node: NodeId,
         flags: u64,
         args: &[Vec<Value>],
+        probe: &mut P,
     ) -> RResult<()> {
         let fidx = self.dispatch(heap, stub, node)?;
         let base = self.push_frame(fidx);
@@ -171,7 +201,7 @@ impl<'a> Vm<'a> {
                 self.regs[base + preg as usize] = a[k];
             }
         }
-        let r = self.exec(heap, fidx, node, flags, base);
+        let r = self.exec(heap, fidx, node, flags, base, probe);
         self.regs.truncate(base);
         r
     }
@@ -197,17 +227,28 @@ impl<'a> Vm<'a> {
     }
 
     /// The dispatch loop: executes one activation of function `fidx`.
-    fn exec(
+    ///
+    /// Generic over the probe so the uninstrumented instantiation
+    /// (`P = NoProbe`, `P::ENABLED = false`) monomorphizes to exactly the
+    /// pre-probe loop — both hooks below are behind `if P::ENABLED`.
+    fn exec<P: ExecProbe>(
         &mut self,
         heap: &mut Heap,
         fidx: u32,
         node: NodeId,
         mut active: u64,
         base: usize,
+        probe: &mut P,
     ) -> RResult<()> {
+        if P::ENABLED {
+            probe.enter_func(fidx as usize);
+        }
         let m = self.module;
         let mut pc = m.funcs[fidx as usize].entry as usize;
         loop {
+            if P::ENABLED {
+                probe.exec_op(pc);
+            }
             let op = m.ops[pc];
             pc += 1;
             match op {
@@ -357,7 +398,7 @@ impl<'a> Vm<'a> {
                                 self.regs[base + (argbase + part.argbase) as usize + k];
                         }
                     }
-                    let r = self.exec(heap, target, child_node, call_flags, cbase);
+                    let r = self.exec(heap, target, child_node, call_flags, cbase, probe);
                     self.regs.truncate(cbase);
                     r?;
                 }
@@ -675,7 +716,7 @@ impl<'a> Vm<'a> {
                                         self.regs[base + (argbase + part.argbase) as usize + k];
                                 }
                             }
-                            let r = self.exec(heap, target, child_node, call_flags, cbase);
+                            let r = self.exec(heap, target, child_node, call_flags, cbase, probe);
                             self.regs.truncate(cbase);
                             r?;
                         }
@@ -723,7 +764,7 @@ impl<'a> Vm<'a> {
                                 self.regs[base + (argbase + part.argbase) as usize + k];
                         }
                     }
-                    let r = self.exec(heap, target, child_node, call_flags, cbase);
+                    let r = self.exec(heap, target, child_node, call_flags, cbase, probe);
                     self.regs.truncate(cbase);
                     r?;
                 }

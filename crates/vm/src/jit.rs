@@ -139,6 +139,10 @@ struct Machine {
     /// Set exactly when a closure returns `false`/[`FLOW_ERR`]; keeping
     /// the payload here keeps every hot return register-sized.
     error: Option<RuntimeError>,
+    /// Per-function/per-block hit counters of a probed run (attached by
+    /// [`Jit::with_counters`]); `None` in normal runs, costing one
+    /// predicted branch per activation and nothing per op.
+    probe: Option<Box<grafter_obs::ChainCounters>>,
 }
 
 /// One compiled basic block's continuation: a chain of step closures
@@ -266,6 +270,12 @@ pub struct JitProgram {
     global_names: Vec<(String, u32)>,
     pure_names: Vec<String>,
     mode: JitMode,
+    /// Flattened block-counter base per function (`block_base[fi] + bi`
+    /// is block `bi`'s slot in [`grafter_obs::ChainCounters`]).
+    block_base: Vec<usize>,
+    /// Whether block-hit probes were woven into the chains at compile
+    /// time ([`compile_with`] with `probed = true`).
+    probed: bool,
 }
 
 impl JitProgram {
@@ -282,6 +292,52 @@ impl JitProgram {
     /// Total number of compiled basic-block closures.
     pub fn n_blocks(&self) -> usize {
         self.funcs.iter().map(|f| f.blocks.len()).sum()
+    }
+
+    /// Whether block-hit probes were compiled into the chains.
+    pub fn probed(&self) -> bool {
+        self.probed
+    }
+
+    /// Zeroed hit counters sized for this program (one slot per function
+    /// and per compiled block).
+    pub fn counters(&self) -> grafter_obs::ChainCounters {
+        grafter_obs::ChainCounters::new(self.n_functions(), self.n_blocks())
+    }
+
+    /// Aggregates raw [`grafter_obs::ChainCounters`] from a probed run
+    /// into a named [`grafter_obs::TierProfile`], resolving names through
+    /// the `module` this program was compiled from (function and block
+    /// indices of the two artifacts coincide by construction).
+    ///
+    /// Two structural gaps are inherent to the chain encoding: blocks
+    /// that are nothing but `Ret` collapse into flow codes and are never
+    /// entered, and trivial (ret-only) functions are skipped by the call
+    /// path entirely — both legitimately report zero.
+    pub fn profile(
+        &self,
+        counters: &grafter_obs::ChainCounters,
+        module: &Module,
+    ) -> grafter_obs::TierProfile {
+        let mut p = grafter_obs::TierProfile::default();
+        for i in 0..self.funcs.len() {
+            let hits = counters.func_hits.get(i).copied().unwrap_or(0);
+            if hits > 0 {
+                p.func_hits
+                    .push((module.function_name(i).to_string(), hits));
+            }
+        }
+        for (i, f) in self.funcs.iter().enumerate() {
+            for bi in 0..f.blocks.len() {
+                let slot = self.block_base[i] + bi;
+                let hits = counters.block_hits.get(slot).copied().unwrap_or(0);
+                if hits > 0 {
+                    p.block_hits
+                        .push((format!("{}/b{bi}", module.function_name(i)), hits));
+                }
+            }
+        }
+        p
     }
 
     /// Slot offset of `field` within dynamic class `class`.
@@ -344,15 +400,32 @@ pub(crate) fn basic_blocks(module: &Module, fidx: usize) -> Vec<(u32, u32)> {
 /// This is the expensive, once-per-program step (the engine runs it at
 /// build); execution afterwards performs no opcode dispatch at all.
 pub fn compile(module: &Module, mode: JitMode) -> JitProgram {
+    compile_with(module, mode, false)
+}
+
+/// Compiles like [`compile`], optionally (`probed = true`) weaving a
+/// block-hit probe into the head of every chain: each block entry bumps
+/// one [`grafter_obs::ChainCounters`] slot when a counter box is attached
+/// to the run ([`Jit::with_counters`]). Probed chains cost one predicted
+/// branch per block even with no counters attached, which is why the
+/// default compile leaves them out entirely.
+pub fn compile_with(module: &Module, mode: JitMode, probed: bool) -> JitProgram {
     let known = sole_dispatch_classes(module);
+    let mut block_base = Vec::with_capacity(module.funcs.len());
+    let mut total_blocks = 0usize;
+    for fi in 0..module.funcs.len() {
+        block_base.push(total_blocks);
+        total_blocks += basic_blocks(module, fi).len();
+    }
+    let base_of = |fi: usize| if probed { Some(block_base[fi]) } else { None };
     let funcs = match mode {
         JitMode::Counted => (0..module.funcs.len())
-            .map(|fi| compile_func::<true>(module, fi, known[fi], &[]))
+            .map(|fi| compile_func::<true>(module, fi, known[fi], &[], base_of(fi)))
             .collect(),
         JitMode::Release => {
             let words = entry_flag_words(module, 12);
             (0..module.funcs.len())
-                .map(|fi| compile_func::<false>(module, fi, known[fi], &words[fi]))
+                .map(|fi| compile_func::<false>(module, fi, known[fi], &words[fi], base_of(fi)))
                 .collect()
         }
     };
@@ -374,6 +447,8 @@ pub fn compile(module: &Module, mode: JitMode) -> JitProgram {
         global_names: module.global_names.clone(),
         pure_names: module.pure_names.clone(),
         mode,
+        block_base,
+        probed,
     }
 }
 
@@ -565,16 +640,17 @@ fn compile_func<const C: bool>(
     fidx: usize,
     known: Option<usize>,
     words: &[u64],
+    probe_base: Option<usize>,
 ) -> JitFunc {
     let f = &module.funcs[fidx];
     let trivial = f.end - f.entry == 1 && matches!(module.ops[f.entry as usize], Op::Ret);
-    let blocks = build_blocks::<C>(module, fidx, known, None, None);
+    let blocks = build_blocks::<C>(module, fidx, known, None, None, probe_base);
     let variants = words
         .iter()
         .map(|&w| {
             (
                 w,
-                build_blocks::<C>(module, fidx, known, Some(w), Some(&blocks)),
+                build_blocks::<C>(module, fidx, known, Some(w), Some(&blocks), probe_base),
             )
         })
         .collect();
@@ -815,6 +891,7 @@ fn build_blocks<const C: bool>(
     known: Option<usize>,
     spec: Option<u64>,
     generic: Option<&[BlockFn]>,
+    probe_base: Option<usize>,
 ) -> Vec<BlockFn> {
     let blocks = basic_blocks(module, fidx);
     let block_of = |pc: u32| -> u32 {
@@ -919,6 +996,21 @@ fn build_blocks<const C: bool>(
             chain = step::<C>(module, known, op, chain);
         }
         chain = flush_reg_run::<C>(&mut run, chain);
+        // Probed compile: prepend the block-hit bump *before* storing the
+        // continuation, so every capture of this block — forward `Direct`
+        // edges, fallthroughs, spec-variant reuse — counts its entries.
+        // (Blocks that collapse to `Succ::Ret` are never entered and stay
+        // at zero by design.)
+        if let Some(pb) = probe_base {
+            let slot = pb + bi;
+            let inner = chain;
+            chain = Arc::new(move |jit, st, heap, f| {
+                if let Some(p) = st.probe.as_deref_mut() {
+                    p.block(slot);
+                }
+                inner(jit, st, heap, f)
+            });
+        }
         conts[bi] = Some(chain);
     }
     conts
@@ -1235,6 +1327,9 @@ fn run_func(
     active: u64,
     base: usize,
 ) -> RResult<()> {
+    if let Some(p) = st.probe.as_deref_mut() {
+        p.func(fidx as usize);
+    }
     let func = &jit.funcs[fidx as usize];
     let mut blocks = &func.blocks;
     for (w, spec) in func.variants.iter() {
@@ -2121,8 +2216,24 @@ impl<'a> Jit<'a> {
                 globals: program.globals_init.clone(),
                 regs: Vec::new(),
                 error: None,
+                probe: None,
             },
         }
+    }
+
+    /// Attaches zeroed hit counters: subsequent runs record one
+    /// activation count per function, and — when the program was compiled
+    /// with [`compile_with`] `probed = true` — one entry count per
+    /// compiled block. Retrieve them with [`Jit::take_counters`].
+    pub fn with_counters(mut self) -> Self {
+        self.st.probe = Some(Box::new(self.program.counters()));
+        self
+    }
+
+    /// Detaches and returns the accumulated hit counters, if
+    /// [`Jit::with_counters`] attached any.
+    pub fn take_counters(&mut self) -> Option<grafter_obs::ChainCounters> {
+        self.st.probe.take().map(|b| *b)
     }
 
     /// Attaches a cache hierarchy. Only [`JitMode::Counted`] programs

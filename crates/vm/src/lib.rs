@@ -80,7 +80,7 @@ pub mod opt;
 mod pipeline;
 
 pub use exec::Vm;
-pub use jit::{Jit, JitMode, JitProgram};
+pub use jit::{compile_with, Jit, JitMode, JitProgram};
 pub use lower::{lower, lower_with, lowering_count};
 pub use module::{Co, Module, Op};
 pub use opt::{optimize, OptLevel, OptReport, PassStat, VmOptions};

@@ -311,6 +311,94 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Disassembly mnemonic of this op (the first column of
+    /// [`Module::disassemble`] output), used as the histogram key in
+    /// probed-run profiles.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Const { .. } => "const",
+            Op::Mov { .. } => "mov",
+            Op::StoreLocal { .. } => "stloc",
+            Op::Un { .. } => "un",
+            Op::Bin { .. } => "bin",
+            Op::Jump { .. } => "jump",
+            Op::Branch { .. } => "brfalse",
+            Op::ShortCircuit { jump_if: false, .. } => "scand",
+            Op::ShortCircuit { jump_if: true, .. } => "scor",
+            Op::CastBool { .. } => "bool",
+            Op::Guard { .. } => "guard",
+            Op::SkipInactive { .. } => "skipoff",
+            Op::Deactivate { .. } => "retrav",
+            Op::Ret => "ret",
+            Op::ReadTree { .. } => "rdtree",
+            Op::WriteTree { .. } => "wrtree",
+            Op::ReadGlobal { .. } => "rdglob",
+            Op::WriteGlobal { .. } => "wrglob",
+            Op::Nav { .. } => "nav",
+            Op::Call { .. } => "call",
+            Op::New { .. } => "new",
+            Op::Delete { .. } => "delete",
+            Op::CallPure { .. } => "pure",
+            Op::FoldedConst { .. } => "fconst",
+            Op::ConstBin { .. } => "bin.c",
+            Op::LocBin { .. } => "bin.l",
+            Op::TreeBin { .. } => "bin.t",
+            Op::GlobBin { .. } => "bin.g",
+            Op::BinBranch { .. } => "cmpbr",
+            Op::ConstBinBranch { .. } => "cmpbr.c",
+            Op::LocBinBranch { .. } => "cmpbr.l",
+            Op::LocBranch { .. } => "brfalse.l",
+            Op::TreeBranch { .. } => "brfalse.t",
+            Op::LocTree { .. } => "wrtree.l",
+            Op::LocGlob { .. } => "wrglob.l",
+            Op::LocLoc { .. } => "stloc.l",
+            Op::BinLoc { .. } => "stloc.b",
+            Op::BinTree { .. } => "wrtree.b",
+            Op::BinGlob { .. } => "wrglob.b",
+            Op::TreeLoc { .. } => "stloc.t",
+            Op::TreeTree { .. } => "cptree",
+            Op::ConstTree { .. } => "wrtree.c",
+            Op::ConstGlob { .. } => "wrglob.c",
+            Op::ConstLoc { .. } => "stloc.c",
+            Op::NavCall { .. } => "navcall",
+            Op::CallMono { .. } => "call.m",
+        }
+    }
+
+    /// Whether the op is optimizer-introduced (a superinstruction,
+    /// folded-constant residue, or devirtualised call) rather than a base
+    /// op the lowering pass emits.
+    pub fn is_superinstruction(self) -> bool {
+        matches!(
+            self,
+            Op::FoldedConst { .. }
+                | Op::ConstBin { .. }
+                | Op::LocBin { .. }
+                | Op::TreeBin { .. }
+                | Op::GlobBin { .. }
+                | Op::BinBranch { .. }
+                | Op::ConstBinBranch { .. }
+                | Op::LocBinBranch { .. }
+                | Op::LocBranch { .. }
+                | Op::TreeBranch { .. }
+                | Op::LocTree { .. }
+                | Op::LocGlob { .. }
+                | Op::LocLoc { .. }
+                | Op::BinLoc { .. }
+                | Op::BinTree { .. }
+                | Op::BinGlob { .. }
+                | Op::TreeLoc { .. }
+                | Op::TreeTree { .. }
+                | Op::ConstTree { .. }
+                | Op::ConstGlob { .. }
+                | Op::ConstLoc { .. }
+                | Op::NavCall { .. }
+                | Op::CallMono { .. }
+        )
+    }
+}
+
 /// Sentinel for an absent jump-table entry.
 pub(crate) const NO_TARGET: u32 = u32::MAX;
 
@@ -431,6 +519,52 @@ impl Module {
     /// subtype of the root; `grafterc --emit bytecode` warns on it.
     pub fn is_empty(&self) -> bool {
         self.funcs.is_empty()
+    }
+
+    /// Generated name of lowered function `i`.
+    pub fn function_name(&self, i: usize) -> &str {
+        &self.funcs[i].name
+    }
+
+    /// Aggregates raw per-site [`grafter_obs::ExecCounters`] from a probed
+    /// VM run into a named [`grafter_obs::TierProfile`]: per-function
+    /// activation counts, per-basic-block entry counts (the pc-hit of each
+    /// block's leader op), and the per-mnemonic fire histogram with
+    /// superinstructions flagged.
+    pub fn profile(&self, counters: &grafter_obs::ExecCounters) -> grafter_obs::TierProfile {
+        let mut p = grafter_obs::TierProfile::default();
+        for (i, f) in self.funcs.iter().enumerate() {
+            let hits = counters.func_hits.get(i).copied().unwrap_or(0);
+            if hits > 0 {
+                p.func_hits.push((f.name.clone(), hits));
+            }
+        }
+        let mut fires: std::collections::BTreeMap<&'static str, (u64, bool)> =
+            std::collections::BTreeMap::new();
+        for (pc, &op) in self.ops.iter().enumerate() {
+            let n = counters.op_hits.get(pc).copied().unwrap_or(0);
+            if n > 0 {
+                let e = fires.entry(op.mnemonic()).or_insert((0, false));
+                e.0 += n;
+                e.1 = op.is_superinstruction();
+            }
+        }
+        for (name, (n, is_super)) in fires {
+            p.op_fires.push(grafter_obs::OpFire {
+                name: name.to_string(),
+                fires: n,
+                superinstruction: is_super,
+            });
+        }
+        for (i, f) in self.funcs.iter().enumerate() {
+            for (bi, &(start, _)) in crate::jit::basic_blocks(self, i).iter().enumerate() {
+                let hits = counters.op_hits.get(start as usize).copied().unwrap_or(0);
+                if hits > 0 {
+                    p.block_hits.push((format!("{}/b{bi}", f.name), hits));
+                }
+            }
+        }
+        p
     }
 
     /// Slot offset of `field` within dynamic class `class`.

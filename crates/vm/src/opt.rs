@@ -91,7 +91,7 @@ impl VmOptions {
 }
 
 /// One optimization pass's before/after accounting.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct PassStat {
     /// Pass name (`fold`, `peephole`, `dce`, `mono`, `regs`, `pool`).
     pub pass: &'static str,
@@ -105,7 +105,23 @@ pub struct PassStat {
     pub rewrites: usize,
     /// What a rewrite did (`folded`, `fused`, `removed`, ...).
     pub action: &'static str,
+    /// Wall time the pass took, in nanoseconds (excluded from equality —
+    /// two identical optimizations compare equal across machines).
+    pub wall_ns: u64,
 }
+
+impl PartialEq for PassStat {
+    fn eq(&self, other: &Self) -> bool {
+        self.pass == other.pass
+            && self.before == other.before
+            && self.after == other.after
+            && self.unit == other.unit
+            && self.rewrites == other.rewrites
+            && self.action == other.action
+    }
+}
+
+impl Eq for PassStat {}
 
 /// What [`optimize`] did to a module: the level plus per-pass deltas
 /// (rendered into the disassembly header by [`Module::disassemble`]).
@@ -142,15 +158,23 @@ pub fn optimize(module: &mut Module, level: OptLevel) -> OptReport {
         return OptReport::none();
     }
     let mut passes = Vec::new();
-    passes.push(fold_pass(module));
-    passes.push(peephole_pass(module));
+    passes.push(timed(module, fold_pass));
+    passes.push(timed(module, peephole_pass));
     if level >= OptLevel::O2 {
-        passes.push(dce_pass(module));
-        passes.push(regs_pass(module));
-        passes.push(mono_pass(module));
+        passes.push(timed(module, dce_pass));
+        passes.push(timed(module, regs_pass));
+        passes.push(timed(module, mono_pass));
     }
-    passes.push(pool_pass(module));
+    passes.push(timed(module, pool_pass));
     OptReport { level, passes }
+}
+
+/// Runs one pass and stamps its wall time into the stat.
+fn timed(module: &mut Module, pass: fn(&mut Module) -> PassStat) -> PassStat {
+    let t0 = std::time::Instant::now();
+    let mut stat = pass(module);
+    stat.wall_ns = t0.elapsed().as_nanos() as u64;
+    stat
 }
 
 // ---- op classification ---------------------------------------------------
@@ -556,6 +580,7 @@ fn fold_pass(module: &mut Module) -> PassStat {
         }
     }
     PassStat {
+        wall_ns: 0,
         pass: "fold",
         before,
         after: module.ops.len(),
@@ -791,6 +816,7 @@ fn peephole_pass(module: &mut Module) -> PassStat {
         }
     }
     PassStat {
+        wall_ns: 0,
         pass: "peephole",
         before,
         after: module.ops.len(),
@@ -886,6 +912,7 @@ fn dce_pass(module: &mut Module) -> PassStat {
     }
     compact(module, &deleted);
     PassStat {
+        wall_ns: 0,
         pass: "dce",
         before,
         after: module.ops.len(),
@@ -922,6 +949,7 @@ fn regs_pass(module: &mut Module) -> PassStat {
         }
     }
     PassStat {
+        wall_ns: 0,
         pass: "regs",
         before,
         after: module.funcs.iter().map(|f| f.total_regs as usize).sum(),
@@ -967,6 +995,7 @@ fn mono_pass(module: &mut Module) -> PassStat {
         }
     }
     PassStat {
+        wall_ns: 0,
         pass: "mono",
         before,
         after: module.ops.len(),
@@ -1022,6 +1051,7 @@ fn pool_pass(module: &mut Module) -> PassStat {
         }
     }
     PassStat {
+        wall_ns: 0,
         pass: "pool",
         before,
         after: module.consts.len(),

@@ -37,281 +37,7 @@ pub mod kind {
 }
 
 /// The AST program in the Grafter DSL.
-pub const SOURCE: &str = r#"
-// ---- class hierarchy (20 types) -------------------------------------------
-tree class ASTNode {
-    int kind = 0;
-    virtual traversal desugarIncr() {}
-    virtual traversal desugarDecr() {}
-    virtual traversal propagateConstants() {}
-    virtual traversal replaceVarRefs(int enabled, int var, int val) {}
-    virtual traversal foldConstants() {}
-    virtual traversal removeUnusedBranches() {}
-}
-
-tree class ProgramRoot : ASTNode {
-    child FunctionList* Funcs;
-    traversal desugarIncr() { Funcs->desugarIncr(); }
-    traversal desugarDecr() { Funcs->desugarDecr(); }
-    traversal propagateConstants() { Funcs->propagateConstants(); }
-    traversal foldConstants() { Funcs->foldConstants(); }
-    traversal removeUnusedBranches() { Funcs->removeUnusedBranches(); }
-}
-
-tree class FunctionList : ASTNode { }
-
-tree class FunctionListInner : FunctionList {
-    child Function* F;
-    child FunctionList* Next;
-    traversal desugarIncr() { F->desugarIncr(); Next->desugarIncr(); }
-    traversal desugarDecr() { F->desugarDecr(); Next->desugarDecr(); }
-    traversal propagateConstants() { F->propagateConstants(); Next->propagateConstants(); }
-    traversal foldConstants() { F->foldConstants(); Next->foldConstants(); }
-    traversal removeUnusedBranches() { F->removeUnusedBranches(); Next->removeUnusedBranches(); }
-}
-
-tree class FunctionListEnd : FunctionList { }
-
-tree class Function : ASTNode {
-    child StmtList* Body;
-    int FuncId = 0;
-    traversal desugarIncr() { Body->desugarIncr(); }
-    traversal desugarDecr() { Body->desugarDecr(); }
-    traversal propagateConstants() { Body->propagateConstants(); }
-    traversal foldConstants() { Body->foldConstants(); }
-    traversal removeUnusedBranches() { Body->removeUnusedBranches(); }
-}
-
-tree class StmtList : ASTNode { }
-
-tree class StmtListInner : StmtList {
-    child Stmt* S;
-    child StmtList* Next;
-
-    traversal desugarIncr() {
-        if (S.kind == 3) {
-            int v = static_cast<IncrStmt*>(this->S).VarId;
-            delete this->S;
-            this->S = new AssignStmt();
-            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
-            a.kind = 1;
-            a->Lhs = new VarRefExpr();
-            a->Lhs.kind = 2;
-            a->Lhs.VarId = v;
-            a->Rhs = new BinaryExpr();
-            BinaryExpr* const r = static_cast<BinaryExpr*>(a->Rhs);
-            r.kind = 3;
-            r.Op = 0;
-            r->Lhs = new VarRefExpr();
-            VarRefExpr* const rl = static_cast<VarRefExpr*>(r->Lhs);
-            rl.kind = 2;
-            rl.VarId = v;
-            r->Rhs = new ConstantExpr();
-            ConstantExpr* const rr = static_cast<ConstantExpr*>(r->Rhs);
-            rr.kind = 1;
-            rr.Value = 1;
-        }
-        this->S->desugarIncr();
-        this->Next->desugarIncr();
-    }
-
-    traversal desugarDecr() {
-        if (S.kind == 4) {
-            int v = static_cast<DecrStmt*>(this->S).VarId;
-            delete this->S;
-            this->S = new AssignStmt();
-            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
-            a.kind = 1;
-            a->Lhs = new VarRefExpr();
-            a->Lhs.kind = 2;
-            a->Lhs.VarId = v;
-            a->Rhs = new BinaryExpr();
-            BinaryExpr* const r = static_cast<BinaryExpr*>(a->Rhs);
-            r.kind = 3;
-            r.Op = 1;
-            r->Lhs = new VarRefExpr();
-            VarRefExpr* const rl = static_cast<VarRefExpr*>(r->Lhs);
-            rl.kind = 2;
-            rl.VarId = v;
-            r->Rhs = new ConstantExpr();
-            ConstantExpr* const rr = static_cast<ConstantExpr*>(r->Rhs);
-            rr.kind = 1;
-            rr.Value = 1;
-        }
-        this->S->desugarDecr();
-        this->Next->desugarDecr();
-    }
-
-    traversal propagateConstants() {
-        // If this statement is `v = <constant>`, start a replacement
-        // traversal over the following statements (the paper's
-        // two-traversal constant propagation).
-        int enabled = 0;
-        int var = 0;
-        int val = 0;
-        if (S.kind == 1) {
-            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
-            if (a->Rhs.kind == 1) {
-                enabled = 1;
-                var = a->Lhs.VarId;
-                val = a->Rhs.Value;
-            }
-        }
-        S->propagateConstants();
-        Next->replaceVarRefs(enabled, var, val);
-        Next->propagateConstants();
-    }
-
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        S->replaceVarRefs(enabled, var, val);
-        // Truncate at a reassignment of the variable.
-        if (S.kind == 1) {
-            AssignStmt* const a = static_cast<AssignStmt*>(this->S);
-            if (a->Lhs.VarId == var) { return; }
-        }
-        Next->replaceVarRefs(enabled, var, val);
-    }
-
-    traversal foldConstants() {
-        S->foldConstants();
-        Next->foldConstants();
-    }
-
-    traversal removeUnusedBranches() {
-        S->removeUnusedBranches();
-        Next->removeUnusedBranches();
-    }
-}
-
-tree class StmtListEnd : StmtList { }
-
-tree class Stmt : ASTNode { }
-
-tree class AssignStmt : Stmt {
-    child VarRefExpr* Lhs;
-    child Expr* Rhs;
-    traversal desugarIncr() { Rhs->desugarIncr(); }
-    traversal desugarDecr() { Rhs->desugarDecr(); }
-    traversal propagateConstants() { }
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        Rhs->replaceVarRefs(enabled, var, val);
-    }
-    traversal foldConstants() { Rhs->foldConstants(); }
-    traversal removeUnusedBranches() { }
-}
-
-tree class IfStmt : Stmt {
-    child Expr* Cond;
-    child StmtList* Then;
-    child StmtList* Else;
-    traversal desugarIncr() { Cond->desugarIncr(); Then->desugarIncr(); Else->desugarIncr(); }
-    traversal desugarDecr() { Cond->desugarDecr(); Then->desugarDecr(); Else->desugarDecr(); }
-    traversal propagateConstants() { Then->propagateConstants(); Else->propagateConstants(); }
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        Cond->replaceVarRefs(enabled, var, val);
-        Then->replaceVarRefs(enabled, var, val);
-        Else->replaceVarRefs(enabled, var, val);
-    }
-    traversal foldConstants() { Cond->foldConstants(); Then->foldConstants(); Else->foldConstants(); }
-    traversal removeUnusedBranches() {
-        Then->removeUnusedBranches();
-        Else->removeUnusedBranches();
-        if (Cond.kind == 1) {
-            int taken = static_cast<ConstantExpr*>(this->Cond).Value;
-            if (taken != 0) {
-                delete this->Else;
-                this->Else = new StmtListEnd();
-            } else {
-                delete this->Then;
-                this->Then = new StmtListEnd();
-            }
-        }
-    }
-}
-
-tree class IncrStmt : Stmt {
-    int VarId = 0;
-}
-
-tree class DecrStmt : Stmt {
-    int VarId = 0;
-}
-
-tree class ReturnStmt : Stmt {
-    child Expr* Val;
-    traversal desugarIncr() { Val->desugarIncr(); }
-    traversal desugarDecr() { Val->desugarDecr(); }
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        Val->replaceVarRefs(enabled, var, val);
-    }
-    traversal foldConstants() { Val->foldConstants(); }
-}
-
-// Expressions carry a cached constant `Value` (valid when kind == 1);
-// folding rewrites kind/Value in place, and branch removal consults them.
-tree class Expr : ASTNode {
-    int Value = 0;
-}
-
-tree class ConstantExpr : Expr { }
-
-tree class VarRefExpr : Expr {
-    int VarId = 0;
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        if (kind == 2) {
-            if (VarId == var) {
-                kind = 1;
-                Value = val;
-            }
-        }
-    }
-}
-
-tree class BinaryExpr : Expr {
-    child Expr* Lhs;
-    child Expr* Rhs;
-    int Op = 0;
-    traversal desugarIncr() { Lhs->desugarIncr(); Rhs->desugarIncr(); }
-    traversal desugarDecr() { Lhs->desugarDecr(); Rhs->desugarDecr(); }
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        Lhs->replaceVarRefs(enabled, var, val);
-        Rhs->replaceVarRefs(enabled, var, val);
-    }
-    traversal foldConstants() {
-        Lhs->foldConstants();
-        Rhs->foldConstants();
-        if (Lhs.kind == 1 && Rhs.kind == 1) {
-            kind = 1;
-            if (Op == 0) { Value = Lhs.Value + Rhs.Value; }
-            if (Op == 1) { Value = Lhs.Value - Rhs.Value; }
-            if (Op == 2) { Value = Lhs.Value * Rhs.Value; }
-        }
-    }
-}
-
-tree class UnaryExpr : Expr {
-    child Expr* Operand;
-    traversal desugarIncr() { Operand->desugarIncr(); }
-    traversal desugarDecr() { Operand->desugarDecr(); }
-    traversal replaceVarRefs(int enabled, int var, int val) {
-        if (enabled == 0) { return; }
-        Operand->replaceVarRefs(enabled, var, val);
-    }
-    traversal foldConstants() {
-        Operand->foldConstants();
-        if (Operand.kind == 1) {
-            kind = 1;
-            Value = 0 - Operand.Value;
-        }
-    }
-}
-"#;
+pub const SOURCE: &str = include_str!("ast.gr");
 
 /// The AST passes, in invocation order (Table 2). `replaceVarRefs` is
 /// initiated internally by `propagateConstants`.

@@ -19,6 +19,9 @@ pub struct CaseStudy {
     pub name: &'static str,
     /// The workload compiled through the pipeline's frontend stage.
     pub compiled: Compiled,
+    /// The workload's DSL source text (what `compiled` was built from) —
+    /// lets drivers re-run the frontend, e.g. to trace parse/sema stages.
+    pub source: &'static str,
     /// Root class of the entry sequence.
     pub root_class: &'static str,
     /// Entry traversal names, in invocation order.
@@ -70,6 +73,20 @@ impl CaseStudy {
         self.engine_with(FusionOptions::default(), backend)
     }
 
+    /// [`CaseStudy::engine`] with an observability probe attached: the
+    /// build delivers its compile trace and every session run records
+    /// the tier's runtime profile (see `grafter_obs`).
+    pub fn engine_probed(
+        &self,
+        backend: Backend,
+        probe: std::sync::Arc<dyn grafter_engine::Probe>,
+    ) -> Engine {
+        self.builder(FusionOptions::default(), backend)
+            .probe(probe)
+            .build()
+            .expect("case-study entry sequence resolves")
+    }
+
     /// Builds the case study's VM-tier engine at a specific bytecode
     /// optimization level (the per-opt-level sweep of `vm_compare` and
     /// the opt differential suite).
@@ -90,6 +107,7 @@ pub fn case_studies() -> Vec<CaseStudy> {
         CaseStudy {
             name: "ast",
             compiled: ast::compiled(),
+            source: ast::SOURCE,
             root_class: ast::ROOT_CLASS,
             passes: ast::PASSES.to_vec(),
             args: Vec::new(),
@@ -100,6 +118,7 @@ pub fn case_studies() -> Vec<CaseStudy> {
         CaseStudy {
             name: "render",
             compiled: render::compiled(),
+            source: render::SOURCE,
             root_class: render::ROOT_CLASS,
             passes: render::PASSES.to_vec(),
             args: Vec::new(),
@@ -110,6 +129,7 @@ pub fn case_studies() -> Vec<CaseStudy> {
         CaseStudy {
             name: "kdtree",
             compiled: kdtree::compiled(),
+            source: kdtree::SOURCE,
             root_class: kdtree::ROOT_CLASS,
             passes: schedule.iter().map(|op| op.pass()).collect(),
             args: schedule.iter().map(|op| op.args()).collect(),
@@ -120,6 +140,7 @@ pub fn case_studies() -> Vec<CaseStudy> {
         CaseStudy {
             name: "fmm",
             compiled: fmm::compiled(),
+            source: fmm::SOURCE,
             root_class: fmm::ROOT_CLASS,
             passes: fmm::PASSES.to_vec(),
             args: Vec::new(),

@@ -13,7 +13,7 @@
 //! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
 //!          [--unfused] [--stats] [--backend interp|vm|jit|jit-release]
 //!          [-O0|-O1|-O2] [--emit cpp|bytecode|none] [--disasm-blocks]
-//!          [--run] [--json]
+//!          [--run] [--json] [--profile] [--trace-out FILE]
 //! ```
 //!
 //! `--backend` names the execution tier the artifact is being prepared
@@ -30,7 +30,15 @@
 //! `--json` switches diagnostics (stderr) to a JSON array; the emitted
 //! artifact stays on stdout. `--run` executes the program once on a
 //! freshly allocated root-class node with null children — a smoke
-//! execution that surfaces runtime failures.
+//! execution that surfaces runtime failures. With `--run --json` the
+//! run's `Report` is additionally serialized as one JSON object on
+//! stdout (combine with `--emit none` for a pure-JSON stdout).
+//!
+//! `--profile` attaches a `grafter_obs::TraceProbe`: the build records
+//! per-stage compile spans, `--run` records the tier's runtime profile,
+//! and a ranked text summary lands on stderr. `--trace-out FILE`
+//! additionally writes the whole trace as Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`).
 //!
 //! Exit codes distinguish the failure stage:
 //!
@@ -44,13 +52,15 @@
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use grafter::{Diag, DiagnosticBag, Error, FuseOptions, Stage};
-use grafter_engine::{Backend, Engine, OptLevel};
+use grafter_engine::{Backend, Engine, OptLevel, Probe, TraceProbe};
 
 const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
      [--unfused] [--stats] [--backend interp|vm|jit|jit-release] [-O0|-O1|-O2] \
-     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--json]";
+     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--json] [--profile] \
+     [--trace-out FILE]";
 
 const EXIT_IO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -166,17 +176,28 @@ fn main() -> ExitCode {
     } else {
         FuseOptions::default()
     };
+    let probe = args
+        .iter()
+        .any(|a| a == "--profile")
+        .then(|| Arc::new(TraceProbe::new()));
+    let trace_out = arg_value(&args, "--trace-out");
+    if trace_out.is_some() && probe.is_none() {
+        eprintln!("error: --trace-out requires --profile");
+        return ExitCode::from(EXIT_USAGE);
+    }
 
     // One build: compile + fuse + (vm) lower, each exactly once.
     let no_warnings = DiagnosticBag::new();
-    let engine = match Engine::builder()
+    let mut builder = Engine::builder()
         .source(source.as_str())
         .entry(root.as_str(), &pass_list)
         .fusion(opts)
         .backend(backend)
-        .opt_level(opt_level)
-        .build()
-    {
+        .opt_level(opt_level);
+    if let Some(p) = &probe {
+        builder = builder.probe(Arc::clone(p) as Arc<dyn Probe>);
+    }
+    let engine = match builder.build() {
         Ok(engine) => engine,
         Err(err) => return report(&err, &no_warnings, &source, &path, json),
     };
@@ -281,8 +302,20 @@ fn main() -> ExitCode {
             Err(err) => return report(&err, &pending, &source, &path, json),
         };
         match session.run(node) {
+            // In JSON mode the run's whole Report (runtime profile
+            // included when probed) is the machine-readable artifact.
+            Ok(r) if json => println!("{}", r.to_json()),
             Ok(r) => eprintln!("run ok: {r}"),
             Err(err) => return report(&err, &pending, &source, &path, json),
+        }
+    }
+    if let Some(probe) = &probe {
+        eprint!("{}", probe.summary());
+        if let Some(out) = &trace_out {
+            if let Err(e) = std::fs::write(out, probe.chrome_trace()) {
+                eprintln!("error: cannot write `{out}`: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
         }
     }
     if json && !pending.is_empty() {
