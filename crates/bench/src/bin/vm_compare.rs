@@ -23,14 +23,17 @@
 //! ```
 //!
 //! `--check` is the CI perf-regression gate: instead of writing a new
-//! JSON it measures only the fused medians — VM (default `O2`) plus the
-//! JIT tier in counted and release mode — and fails with exit code 1
-//! when any workload/tier regresses more than 25% against the committed
-//! baseline (`--baseline`, default `BENCH_vm.json`). Before measuring
-//! anything, the baseline itself is strictly validated against the
-//! current case studies: a workload missing from the baseline, a stale
-//! baseline workload the code no longer has, or an absent median key is
-//! a hard error rather than a silently skipped comparison (the
+//! JSON it measures the fused medians — VM (default `O2`) plus the JIT
+//! tier in counted and release mode — and the fused-VM batch throughput
+//! at every recorded worker count, and fails with exit code 1 when any
+//! workload/tier (or batch trees/sec figure) regresses more than 25%
+//! against the committed baseline (`--baseline`, default
+//! `BENCH_vm.json`). Before measuring anything, the baseline itself is
+//! strictly validated against the current case studies: a workload
+//! missing from the baseline, a stale baseline workload the code no
+//! longer has, an absent median key, or a missing/degenerate `batch`
+//! array (wrong worker sweep, zero trees, non-finite trees/sec) is a
+//! hard error rather than a silently skipped comparison (the
 //! `grafter_bench::baseline` unit tests pin that contract). The
 //! tolerance absorbs shared-runner noise at `--samples 3` while still
 //! catching real regressions; `--inject-slowdown F` multiplies the
@@ -272,6 +275,12 @@ fn check(samples: usize, baseline_path: &str, slowdown: f64) -> usize {
             problems.join("\n  ")
         );
     }
+    if let Err(problems) = baseline::validate_batch(&json, &expected, &BATCH_WORKERS) {
+        panic!(
+            "baseline `{baseline_path}` has invalid batch arrays (regenerate it with `vm_compare`):\n  {}",
+            problems.join("\n  ")
+        );
+    }
     let tiers: [(&str, Backend, &[&str]); 3] = [
         ("vm", Backend::Vm, &["vm_ns"]),
         ("jit", Backend::Jit(JitMode::Counted), &["jit", "counted"]),
@@ -312,6 +321,36 @@ fn check(samples: usize, baseline_path: &str, slowdown: f64) -> usize {
                 case.name, tier, base_ns, measured, ratio
             );
         }
+        // Batch-throughput gate: each recorded worker count must sustain
+        // its baseline trees/sec within the same tolerance. Throughput
+        // regresses *downward*, so the ratio is baseline over measured.
+        let engine = case.engine_with(FusionOptions::default(), Backend::Vm);
+        for entry in baseline::batch_entries(&json, case.name)
+            .expect("validate_batch() guaranteed the array is present")
+        {
+            let t = batch_throughput(
+                &engine,
+                &|heap| case.build_bench(heap),
+                entry.trees,
+                entry.workers,
+            );
+            let measured = t.trees_per_sec() / slowdown;
+            let ratio = entry.trees_per_sec / measured;
+            let verdict = if ratio > CHECK_TOLERANCE {
+                regressed += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<10} {:<12} {:>12.1}/s {:>12.1}/s {:>8.2}x   {verdict}",
+                case.name,
+                format!("batch x{}", entry.workers),
+                entry.trees_per_sec,
+                measured,
+                ratio
+            );
+        }
     }
     regressed
 }
@@ -339,7 +378,9 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("perf check ok: no fused vm/jit median regressed >25% vs baseline");
+        println!(
+            "perf check ok: no fused vm/jit median or batch throughput regressed >25% vs baseline"
+        );
         return;
     }
 

@@ -100,6 +100,89 @@ pub fn has_flag(flag: &str) -> bool {
 /// ([`validate`](baseline::validate) is the single place that contract
 /// is enforced, and the unit tests below pin it).
 pub mod baseline {
+    use grafter_obs::json::{parse, Json};
+
+    /// One recorded batch-throughput entry of a baseline workload row.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct BatchEntry {
+        /// Worker-thread count the entry was measured at.
+        pub workers: usize,
+        /// Trees per batch the entry was measured with.
+        pub trees: usize,
+        /// Recorded sustained throughput.
+        pub trees_per_sec: f64,
+    }
+
+    /// The `"batch"` throughput entries of `workload`'s baseline row,
+    /// parsed with the shared JSON parser (the arrays carry floats, which
+    /// the string-scanning `fused_u128` lookups cannot read).
+    pub fn batch_entries(json: &str, workload: &str) -> Option<Vec<BatchEntry>> {
+        let doc = parse(json).ok()?;
+        let rows = doc.get("workloads")?.as_arr()?;
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(workload))?;
+        row.get("batch")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Some(BatchEntry {
+                    workers: e.get("workers")?.as_num()? as usize,
+                    trees: e.get("trees")?.as_num()? as usize,
+                    trees_per_sec: e.get("trees_per_sec")?.as_num()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Strictly validates every expected workload's `"batch"` array: it
+    /// must exist, sweep exactly `expected_workers` (in order), and
+    /// record positive finite throughput at a positive tree count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full list of violation messages (never a silent skip).
+    pub fn validate_batch(
+        json: &str,
+        expected: &[&str],
+        expected_workers: &[usize],
+    ) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for want in expected {
+            let Some(entries) = batch_entries(json, want) else {
+                problems.push(format!(
+                    "baseline workload `{want}` has no parseable `batch` array"
+                ));
+                continue;
+            };
+            let workers: Vec<usize> = entries.iter().map(|e| e.workers).collect();
+            if workers != expected_workers {
+                problems.push(format!(
+                    "baseline workload `{want}` sweeps workers {workers:?}, expected {expected_workers:?}"
+                ));
+            }
+            for e in &entries {
+                if e.trees == 0 {
+                    problems.push(format!(
+                        "baseline workload `{want}` batch entry at {} worker(s) has zero trees",
+                        e.workers
+                    ));
+                }
+                if !(e.trees_per_sec.is_finite() && e.trees_per_sec > 0.0) {
+                    problems.push(format!(
+                        "baseline workload `{want}` batch entry at {} worker(s) has invalid trees_per_sec {}",
+                        e.workers, e.trees_per_sec
+                    ));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     /// All workload names recorded in the baseline JSON, in file order.
     pub fn workload_names(json: &str) -> Vec<String> {
         let mut names = Vec::new();
@@ -241,6 +324,51 @@ pub mod baseline {
                 .any(|p| p.contains("missing workload `render`")));
             // The stale leftover under the old name is reported too.
             assert!(problems.iter().any(|p| p.contains("stale workload `fmm`")));
+        }
+
+        const WITH_BATCH: &str = r#"{
+          "workloads": [
+            {"name": "ast", "fused": {"vm_ns": 3}, "unfused": {"vm_ns": 7},
+             "batch": [{"workers": 1, "trees": 16, "wall_ns": 100, "trees_per_sec": 1000.5},
+                       {"workers": 4, "trees": 16, "wall_ns": 40, "trees_per_sec": 2500.25}]}
+          ]
+        }"#;
+
+        #[test]
+        fn batch_entries_parse_workers_trees_and_throughput() {
+            let entries = batch_entries(WITH_BATCH, "ast").expect("parses");
+            assert_eq!(entries.len(), 2);
+            assert_eq!(entries[0].workers, 1);
+            assert_eq!(entries[0].trees, 16);
+            assert!((entries[0].trees_per_sec - 1000.5).abs() < 1e-9);
+            assert_eq!(entries[1].workers, 4);
+            assert!((entries[1].trees_per_sec - 2500.25).abs() < 1e-9);
+            assert!(batch_entries(WITH_BATCH, "nope").is_none());
+        }
+
+        #[test]
+        fn validate_batch_accepts_the_expected_sweep() {
+            assert!(validate_batch(WITH_BATCH, &["ast"], &[1, 4]).is_ok());
+        }
+
+        #[test]
+        fn validate_batch_fails_on_missing_array_or_wrong_sweep() {
+            // GOOD has no batch arrays at all.
+            let problems = validate_batch(GOOD, &["ast"], &[1, 4]).unwrap_err();
+            assert!(problems[0].contains("no parseable `batch` array"));
+            // A worker sweep that drifted from the code's is a violation.
+            let problems = validate_batch(WITH_BATCH, &["ast"], &[1, 4, 8]).unwrap_err();
+            assert!(problems[0].contains("sweeps workers"));
+        }
+
+        #[test]
+        fn validate_batch_fails_on_degenerate_entries() {
+            let bad = r#"{"workloads": [
+                {"name": "ast", "batch": [{"workers": 1, "trees": 0, "wall_ns": 0, "trees_per_sec": 0.0}]}
+            ]}"#;
+            let problems = validate_batch(bad, &["ast"], &[1]).unwrap_err();
+            assert!(problems.iter().any(|p| p.contains("zero trees")));
+            assert!(problems.iter().any(|p| p.contains("invalid trees_per_sec")));
         }
 
         #[test]

@@ -81,16 +81,20 @@
 mod batch;
 mod builder;
 mod engine;
+mod fingerprint;
+mod pool;
 mod report;
 mod session;
 
 pub use batch::BatchOptions;
 pub use builder::EngineBuilder;
 pub use engine::Engine;
+pub use fingerprint::{fnv1a, EngineKey};
 pub use grafter::{Error, FusionMetrics, FusionOptions};
 pub use grafter_obs::{
     BatchTrace, CompileTrace, NullProbe, Probe, RunTrace, TierProfile, TraceProbe,
 };
 pub use grafter_vm::{Backend, JitMode, OptLevel};
+pub use pool::{pool_stats, PoolStats};
 pub use report::Report;
 pub use session::Session;

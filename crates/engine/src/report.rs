@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use grafter::FusionMetrics;
 use grafter_cachesim::HierarchyStats;
+use grafter_obs::json::JsonWriter;
 use grafter_runtime::{Metrics, Value};
 use grafter_vm::{Backend, OptLevel};
 
@@ -82,117 +83,106 @@ impl Report {
     }
 
     /// Serializes the report as one JSON object (what `grafterc --run
-    /// --json` prints). Hand-rolled — the repro vendors no serde — with
-    /// stable keys; durations are nanoseconds, and the `trace` key is
-    /// non-null exactly when the run was probed.
+    /// --json` prints and what the `grafter-server` protocol streams).
+    /// Built on the shared [`grafter_obs::json::JsonWriter`] with stable
+    /// keys; durations are nanoseconds, and the `trace` key is non-null
+    /// exactly when the run was probed.
     pub fn to_json(&self) -> String {
-        use std::fmt::Write;
-        let esc = grafter_obs::chrome::escape;
-        let mut o = String::with_capacity(512);
-        let _ = write!(
-            o,
-            "{{\"backend\":\"{}\",\"opt_level\":\"{}\"",
-            self.backend, self.opt_level
-        );
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_obj();
+        w.key("backend").str(&self.backend.to_string());
+        w.key("opt_level").str(&self.opt_level.to_string());
         let f = &self.fusion;
-        let _ = write!(
-            o,
-            ",\"fusion\":{{\"functions\":{},\"stubs\":{},\"passes\":{},\"fully_fused\":{},\
-             \"fused_pairs\":{},\"missed_pairs\":{}}}",
-            f.functions, f.stubs, f.passes, f.fully_fused, f.fused_pairs, f.missed_pairs
-        );
+        w.key("fusion").begin_obj();
+        w.key("functions").num(f.functions);
+        w.key("stubs").num(f.stubs);
+        w.key("passes").num(f.passes);
+        w.key("fully_fused").bool(f.fully_fused);
+        w.key("fused_pairs").num(f.fused_pairs);
+        w.key("missed_pairs").num(f.missed_pairs);
+        w.end_obj();
         let m = &self.metrics;
-        let _ = write!(
-            o,
-            ",\"metrics\":{{\"visits\":{},\"instructions\":{},\"loads\":{},\"stores\":{}}}",
-            m.visits, m.instructions, m.loads, m.stores
-        );
-        let _ = write!(o, ",\"cycles\":{}", self.cycles());
+        w.key("metrics").begin_obj();
+        w.key("visits").num(m.visits);
+        w.key("instructions").num(m.instructions);
+        w.key("loads").num(m.loads);
+        w.key("stores").num(m.stores);
+        w.end_obj();
+        w.key("cycles").num(self.cycles());
         match &self.cache {
-            None => o.push_str(",\"cache\":null"),
+            None => w.key("cache").null(),
             Some(c) => {
-                let _ = write!(
-                    o,
-                    ",\"cache\":{{\"accesses\":{},\"cycles\":{},\"levels\":[",
-                    c.accesses, c.cycles
-                );
-                for (i, l) in c.levels.iter().enumerate() {
-                    if i > 0 {
-                        o.push(',');
-                    }
-                    let _ = write!(o, "{{\"hits\":{},\"misses\":{}}}", l.hits, l.misses);
+                w.key("cache").begin_obj();
+                w.key("accesses").num(c.accesses);
+                w.key("cycles").num(c.cycles);
+                w.key("levels").begin_arr();
+                for l in &c.levels {
+                    w.begin_obj();
+                    w.key("hits").num(l.hits);
+                    w.key("misses").num(l.misses);
+                    w.end_obj();
                 }
-                o.push_str("]}");
+                w.end_arr();
+                w.end_obj()
             }
+        };
+        w.key("globals").begin_arr();
+        for (name, value) in &self.globals {
+            w.begin_obj();
+            w.key("name").str(name);
+            w.key("value");
+            write_value(&mut w, value);
+            w.end_obj();
         }
-        o.push_str(",\"globals\":[");
-        for (i, (name, value)) in self.globals.iter().enumerate() {
-            if i > 0 {
-                o.push(',');
-            }
-            let _ = write!(
-                o,
-                "{{\"name\":\"{}\",\"value\":{}}}",
-                esc(name),
-                json_value(value)
-            );
-        }
-        let _ = write!(o, "],\"wall_ns\":{}", self.wall.as_nanos());
+        w.end_arr();
+        w.key("wall_ns").num(self.wall.as_nanos());
         match &self.trace {
-            None => o.push_str(",\"trace\":null"),
+            None => w.key("trace").null(),
             Some(t) => {
-                let _ = write!(
-                    o,
-                    ",\"trace\":{{\"tier\":\"{}\",\"wall_ns\":{}",
-                    esc(&t.tier),
-                    t.wall.as_nanos()
-                );
-                let named = |o: &mut String, key: &str, rows: &[(String, u64)]| {
-                    let _ = write!(o, ",\"{key}\":[");
-                    for (i, (name, n)) in rows.iter().enumerate() {
-                        if i > 0 {
-                            o.push(',');
-                        }
-                        let _ = write!(o, "{{\"name\":\"{}\",\"count\":{n}}}", esc(name));
+                w.key("trace").begin_obj();
+                w.key("tier").str(&t.tier);
+                w.key("wall_ns").num(t.wall.as_nanos());
+                let named = |w: &mut JsonWriter, key: &str, rows: &[(String, u64)]| {
+                    w.key(key).begin_arr();
+                    for (name, n) in rows {
+                        w.begin_obj();
+                        w.key("name").str(name);
+                        w.key("count").num(*n);
+                        w.end_obj();
                     }
-                    o.push(']');
+                    w.end_arr();
                 };
-                named(&mut o, "func_hits", &t.profile.func_hits);
-                named(&mut o, "block_hits", &t.profile.block_hits);
-                named(&mut o, "class_visits", &t.profile.class_visits);
-                o.push_str(",\"op_fires\":[");
-                for (i, op) in t.profile.op_fires.iter().enumerate() {
-                    if i > 0 {
-                        o.push(',');
-                    }
-                    let _ = write!(
-                        o,
-                        "{{\"name\":\"{}\",\"fires\":{},\"superinstruction\":{}}}",
-                        esc(&op.name),
-                        op.fires,
-                        op.superinstruction
-                    );
+                named(&mut w, "func_hits", &t.profile.func_hits);
+                named(&mut w, "block_hits", &t.profile.block_hits);
+                named(&mut w, "class_visits", &t.profile.class_visits);
+                w.key("op_fires").begin_arr();
+                for op in &t.profile.op_fires {
+                    w.begin_obj();
+                    w.key("name").str(&op.name);
+                    w.key("fires").num(op.fires);
+                    w.key("superinstruction").bool(op.superinstruction);
+                    w.end_obj();
                 }
-                o.push_str("]}");
+                w.end_arr();
+                w.end_obj()
             }
-        }
-        o.push('}');
-        o
+        };
+        w.end_obj();
+        w.finish()
     }
 }
 
-/// A [`Value`] as a JSON literal (node refs become their id, null refs
-/// `null`; non-finite floats fall back to a quoted string to keep the
-/// document parseable).
-fn json_value(v: &Value) -> String {
+/// Writes a [`Value`] as a JSON literal (node refs become their id, null
+/// refs `null`; non-finite floats fall back to a quoted string to keep
+/// the document parseable).
+fn write_value(w: &mut JsonWriter, v: &Value) {
     match v {
-        Value::Int(i) => i.to_string(),
-        Value::Float(x) if x.is_finite() => format!("{x}"),
-        Value::Float(x) => format!("\"{x}\""),
-        Value::Bool(b) => b.to_string(),
-        Value::Ref(None) => "null".to_string(),
-        Value::Ref(Some(n)) => n.0.to_string(),
-    }
+        Value::Int(i) => w.num(*i),
+        Value::Float(x) => w.float(*x),
+        Value::Bool(b) => w.bool(*b),
+        Value::Ref(None) => w.null(),
+        Value::Ref(Some(n)) => w.num(n.0),
+    };
 }
 
 impl PartialEq for Report {

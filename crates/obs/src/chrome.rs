@@ -8,31 +8,17 @@
 //! profile rows ride along as `args` on the run events so nothing needs a
 //! second file.
 
+use crate::json::JsonWriter;
 use crate::{BatchTrace, CompileTrace, RunTrace, TierProfile};
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// Escapes `s` as the inside of a JSON string literal (re-exported from
+/// the shared [`crate::json`] machinery for existing callers).
+pub use crate::json::escape;
+
 fn us(d: Duration) -> u128 {
     d.as_micros()
-}
-
-/// Escapes `s` as the inside of a JSON string literal.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 struct Events {
@@ -49,34 +35,38 @@ impl Events {
         dur: u128,
         args: &[(String, String)],
     ) {
-        let mut ev = format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
-            escape(name),
-            escape(cat),
-            tid,
-            ts,
-            dur
-        );
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name").str(name);
+        w.key("cat").str(cat);
+        w.key("ph").str("X");
+        w.key("pid").num(1);
+        w.key("tid").num(tid);
+        w.key("ts").num(ts);
+        w.key("dur").num(dur);
         if !args.is_empty() {
-            ev.push_str(",\"args\":{");
-            for (i, (k, v)) in args.iter().enumerate() {
-                if i > 0 {
-                    ev.push(',');
-                }
-                let _ = write!(ev, "\"{}\":\"{}\"", escape(k), escape(v));
+            w.key("args").begin_obj();
+            for (k, v) in args {
+                w.key(k).str(v);
             }
-            ev.push('}');
+            w.end_obj();
         }
-        ev.push('}');
-        self.out.push(ev);
+        w.end_obj();
+        self.out.push(w.finish());
     }
 
     fn thread_name(&mut self, tid: u32, name: &str) {
-        self.out.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
-            tid,
-            escape(name)
-        ));
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name").str("thread_name");
+        w.key("ph").str("M");
+        w.key("pid").num(1);
+        w.key("tid").num(tid);
+        w.key("args").begin_obj();
+        w.key("name").str(name);
+        w.end_obj();
+        w.end_obj();
+        self.out.push(w.finish());
     }
 }
 
@@ -345,11 +335,5 @@ mod tests {
         let fusion = text.find("fusion").unwrap();
         let parse = text.find("parse").unwrap();
         assert!(fusion < parse, "slower stage should rank first:\n{text}");
-    }
-
-    #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
     }
 }

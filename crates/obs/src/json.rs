@@ -1,15 +1,203 @@
-//! A minimal JSON parser and a Chrome trace-event schema check.
+//! The workspace's hand-rolled JSON machinery: a writer, a minimal
+//! parser, and a Chrome trace-event schema check.
 //!
-//! The build environment vendors no serde, so the schema round-trip the
-//! `probe_parity` suite needs is done by hand: [`parse`] turns a JSON
-//! document into a [`Json`] tree (numbers kept as `f64`, which is enough
-//! for microsecond timestamps at trace scale), and
-//! [`validate_chrome_trace`] checks the shape Perfetto requires —
-//! a top-level `traceEvents` array whose events carry `name`/`ph`/`pid`,
-//! with `ts` and `dur` on every complete (`"X"`) event.
+//! The build environment vendors no serde, so everything that speaks
+//! JSON — the Chrome trace exporter ([`crate::chrome`]), `grafterc
+//! --json` (diagnostics and `Report` serialization), and the
+//! `grafter-server` wire protocol — shares this one module instead of
+//! each growing another copy:
+//!
+//! - [`JsonWriter`] is a streaming writer with automatic comma
+//!   management (and [`escape`] for string contents).
+//! - [`parse`] turns a JSON document into a [`Json`] tree (numbers kept
+//!   as `f64`, which is enough for microsecond timestamps at trace
+//!   scale and for the server protocol's sizes/seeds).
+//! - [`validate_chrome_trace`] checks the shape Perfetto requires —
+//!   a top-level `traceEvents` array whose events carry
+//!   `name`/`ph`/`pid`, with `ts` and `dur` on every complete (`"X"`)
+//!   event.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the inside of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A streaming JSON writer with automatic comma management.
+///
+/// Containers nest via [`JsonWriter::begin_obj`] / [`JsonWriter::begin_arr`];
+/// inside an object every value is preceded by a [`JsonWriter::key`], inside
+/// an array values follow each other directly. The writer inserts the commas,
+/// so callers never thread `if i > 0` through their emission loops. Output is
+/// compact (no whitespace), matching what the parser half of this module and
+/// every external consumer (Perfetto, `python3 -m json`) accept.
+///
+/// ```
+/// use grafter_obs::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_obj();
+/// w.key("xs").begin_arr();
+/// w.num(1);
+/// w.num(2);
+/// w.end_arr();
+/// w.key("ok").bool(true);
+/// w.end_obj();
+/// assert_eq!(w.finish(), r#"{"xs":[1,2],"ok":true}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Per-open-container count of items written so far.
+    items: Vec<usize>,
+    /// Whether the next value completes a `key(..)` (no comma, no count).
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// An empty writer with `n` bytes of output pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        JsonWriter {
+            buf: String::with_capacity(n),
+            ..JsonWriter::default()
+        }
+    }
+
+    /// Comma bookkeeping before a value (or container opening) begins.
+    fn pad_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(n) = self.items.last_mut() {
+            if *n > 0 {
+                self.buf.push(',');
+            }
+            *n += 1;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pad_value();
+        self.buf.push('{');
+        self.items.push(0);
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.items.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.pad_value();
+        self.buf.push('[');
+        self.items.push(0);
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.items.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes an object key (escaped); the next write is its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        if let Some(n) = self.items.last_mut() {
+            if *n > 0 {
+                self.buf.push(',');
+            }
+            *n += 1;
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        self.after_key = true;
+        self
+    }
+
+    /// Writes a string value (escaped).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.pad_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(s));
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes an integer value (any type formatting as a plain decimal).
+    pub fn num(&mut self, n: impl fmt::Display) -> &mut Self {
+        self.pad_value();
+        let _ = write!(self.buf, "{n}");
+        self
+    }
+
+    /// Writes a float value; non-finite floats become quoted strings to
+    /// keep the document parseable (JSON has no NaN/Inf literals).
+    pub fn float(&mut self, x: f64) -> &mut Self {
+        self.pad_value();
+        if x.is_finite() {
+            let _ = write!(self.buf, "{x}");
+        } else {
+            let _ = write!(self.buf, "\"{x}\"");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, b: bool) -> &mut Self {
+        self.pad_value();
+        self.buf.push_str(if b { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.pad_value();
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Writes a pre-rendered JSON fragment as one value, verbatim.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.pad_value();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -377,5 +565,47 @@ mod tests {
     fn unicode_escapes_round_trip() {
         let doc = parse(r#""Aé""#).unwrap();
         assert_eq!(doc.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn writer_manages_commas_and_nesting() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a").num(1u64);
+        w.key("b").begin_arr();
+        w.str("x\n");
+        w.null();
+        w.bool(false);
+        w.begin_obj();
+        w.key("c").float(2.5);
+        w.end_obj();
+        w.end_arr();
+        w.key("d").raw("{\"pre\":1}");
+        w.end_obj();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            r#"{"a":1,"b":["x\n",null,false,{"c":2.5}],"d":{"pre":1}}"#
+        );
+        // The writer's output must satisfy this module's own parser.
+        assert!(parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn writer_quotes_non_finite_floats() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.float(f64::NAN);
+        w.float(f64::INFINITY);
+        w.end_arr();
+        let doc = w.finish();
+        assert_eq!(doc, r#"["NaN","inf"]"#);
+        assert!(parse(&doc).is_ok());
     }
 }

@@ -21,9 +21,11 @@
 //!
 //! The crate is a leaf: `std` only, so every layer of the stack (vm,
 //! runtime, engine, tools) can depend on it without cycles. JSON is
-//! hand-rolled both ways — [`chrome`] writes it, [`json`] parses enough
-//! of it back for schema checks — because the build environment vendors
-//! no serde.
+//! hand-rolled both ways in the shared [`json`] module — a
+//! [`json::JsonWriter`] and a [`json::parse`] — because the build
+//! environment vendors no serde; the trace exporter ([`chrome`]),
+//! `grafterc --json`, and the `grafter-server` wire protocol all speak
+//! JSON through it.
 
 pub mod chrome;
 pub mod json;

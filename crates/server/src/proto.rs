@@ -1,0 +1,849 @@
+//! The grafterd wire protocol.
+//!
+//! # Framing
+//!
+//! One frame per message, in both directions:
+//!
+//! ```text
+//! <len>\n<body>\n
+//! ```
+//!
+//! where `<len>` is the body's byte length in ASCII decimal and `<body>`
+//! is UTF-8 JSON. The trailing newline is part of the frame (it makes
+//! `nc` sessions readable) but not counted in `<len>`. Bodies are capped
+//! at [`MAX_BODY`]; a frame declaring more gets a typed error and is
+//! drained (up to [`DRAIN_CAP`], beyond which the connection closes —
+//! the peer is either broken or hostile).
+//!
+//! # Requests
+//!
+//! The body is one JSON object with a `"method"` key:
+//!
+//! - `{"method":"ping"}` — liveness check.
+//! - `{"method":"stats"}` — compile/cache/pool counters.
+//! - `{"method":"run","program":P,"input":I}` — one traversal run.
+//! - `{"method":"run_batch","program":P,"inputs":[I...],"window":W}` —
+//!   a batch; responses stream back as input-ordered chunks.
+//!
+//! A program spec `P` is `{"source":S,"root":C,"passes":[..],
+//! "backend":"vm","opt_level":"O2","fusion":{..},"args":[[..]..]}`
+//! (everything but `source`, `root` and `passes` optional). An input
+//! spec `I` is either a generator reference
+//! `{"gen":{"workload":"ast","size":64,"seed":7}}` into the four paper
+//! case studies, or an inline tree
+//! `{"tree":{"class":C,"fields":{..},"children":{..}}}`. Leaf values are
+//! tagged — `{"i":1}`, `{"f":2.5}`, `{"b":true}` — because JSON numbers
+//! alone cannot distinguish the DSL's int and float types.
+//!
+//! # Responses
+//!
+//! `{"ok":true,...}` or `{"ok":false,"error":{"stage":S,"message":M}}`
+//! where `S` is a pipeline stage name (`parse`, `sema`, `fuse`,
+//! `runtime`, `config`) or `proto` for transport-level faults.
+
+use std::io::{self, Read, Write};
+
+use grafter_engine::{fnv1a, Backend, EngineKey, FusionOptions, OptLevel};
+use grafter_obs::json::{parse, Json, JsonWriter};
+use grafter_runtime::{Heap, NodeId, Value};
+
+/// Hard cap on one frame's body, request or response chunk.
+pub const MAX_BODY: usize = 8 << 20;
+
+/// An oversized frame declaring up to this much is drained (typed error,
+/// connection survives); beyond it the connection closes.
+pub const DRAIN_CAP: usize = 64 << 20;
+
+/// Longest accepted length header (digits before the newline).
+const MAX_LEN_DIGITS: usize = 12;
+
+/// A protocol-level fault while reading one frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Body length over [`MAX_BODY`]; the frame was drained and the
+    /// connection is still usable.
+    Oversized(usize),
+    /// Body length over [`DRAIN_CAP`] (or the stream desynced): the
+    /// caller must close the connection.
+    Fatal(String),
+    /// Frame body was not valid UTF-8; the frame was consumed.
+    BadUtf8,
+    /// Transport error (includes EOF mid-frame).
+    Io(io::Error),
+}
+
+/// One `read_frame` outcome.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A complete frame body.
+    Frame(String),
+    /// The read timed out; call again. [`FrameReader::mid_frame`] tells
+    /// whether a partial frame (an in-flight request) is pending.
+    Idle,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
+/// Incremental frame reader over a (possibly read-timeout) byte stream.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of an oversized frame still to discard (plus its trailing
+    /// newline), and the declared length to report once drained.
+    drain: Option<(usize, usize)>,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            drain: None,
+        }
+    }
+
+    /// Whether a partially received frame is buffered (an in-flight
+    /// request the daemon should wait out before shutting the
+    /// connection down).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty() || self.drain.is_some()
+    }
+
+    /// Reads the next frame. [`Incoming::Idle`] on a read timeout (state
+    /// is kept; call again), [`Incoming::Closed`] on EOF between frames.
+    pub fn read_frame(&mut self) -> Result<Incoming, ProtoError> {
+        loop {
+            if let Some((left, declared)) = self.drain {
+                let eat = left.min(self.buf.len());
+                self.buf.drain(..eat);
+                if eat < left {
+                    self.drain = Some((left - eat, declared));
+                    match self.fill()? {
+                        Fill::Got => continue,
+                        Fill::Timeout => return Ok(Incoming::Idle),
+                        Fill::Eof => {
+                            return Err(ProtoError::Io(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "eof while draining oversized frame",
+                            )))
+                        }
+                    }
+                }
+                self.drain = None;
+                return Err(ProtoError::Oversized(declared));
+            }
+
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let len = parse_len(&self.buf[..nl])?;
+                if len > MAX_BODY {
+                    if len > DRAIN_CAP {
+                        return Err(ProtoError::Fatal(format!(
+                            "frame of {len} bytes exceeds the drain cap"
+                        )));
+                    }
+                    // Discard header + body + trailing newline, then
+                    // report the refusal.
+                    self.buf.drain(..=nl);
+                    self.drain = Some((len + 1, len));
+                    continue;
+                }
+                let need = nl + 1 + len + 1;
+                if self.buf.len() >= need {
+                    if self.buf[need - 1] != b'\n' {
+                        return Err(ProtoError::Fatal(
+                            "frame body not newline-terminated".to_string(),
+                        ));
+                    }
+                    let body = self.buf[nl + 1..need - 1].to_vec();
+                    self.buf.drain(..need);
+                    return match String::from_utf8(body) {
+                        Ok(s) => Ok(Incoming::Frame(s)),
+                        Err(_) => Err(ProtoError::BadUtf8),
+                    };
+                }
+            } else if self.buf.len() > MAX_LEN_DIGITS {
+                return Err(ProtoError::Fatal("length header too long".to_string()));
+            }
+
+            match self.fill()? {
+                Fill::Got => {}
+                Fill::Timeout => return Ok(Incoming::Idle),
+                Fill::Eof if self.buf.is_empty() => return Ok(Incoming::Closed),
+                Fill::Eof => {
+                    return Err(ProtoError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    )))
+                }
+            }
+        }
+    }
+
+    fn fill(&mut self) -> Result<Fill, ProtoError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(Fill::Got);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Fill::Timeout)
+                }
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+    }
+}
+
+enum Fill {
+    Got,
+    Timeout,
+    Eof,
+}
+
+fn parse_len(header: &[u8]) -> Result<usize, ProtoError> {
+    if header.is_empty() || header.len() > MAX_LEN_DIGITS {
+        return Err(ProtoError::Fatal("bad length header".to_string()));
+    }
+    let mut len: usize = 0;
+    for &b in header {
+        if !b.is_ascii_digit() {
+            return Err(ProtoError::Fatal(format!(
+                "non-digit in length header: 0x{b:02x}"
+            )));
+        }
+        len = len * 10 + usize::from(b - b'0');
+    }
+    Ok(len)
+}
+
+/// Writes one frame: `<len>\n<body>\n`.
+///
+/// # Errors
+///
+/// Propagates transport errors from the underlying writer.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    write!(w, "{}\n{body}\n", body.len())?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// Request schema
+// ---------------------------------------------------------------------
+
+/// A parsed request.
+#[derive(Debug)]
+pub enum Request {
+    Ping,
+    Stats,
+    Run {
+        program: ProgramSpec,
+        input: InputSpec,
+    },
+    RunBatch {
+        program: ProgramSpec,
+        inputs: Vec<InputSpec>,
+        /// Reorder/backpressure window for the streamed response.
+        window: usize,
+    },
+}
+
+/// Everything that determines the engine a request runs on.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    pub source: String,
+    pub root: String,
+    pub passes: Vec<String>,
+    pub backend: Backend,
+    pub opt_level: OptLevel,
+    pub fusion: FusionOptions,
+    pub args: Vec<Vec<Value>>,
+}
+
+impl ProgramSpec {
+    /// The engine-cache key of this spec.
+    pub fn key(&self) -> EngineKey {
+        EngineKey::new(
+            &self.source,
+            &self.root,
+            &self.passes,
+            &self.fusion,
+            self.backend,
+            self.opt_level,
+        )
+        .with_args_hash(fnv1a(canon_args(&self.args).as_bytes()))
+    }
+}
+
+/// Canonical text form of entry arguments (the args-hash input): floats
+/// print in Rust's shortest round-trip form, so equal values — and only
+/// equal values — canonicalize equally.
+pub fn canon_args(args: &[Vec<Value>]) -> String {
+    let mut out = String::new();
+    for (i, pass) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        for (j, v) in pass.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Int(n) => out.push_str(&format!("i{n}")),
+                Value::Float(x) => out.push_str(&format!("f{x}")),
+                Value::Bool(b) => out.push_str(&format!("b{b}")),
+                Value::Ref(r) => out.push_str(&format!("r{:?}", r.map(|n| n.0))),
+            }
+        }
+    }
+    out
+}
+
+/// One input of a run/batch request.
+#[derive(Clone, Debug)]
+pub enum InputSpec {
+    /// A tree from one of the paper's workload generators, built
+    /// server-side (`size` nodes-ish, deterministic in `seed`).
+    Gen {
+        workload: String,
+        size: usize,
+        seed: u64,
+    },
+    /// An inline tree shipped over the wire.
+    Tree(TreeSpec),
+}
+
+/// An inline tree: class, scalar fields, children (recursively).
+#[derive(Clone, Debug)]
+pub struct TreeSpec {
+    pub class: String,
+    pub fields: Vec<(String, Value)>,
+    pub children: Vec<(String, Option<TreeSpec>)>,
+}
+
+/// Materializes an inline tree spec into `heap`, returning the root.
+///
+/// Unknown classes or fields panic with a descriptive message; the batch
+/// layer's per-input `catch_unwind` turns that into a typed runtime
+/// error for exactly this input.
+pub fn build_tree_spec(heap: &mut Heap, spec: &TreeSpec) -> NodeId {
+    let node = heap
+        .alloc_by_name(&spec.class)
+        .unwrap_or_else(|| panic!("unknown tree class `{}`", spec.class));
+    for (field, value) in &spec.fields {
+        heap.set_by_name(node, field, *value)
+            .unwrap_or_else(|| panic!("unknown field `{field}` on `{}`", spec.class));
+    }
+    for (field, child) in &spec.children {
+        let child = child.as_ref().map(|c| build_tree_spec(heap, c));
+        heap.set_child_by_name(node, field, child)
+            .unwrap_or_else(|| panic!("unknown child field `{field}` on `{}`", spec.class));
+    }
+    node
+}
+
+/// A request-level failure, rendered as `{"ok":false,"error":{...}}`.
+#[derive(Debug)]
+pub struct AppError {
+    pub stage: String,
+    pub message: String,
+}
+
+impl AppError {
+    pub fn proto(message: impl Into<String>) -> AppError {
+        AppError {
+            stage: "proto".to_string(),
+            message: message.into(),
+        }
+    }
+
+    pub fn config(message: impl Into<String>) -> AppError {
+        AppError {
+            stage: "config".to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request body.
+///
+/// # Errors
+///
+/// Malformed JSON and schema violations come back as [`AppError`]s (the
+/// connection survives; only this request fails).
+pub fn parse_request(body: &str) -> Result<Request, AppError> {
+    let doc = parse(body).map_err(|e| AppError::proto(format!("malformed JSON: {}", e.msg)))?;
+    let method = doc
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| AppError::proto("missing string `method`"))?;
+    match method {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "run" => {
+            let program = parse_program(&doc)?;
+            let input = parse_input(
+                doc.get("input")
+                    .ok_or_else(|| AppError::proto("run: missing `input`"))?,
+            )?;
+            Ok(Request::Run { program, input })
+        }
+        "run_batch" => {
+            let program = parse_program(&doc)?;
+            let inputs = doc
+                .get("inputs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| AppError::proto("run_batch: missing array `inputs`"))?
+                .iter()
+                .map(parse_input)
+                .collect::<Result<Vec<_>, _>>()?;
+            let window = doc
+                .get("window")
+                .and_then(Json::as_num)
+                .map_or(8, |w| w as usize)
+                .clamp(1, 64);
+            Ok(Request::RunBatch {
+                program,
+                inputs,
+                window,
+            })
+        }
+        other => Err(AppError::proto(format!("unknown method `{other}`"))),
+    }
+}
+
+fn parse_program(doc: &Json) -> Result<ProgramSpec, AppError> {
+    let p = doc
+        .get("program")
+        .ok_or_else(|| AppError::proto("missing `program`"))?;
+    let source = p
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| AppError::proto("program: missing string `source`"))?
+        .to_string();
+    let root = p
+        .get("root")
+        .and_then(Json::as_str)
+        .ok_or_else(|| AppError::proto("program: missing string `root`"))?
+        .to_string();
+    let passes = p
+        .get("passes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| AppError::proto("program: missing array `passes`"))?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| AppError::proto("program: passes must be strings"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let backend = match p.get("backend").and_then(Json::as_str) {
+        None => Backend::Vm,
+        Some(s) => s.parse().map_err(AppError::config)?,
+    };
+    let opt_level = match p.get("opt_level").and_then(Json::as_str) {
+        None => OptLevel::default(),
+        Some(s) => s.parse().map_err(AppError::config)?,
+    };
+    let mut fusion = FusionOptions::default();
+    if let Some(f) = p.get("fusion") {
+        if let Some(n) = f.get("max_group_size").and_then(Json::as_num) {
+            fusion.max_group_size = n as usize;
+        }
+        if let Some(n) = f.get("max_occurrences").and_then(Json::as_num) {
+            fusion.max_occurrences = n as usize;
+        }
+        if let Some(Json::Bool(g)) = f.get("grouping") {
+            fusion.grouping = *g;
+        }
+    }
+    let args = match p.get("args") {
+        None => Vec::new(),
+        Some(a) => a
+            .as_arr()
+            .ok_or_else(|| AppError::proto("program: `args` must be an array"))?
+            .iter()
+            .map(|pass| {
+                pass.as_arr()
+                    .ok_or_else(|| AppError::proto("program: each args entry must be an array"))?
+                    .iter()
+                    .map(parse_value)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(ProgramSpec {
+        source,
+        root,
+        passes,
+        backend,
+        opt_level,
+        fusion,
+        args,
+    })
+}
+
+fn parse_input(doc: &Json) -> Result<InputSpec, AppError> {
+    if let Some(gen) = doc.get("gen") {
+        let workload = gen
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| AppError::proto("gen: missing string `workload`"))?
+            .to_string();
+        let size =
+            gen.get("size")
+                .and_then(Json::as_num)
+                .ok_or_else(|| AppError::proto("gen: missing number `size`"))? as usize;
+        let seed = gen
+            .get("seed")
+            .and_then(Json::as_num)
+            .map_or(42, |s| s as u64);
+        return Ok(InputSpec::Gen {
+            workload,
+            size,
+            seed,
+        });
+    }
+    if let Some(tree) = doc.get("tree") {
+        return Ok(InputSpec::Tree(parse_tree(tree)?));
+    }
+    Err(AppError::proto("input needs `gen` or `tree`"))
+}
+
+fn parse_tree(doc: &Json) -> Result<TreeSpec, AppError> {
+    let class = doc
+        .get("class")
+        .and_then(Json::as_str)
+        .ok_or_else(|| AppError::proto("tree: missing string `class`"))?
+        .to_string();
+    let mut fields = Vec::new();
+    if let Some(Json::Obj(map)) = doc.get("fields") {
+        for (name, v) in map {
+            fields.push((name.clone(), parse_value(v)?));
+        }
+        // The parser's map loses wire order; field *values* are
+        // order-independent, but sort for determinism anyway.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    let mut children = Vec::new();
+    if let Some(Json::Obj(map)) = doc.get("children") {
+        for (name, c) in map {
+            let child = match c {
+                Json::Null => None,
+                other => Some(parse_tree(other)?),
+            };
+            children.push((name.clone(), child));
+        }
+        // Child order decides allocation order (hence simulated
+        // addresses); canonical name order keeps it deterministic
+        // regardless of the parser's map iteration order.
+        children.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Ok(TreeSpec {
+        class,
+        fields,
+        children,
+    })
+}
+
+fn parse_value(doc: &Json) -> Result<Value, AppError> {
+    if let Some(n) = doc.get("i").and_then(Json::as_num) {
+        return Ok(Value::Int(n as i64));
+    }
+    if let Some(x) = doc.get("f").and_then(Json::as_num) {
+        return Ok(Value::Float(x));
+    }
+    if let Some(Json::Bool(b)) = doc.get("b") {
+        return Ok(Value::Bool(*b));
+    }
+    Err(AppError::proto(
+        "value must be tagged: {\"i\":..}, {\"f\":..} or {\"b\":..}",
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Wire rendering (used by the client side: grafter-load and tests)
+// ---------------------------------------------------------------------
+
+fn write_value_spec(w: &mut JsonWriter, v: &Value) {
+    w.begin_obj();
+    match v {
+        Value::Int(n) => w.key("i").num(*n),
+        Value::Float(x) => w.key("f").float(*x),
+        Value::Bool(b) => w.key("b").bool(*b),
+        Value::Ref(_) => w.key("i").num(0),
+    };
+    w.end_obj();
+}
+
+fn write_program(w: &mut JsonWriter, p: &ProgramSpec) {
+    w.key("program").begin_obj();
+    w.key("source").str(&p.source);
+    w.key("root").str(&p.root);
+    w.key("passes").begin_arr();
+    for pass in &p.passes {
+        w.str(pass);
+    }
+    w.end_arr();
+    w.key("backend").str(&p.backend.to_string());
+    w.key("opt_level").str(&format!("{:?}", p.opt_level));
+    w.key("fusion").begin_obj();
+    w.key("max_group_size").num(p.fusion.max_group_size);
+    w.key("max_occurrences").num(p.fusion.max_occurrences);
+    w.key("grouping").bool(p.fusion.grouping);
+    w.end_obj();
+    if !p.args.is_empty() {
+        w.key("args").begin_arr();
+        for pass in &p.args {
+            w.begin_arr();
+            for v in pass {
+                write_value_spec(w, v);
+            }
+            w.end_arr();
+        }
+        w.end_arr();
+    }
+    w.end_obj();
+}
+
+fn write_input(w: &mut JsonWriter, input: &InputSpec) {
+    w.begin_obj();
+    match input {
+        InputSpec::Gen {
+            workload,
+            size,
+            seed,
+        } => {
+            w.key("gen").begin_obj();
+            w.key("workload").str(workload);
+            w.key("size").num(*size);
+            w.key("seed").num(*seed);
+            w.end_obj();
+        }
+        InputSpec::Tree(tree) => {
+            w.key("tree");
+            write_tree(w, tree);
+        }
+    }
+    w.end_obj();
+}
+
+fn write_tree(w: &mut JsonWriter, tree: &TreeSpec) {
+    w.begin_obj();
+    w.key("class").str(&tree.class);
+    if !tree.fields.is_empty() {
+        w.key("fields").begin_obj();
+        for (name, v) in &tree.fields {
+            w.key(name);
+            write_value_spec(w, v);
+        }
+        w.end_obj();
+    }
+    if !tree.children.is_empty() {
+        w.key("children").begin_obj();
+        for (name, child) in &tree.children {
+            w.key(name);
+            match child {
+                None => {
+                    w.null();
+                }
+                Some(c) => write_tree(w, c),
+            }
+        }
+        w.end_obj();
+    }
+    w.end_obj();
+}
+
+/// Renders a `run` request body.
+pub fn render_run(program: &ProgramSpec, input: &InputSpec) -> String {
+    let mut w = JsonWriter::with_capacity(program.source.len() + 256);
+    w.begin_obj();
+    w.key("method").str("run");
+    write_program(&mut w, program);
+    w.key("input");
+    write_input(&mut w, input);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders a `run_batch` request body.
+pub fn render_run_batch(program: &ProgramSpec, inputs: &[InputSpec], window: usize) -> String {
+    let mut w = JsonWriter::with_capacity(program.source.len() + 256 + 64 * inputs.len());
+    w.begin_obj();
+    w.key("method").str("run_batch");
+    write_program(&mut w, program);
+    w.key("inputs").begin_arr();
+    for input in inputs {
+        write_input(&mut w, input);
+    }
+    w.end_arr();
+    w.key("window").num(window);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders a bare `{"method":M}` request body (`ping`, `stats`).
+pub fn render_bare(method: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("method").str(method);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the error response body for a failed request.
+pub fn render_error(stage: &str, message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("ok").bool(false);
+    w.key("error").begin_obj();
+    w.key("stage").str(stage);
+    w.key("message").str(message);
+    w.end_obj();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"method\":\"ping\"}").unwrap();
+        write_frame(&mut wire, "{}").unwrap();
+        let mut reader = FrameReader::new(wire.as_slice());
+        match reader.read_frame().unwrap() {
+            Incoming::Frame(b) => assert_eq!(b, "{\"method\":\"ping\"}"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match reader.read_frame().unwrap() {
+            Incoming::Frame(b) => assert_eq!(b, "{}"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(reader.read_frame().unwrap(), Incoming::Closed));
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_and_reported() {
+        let body = "x".repeat(MAX_BODY + 1);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        write_frame(&mut wire, "{}").unwrap();
+        let mut reader = FrameReader::new(wire.as_slice());
+        match reader.read_frame() {
+            Err(ProtoError::Oversized(n)) => assert_eq!(n, MAX_BODY + 1),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        // The connection survives: the next frame parses.
+        assert!(matches!(reader.read_frame().unwrap(), Incoming::Frame(b) if b == "{}"));
+    }
+
+    #[test]
+    fn absurd_frame_is_fatal() {
+        let wire = format!("{}\n", DRAIN_CAP + 1);
+        let mut reader = FrameReader::new(wire.as_bytes());
+        assert!(matches!(reader.read_frame(), Err(ProtoError::Fatal(_))));
+    }
+
+    #[test]
+    fn bad_utf8_body_is_typed_not_fatal() {
+        let mut wire: Vec<u8> = b"4\n".to_vec();
+        wire.extend_from_slice(&[0xff, 0xfe, 0x61, 0x62]);
+        wire.push(b'\n');
+        wire.extend_from_slice(b"2\n{}\n");
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert!(matches!(reader.read_frame(), Err(ProtoError::BadUtf8)));
+        assert!(matches!(reader.read_frame().unwrap(), Incoming::Frame(b) if b == "{}"));
+    }
+
+    #[test]
+    fn non_digit_length_header_is_fatal() {
+        let mut reader = FrameReader::new(&b"12abc\n{}\n"[..]);
+        assert!(matches!(reader.read_frame(), Err(ProtoError::Fatal(_))));
+    }
+
+    fn tiny_program() -> ProgramSpec {
+        ProgramSpec {
+            source: "tree class N { int a = 0; virtual traversal t() {} }".to_string(),
+            root: "N".to_string(),
+            passes: vec!["t".to_string()],
+            backend: Backend::Vm,
+            opt_level: OptLevel::O2,
+            fusion: FusionOptions::default(),
+            args: vec![vec![Value::Float(2.5), Value::Int(3)]],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_render_and_parse() {
+        let program = tiny_program();
+        let input = InputSpec::Tree(TreeSpec {
+            class: "N".to_string(),
+            fields: vec![("a".to_string(), Value::Int(7))],
+            children: Vec::new(),
+        });
+        let body = render_run(&program, &input);
+        match parse_request(&body).expect("round-trips") {
+            Request::Run {
+                program: p,
+                input: InputSpec::Tree(t),
+            } => {
+                assert_eq!(p.source, program.source);
+                assert_eq!(p.key(), program.key());
+                assert_eq!(t.class, "N");
+                assert_eq!(t.fields, vec![("a".to_string(), Value::Int(7))]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+
+        let body = render_run_batch(
+            &program,
+            &[
+                InputSpec::Gen {
+                    workload: "ast".to_string(),
+                    size: 64,
+                    seed: 7,
+                },
+                input,
+            ],
+            5,
+        );
+        match parse_request(&body).expect("round-trips") {
+            Request::RunBatch { inputs, window, .. } => {
+                assert_eq!(inputs.len(), 2);
+                assert_eq!(window, 5);
+                assert!(
+                    matches!(&inputs[0], InputSpec::Gen { workload, size, seed } if workload == "ast" && *size == 64 && *seed == 7)
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_violations_are_typed() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"method\":\"teleport\"}").is_err());
+        assert!(parse_request("{\"method\":\"run\"}").is_err());
+        let e = parse_request("{}").unwrap_err();
+        assert_eq!(e.stage, "proto");
+    }
+
+    #[test]
+    fn args_hash_distinguishes_values() {
+        let a = tiny_program();
+        let mut b = tiny_program();
+        b.args = vec![vec![Value::Float(2.5), Value::Int(4)]];
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), tiny_program().key());
+    }
+}

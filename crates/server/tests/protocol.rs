@@ -1,0 +1,355 @@
+//! End-to-end protocol tests against a live in-process daemon: every
+//! edge case a hostile or buggy client can produce must fail *typed* —
+//! the connection (and always the daemon) survives, sessions don't leak,
+//! and subsequent requests work.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use grafter_engine::{Backend, FusionOptions, OptLevel};
+use grafter_obs::json::{parse, Json};
+use grafter_runtime::Value;
+use grafter_server::proto::{
+    render_bare, render_run, render_run_batch, write_frame, FrameReader, Incoming, InputSpec,
+    ProgramSpec, TreeSpec, MAX_BODY,
+};
+use grafter_server::{Daemon, DaemonOptions};
+
+const SRC: &str = "tree class N { int a = 0; virtual traversal t() { a = a + 1; } }";
+
+fn program() -> ProgramSpec {
+    ProgramSpec {
+        source: SRC.to_string(),
+        root: "N".to_string(),
+        passes: vec!["t".to_string()],
+        backend: Backend::Vm,
+        opt_level: OptLevel::default(),
+        fusion: FusionOptions::default(),
+        args: Vec::new(),
+    }
+}
+
+fn leaf() -> InputSpec {
+    InputSpec::Tree(TreeSpec {
+        class: "N".to_string(),
+        fields: vec![("a".to_string(), Value::Int(0))],
+        children: Vec::new(),
+    })
+}
+
+/// A daemon serving on an ephemeral port until `shutdown` flips.
+fn spawn_daemon() -> (SocketAddr, Arc<AtomicBool>, thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            cache_capacity: 8,
+            workers: 2,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = daemon.local_addr().expect("resolved address");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = thread::spawn(move || daemon.serve(&flag).expect("serve"));
+    (addr, shutdown, handle)
+}
+
+struct Client {
+    reader: FrameReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: FrameReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    /// Writes raw bytes (deliberately malformed frames).
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send raw");
+        self.writer.flush().expect("flush raw");
+    }
+
+    fn recv(&mut self) -> Json {
+        loop {
+            match self.reader.read_frame().expect("read response frame") {
+                Incoming::Frame(body) => return parse(&body).expect("parse response"),
+                Incoming::Idle => {}
+                Incoming::Closed => panic!("daemon closed the connection"),
+            }
+        }
+    }
+
+    fn call(&mut self, body: &str) -> Json {
+        write_frame(&mut self.writer, body).expect("send frame");
+        self.recv()
+    }
+}
+
+fn is_ok(doc: &Json) -> bool {
+    matches!(doc.get("ok"), Some(Json::Bool(true)))
+}
+
+fn error_stage(doc: &Json) -> &str {
+    doc.get("error")
+        .and_then(|e| e.get("stage"))
+        .and_then(Json::as_str)
+        .expect("error stage")
+}
+
+#[test]
+fn ping_run_and_batch_round_trip() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    let pong = client.call(&render_bare("ping"));
+    assert!(is_ok(&pong));
+
+    let report = client.call(&render_run(&program(), &leaf()));
+    assert!(is_ok(&report), "run failed: {report:?}");
+    let visits = report
+        .get("report")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("visits"))
+        .and_then(Json::as_num)
+        .expect("report.metrics.visits");
+    assert_eq!(visits as u64, 1, "one leaf, one visit");
+
+    // A batch streams back ordered chunks then a done frame.
+    let inputs: Vec<InputSpec> = (0..5).map(|_| leaf()).collect();
+    write_frame(
+        &mut client.writer,
+        &render_run_batch(&program(), &inputs, 4),
+    )
+    .expect("send batch");
+    let mut seen = 0;
+    let mut last_first = None;
+    loop {
+        let frame = client.recv();
+        assert!(is_ok(&frame), "batch frame failed: {frame:?}");
+        if matches!(frame.get("done"), Some(Json::Bool(true))) {
+            assert_eq!(
+                frame.get("total").and_then(Json::as_num).map(|n| n as u64),
+                Some(5)
+            );
+            break;
+        }
+        let first = frame.get("first").and_then(Json::as_num).expect("first") as usize;
+        if let Some(prev) = last_first {
+            assert!(first > prev, "chunks must arrive in input order");
+        }
+        last_first = Some(first);
+        seen += frame
+            .get("results")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+    }
+    assert_eq!(seen, 5);
+
+    let stats = client.call(&render_bare("stats"));
+    assert!(is_ok(&stats));
+    let misses = stats
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_num)
+        .expect("cache.misses");
+    assert_eq!(misses as u64, 1, "run and batch share one cached engine");
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn malformed_json_and_unknown_method_are_typed_and_survivable() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    let resp = client.call("this is not json");
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "proto");
+
+    let resp = client.call("{\"method\":\"teleport\"}");
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "proto");
+
+    // Schema violation inside a known method.
+    let resp = client.call("{\"method\":\"run\"}");
+    assert!(!is_ok(&resp));
+
+    // A compile error is typed with its pipeline stage.
+    let mut bad = program();
+    bad.source = "tree class N { this does not parse }".to_string();
+    let resp = client.call(&render_run(&bad, &leaf()));
+    assert!(!is_ok(&resp));
+    assert_ne!(
+        error_stage(&resp),
+        "proto",
+        "compile errors carry their stage"
+    );
+
+    // The same connection still works.
+    assert!(is_ok(&client.call(&render_bare("ping"))));
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn oversized_body_is_refused_but_connection_survives() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    let huge = "x".repeat(MAX_BODY + 1);
+    let mut frame = Vec::with_capacity(huge.len() + 16);
+    frame.extend_from_slice(format!("{}\n", huge.len()).as_bytes());
+    frame.extend_from_slice(huge.as_bytes());
+    frame.push(b'\n');
+    client.send_raw(&frame);
+
+    let resp = client.recv();
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "proto");
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .expect("message")
+            .contains("cap"),
+        "error names the body cap"
+    );
+
+    assert!(is_ok(&client.call(&render_bare("ping"))));
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn bad_utf8_body_is_typed_and_survivable() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    client.send_raw(b"4\n\xff\xfeab\n");
+    let resp = client.recv();
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "proto");
+
+    assert!(is_ok(&client.call(&render_bare("ping"))));
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn mid_stream_disconnect_does_not_kill_the_daemon() {
+    let (addr, shutdown, handle) = spawn_daemon();
+
+    // Kick off a batch big enough for several chunk frames, read one
+    // frame, then vanish.
+    {
+        let mut client = Client::connect(addr);
+        let inputs: Vec<InputSpec> = (0..40).map(|_| leaf()).collect();
+        write_frame(
+            &mut client.writer,
+            &render_run_batch(&program(), &inputs, 4),
+        )
+        .expect("send batch");
+        let first = client.recv();
+        assert!(is_ok(&first));
+        // Dropped here: mid-stream disconnect.
+    }
+
+    // The daemon keeps serving: a fresh connection completes a full
+    // batch with every result accounted for.
+    let mut client = Client::connect(addr);
+    let inputs: Vec<InputSpec> = (0..10).map(|_| leaf()).collect();
+    write_frame(
+        &mut client.writer,
+        &render_run_batch(&program(), &inputs, 4),
+    )
+    .expect("send batch");
+    let mut seen = 0;
+    loop {
+        let frame = client.recv();
+        assert!(is_ok(&frame));
+        if matches!(frame.get("done"), Some(Json::Bool(true))) {
+            break;
+        }
+        seen += frame
+            .get("results")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+    }
+    assert_eq!(seen, 10, "post-disconnect batches are complete");
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn unknown_workload_and_oversized_gen_are_config_errors() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    let resp = client.call(&render_run(
+        &program(),
+        &InputSpec::Gen {
+            workload: "btree".to_string(),
+            size: 8,
+            seed: 1,
+        },
+    ));
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "config");
+
+    // A kdtree depth that would OOM the daemon is refused up front.
+    let resp = client.call(&render_run(
+        &program(),
+        &InputSpec::Gen {
+            workload: "kdtree".to_string(),
+            size: 48,
+            seed: 1,
+        },
+    ));
+    assert!(!is_ok(&resp));
+    assert_eq!(error_stage(&resp), "config");
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn shutdown_waits_for_a_partially_received_request() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+    let body = render_bare("ping");
+
+    // Send only the length header, flip shutdown, then finish the frame
+    // within the grace period: the in-flight request must still be
+    // answered before the daemon exits.
+    client.send_raw(format!("{}\n", body.len()).as_bytes());
+    thread::sleep(Duration::from_millis(120));
+    shutdown.store(true, Ordering::SeqCst);
+    thread::sleep(Duration::from_millis(120));
+    client.send_raw(format!("{body}\n").as_bytes());
+
+    let resp = client.recv();
+    assert!(is_ok(&resp), "in-flight request answered during drain");
+
+    handle.join().expect("daemon drains and exits");
+}

@@ -1,0 +1,129 @@
+//! Single-flight compilation, asserted end-to-end against the VM's
+//! process-wide lowering counter: N concurrent requests for one uncached
+//! program must trigger exactly one compile.
+//!
+//! This lives in its own test binary because `lowering_count()` is
+//! process-global — other tests compiling engines in the same process
+//! would make the delta meaningless.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use grafter_engine::{Backend, Engine, FusionOptions, OptLevel};
+use grafter_obs::json::{parse, Json};
+use grafter_runtime::Value;
+use grafter_server::proto::{
+    render_bare, render_run, write_frame, FrameReader, Incoming, InputSpec, ProgramSpec, TreeSpec,
+};
+use grafter_server::{Daemon, DaemonOptions};
+use grafter_vm::lowering_count;
+
+fn program(source: &str) -> ProgramSpec {
+    ProgramSpec {
+        source: source.to_string(),
+        root: "N".to_string(),
+        passes: vec!["t".to_string()],
+        backend: Backend::Vm,
+        opt_level: OptLevel::default(),
+        fusion: FusionOptions::default(),
+        args: Vec::new(),
+    }
+}
+
+fn leaf() -> InputSpec {
+    InputSpec::Tree(TreeSpec {
+        class: "N".to_string(),
+        fields: vec![("a".to_string(), Value::Int(0))],
+        children: Vec::new(),
+    })
+}
+
+fn call(addr: SocketAddr, body: &str) -> Json {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = FrameReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, body).expect("send");
+    loop {
+        match reader.read_frame().expect("read") {
+            Incoming::Frame(resp) => return parse(&resp).expect("parse"),
+            Incoming::Idle => {}
+            Incoming::Closed => panic!("daemon closed the connection"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_compile_exactly_once() {
+    // Reference: how many lowerings does compiling this program shape
+    // cost? Measured on a same-shape program with a different source so
+    // it cannot collide with the daemon's cache.
+    let reference = "tree class N { int a = 1; virtual traversal t() { a = a + 2; } }";
+    let before = lowering_count();
+    Engine::builder()
+        .source(reference)
+        .entry("N", &["t"])
+        .backend(Backend::Vm)
+        .build()
+        .expect("reference compiles");
+    let per_compile = lowering_count() - before;
+    assert!(per_compile > 0, "VM compiles lower at least once");
+
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            cache_capacity: 8,
+            workers: 2,
+        },
+    )
+    .expect("bind");
+    let addr = daemon.local_addr().expect("addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let serve = thread::spawn(move || daemon.serve(&flag).expect("serve"));
+
+    let source = "tree class N { int a = 0; virtual traversal t() { a = a + 1; } }";
+    let body = render_run(&program(source), &leaf());
+    let before = lowering_count();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let body = body.clone();
+            thread::spawn(move || call(addr, &body))
+        })
+        .collect();
+    for c in clients {
+        let resp = c.join().expect("client thread");
+        assert!(
+            matches!(resp.get("ok"), Some(Json::Bool(true))),
+            "every concurrent request succeeds: {resp:?}"
+        );
+    }
+    let delta = lowering_count() - before;
+    assert_eq!(
+        delta, per_compile,
+        "8 concurrent identical requests must lower exactly one program"
+    );
+
+    // The cache agrees: one miss, seven hits.
+    let stats = call(addr, &render_bare("stats"));
+    let cache = stats.get("cache").expect("cache stats");
+    let misses = cache.get("misses").and_then(Json::as_num).expect("misses") as u64;
+    let hits = cache.get("hits").and_then(Json::as_num).expect("hits") as u64;
+    assert_eq!(misses, 1);
+    assert_eq!(hits, 7);
+
+    // And steady state is quiet: repeating a request compiles nothing.
+    let before = lowering_count();
+    let resp = call(addr, &body);
+    assert!(matches!(resp.get("ok"), Some(Json::Bool(true))));
+    assert_eq!(
+        lowering_count() - before,
+        0,
+        "cached request lowers nothing"
+    );
+
+    shutdown.store(true, Ordering::SeqCst);
+    serve.join().expect("daemon thread");
+}

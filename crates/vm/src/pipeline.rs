@@ -33,7 +33,7 @@ use crate::lower::lower;
 use crate::module::Module;
 
 /// Which execution tier runs a fused artifact.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The instrumented tree-walking interpreter (`grafter-runtime`).
     #[default]
