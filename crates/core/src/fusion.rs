@@ -27,7 +27,9 @@ use std::sync::Arc;
 use grafter_frontend::{ClassId, Expr, MethodId, NodePath, Program, Stmt};
 
 use crate::access::ProgramAccesses;
-use crate::depgraph::{DepGraph, MergedStmt};
+use crate::depgraph::{
+    subtree_independence, DepGraph, FnParallelism, MergedStmt, SubtreeIndependence,
+};
 
 /// Index of a fused function within a [`FusedProgram`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -218,6 +220,10 @@ pub struct FusedProgram {
     pub entry_slots: Vec<MethodId>,
     /// Static coverage accounting of the grouping stage.
     pub coverage: FusionCoverage,
+    /// Subtree-independence verdicts per fused function (indexed by
+    /// [`FusedFnId`]): which runs of sibling dispatches are parallel-safe.
+    /// Computed from the same dependence graphs that scheduled the bodies.
+    pub par: SubtreeIndependence,
 }
 
 impl FusedProgram {
@@ -255,6 +261,11 @@ impl FusedProgram {
     /// Total number of generated fused functions.
     pub fn n_functions(&self) -> usize {
         self.functions.len()
+    }
+
+    /// The subtree-independence facts of one fused function.
+    pub fn parallelism(&self, id: FusedFnId) -> &FnParallelism {
+        self.par.for_fn(id.0 as usize)
     }
 }
 
@@ -327,6 +338,7 @@ pub fn fuse_slots(
         stubs: Vec::new(),
         stub_keys: HashMap::new(),
         coverage: FusionCoverage::default(),
+        par: Vec::new(),
     };
     let entries = if opts.grouping {
         vec![fuser.stub_for(class, slots.to_vec())]
@@ -345,6 +357,7 @@ pub fn fuse_slots(
         entries,
         entry_slots: slots.to_vec(),
         coverage: fuser.coverage,
+        par: SubtreeIndependence { fns: fuser.par },
     }
 }
 
@@ -357,6 +370,8 @@ struct Fuser<'p> {
     stubs: Vec<Stub>,
     stub_keys: HashMap<(ClassId, Vec<MethodId>), StubId>,
     coverage: FusionCoverage,
+    /// Parallelism facts per fused function, filled as bodies finish.
+    par: Vec<FnParallelism>,
 }
 
 impl Fuser<'_> {
@@ -424,6 +439,7 @@ impl Fuser<'_> {
             name,
         });
         self.fn_keys.insert(seq.clone(), id);
+        self.par.push(FnParallelism::default());
 
         let merged = DepGraph::merge_bodies(self.program, &seq);
         let graph = DepGraph::build(&mut self.accesses, &seq, &merged);
@@ -431,7 +447,21 @@ impl Fuser<'_> {
         let order = graph.schedule(&group_of, n_groups);
         debug_assert!(graph.order_is_valid(&order));
 
-        let body = self.emit_body(&seq, &merged, &group_of, &order);
+        let (body, members) = self.emit_body(&seq, &merged, &group_of, &order);
+        // Subtree independence: which sibling dispatches of this body are
+        // free of cross-subtree conflicts (the dependence edges) and of
+        // global writes (the parallel workers' ordering hazard).
+        let writes_globals: Vec<bool> = merged
+            .iter()
+            .map(|ms| {
+                !self
+                    .accesses
+                    .summary(seq[ms.traversal], ms.index)
+                    .global_writes
+                    .is_empty_language()
+            })
+            .collect();
+        self.par[id.0 as usize] = subtree_independence(&graph, &members, &writes_globals);
         self.functions[id.0 as usize].body = body;
         id
     }
@@ -569,16 +599,21 @@ impl Fuser<'_> {
     }
 
     /// Emits the scheduled body, turning each call group into a stub
-    /// dispatch (recursing into `stub_for` / `fused_for`).
+    /// dispatch (recursing into `stub_for` / `fused_for`). Also returns,
+    /// per body item, the merged-vertex members of each `Call` item
+    /// (`None` for `Stmt` items) — the input of the subtree-independence
+    /// analysis.
+    #[allow(clippy::type_complexity)]
     fn emit_body(
         &mut self,
         seq: &[MethodId],
         merged: &[MergedStmt],
         group_of: &[usize],
         order: &[usize],
-    ) -> Vec<ScheduledItem> {
+    ) -> (Vec<ScheduledItem>, Vec<Option<Vec<usize>>>) {
         let mut emitted_groups: Vec<bool> = vec![false; merged.len() + 1];
         let mut body = Vec::new();
+        let mut item_members = Vec::new();
         for &v in order {
             match &merged[v].stmt {
                 Stmt::Traverse(_) => {
@@ -619,14 +654,18 @@ impl Fuser<'_> {
                         stub,
                         parts,
                     });
+                    item_members.push(Some(members));
                 }
-                stmt => body.push(ScheduledItem::Stmt {
-                    traversal: merged[v].traversal,
-                    stmt: stmt.clone(),
-                }),
+                stmt => {
+                    body.push(ScheduledItem::Stmt {
+                        traversal: merged[v].traversal,
+                        stmt: stmt.clone(),
+                    });
+                    item_members.push(None);
+                }
             }
         }
-        body
+        (body, item_members)
     }
 }
 

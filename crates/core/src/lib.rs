@@ -54,7 +54,9 @@ pub mod fusion;
 pub mod pipeline;
 
 pub use access::{AccessSummary, ProgramAccesses};
-pub use depgraph::{DepGraph, MergedStmt};
+pub use depgraph::{
+    CallPairVerdict, DepGraph, FnParallelism, MergedStmt, ParBlock, SubtreeIndependence,
+};
 pub use error::Error;
 pub use fusion::{
     fuse, fuse_slots, CallPart, FuseError, FuseOptions, FusedFn, FusedFnId, FusedProgram,

@@ -59,17 +59,28 @@ pub struct PoolStats {
     pub spawned_total: u64,
     /// Batch participation jobs executed since process start.
     pub jobs_executed: u64,
+    /// Worker threads executing a job right now (gauge).
+    pub busy: u64,
+    /// Worker threads parked waiting for work right now (gauge;
+    /// `threads - busy`).
+    pub idle: u64,
 }
 
 /// Stats of the process-wide pool. Zero until the first pooled batch.
 pub fn pool_stats() -> PoolStats {
     match POOL.get() {
         None => PoolStats::default(),
-        Some(pool) => PoolStats {
-            threads: pool.spawned_total.load(Ordering::Relaxed),
-            spawned_total: pool.spawned_total.load(Ordering::Relaxed),
-            jobs_executed: pool.jobs_executed.load(Ordering::Relaxed),
-        },
+        Some(pool) => {
+            let threads = pool.spawned_total.load(Ordering::Relaxed);
+            let busy = pool.jobs_in_flight.load(Ordering::Relaxed).min(threads);
+            PoolStats {
+                threads,
+                spawned_total: threads,
+                jobs_executed: pool.jobs_executed.load(Ordering::Relaxed),
+                busy,
+                idle: threads - busy,
+            }
+        }
     }
 }
 
@@ -131,6 +142,8 @@ pub(crate) struct WorkerPool {
     cv: Condvar,
     spawned_total: AtomicU64,
     jobs_executed: AtomicU64,
+    /// Jobs executing on pool workers right now (busy gauge).
+    jobs_in_flight: AtomicU64,
 }
 
 static POOL: OnceLock<WorkerPool> = OnceLock::new();
@@ -161,6 +174,7 @@ pub(crate) fn pool() -> &'static WorkerPool {
         cv: Condvar::new(),
         spawned_total: AtomicU64::new(0),
         jobs_executed: AtomicU64::new(0),
+        jobs_in_flight: AtomicU64::new(0),
     })
 }
 
@@ -227,11 +241,13 @@ impl WorkerPool {
             // outer guard keeps anything that still unwinds (e.g. a
             // poisoned slot lock) from killing the pool thread, and
             // guarantees the latch is released either way.
+            self.jobs_in_flight.fetch_add(1, Ordering::Relaxed);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 // SAFETY: the submitter blocks on `job.latch` until this
                 // handle calls `done()`, so the context outlives the call.
                 unsafe { (job.run)(job.ctx.0) }
             }));
+            self.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
             self.jobs_executed.fetch_add(1, Ordering::Relaxed);
             job.latch.done();
             drop(outcome);
@@ -260,6 +276,43 @@ impl WorkerPool {
         }
         self.cv.notify_all();
         latch
+    }
+
+    /// Blocks on `latch`, draining queued jobs (any batch's) while it is
+    /// outstanding. This is the fork-join wait: a worker that forked
+    /// nested subtrees helps execute queued work instead of parking, so
+    /// every waiter makes progress and nested fork-join cannot deadlock
+    /// the fixed-size pool — each queued job can always be run by its own
+    /// submitter if no worker is free.
+    pub(crate) fn wait_help(&'static self, latch: &Latch) {
+        loop {
+            if *latch.outstanding.lock().expect("latch lock") == 0 {
+                return;
+            }
+            let job = {
+                let mut state = self.state.lock().expect("pool lock");
+                state.queue.pop_front()
+            };
+            match job {
+                Some(job) => {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        // SAFETY: as in `worker_loop` — the job's submitter
+                        // blocks on its latch until `done()`.
+                        unsafe { (job.run)(job.ctx.0) }
+                    }));
+                    self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                    job.latch.done();
+                    drop(outcome);
+                }
+                None => {
+                    // Nothing left to steal: the remaining handles of this
+                    // latch are running on other threads. Their jobs never
+                    // grow this latch, so a plain wait is deadlock-free.
+                    latch.wait();
+                    return;
+                }
+            }
+        }
     }
 }
 

@@ -60,7 +60,7 @@ pub mod pipeline;
 mod pure;
 
 pub use heap::{default_literal, Heap, Layouts, NodeId, SnapValue, NODE_HEADER_BYTES, SLOT_BYTES};
-pub use interp::{Interp, RuntimeError};
+pub use interp::{ForkHost, ForkOutcome, ForkTask, Interp, NoFork, RuntimeError};
 pub use metrics::{cost, Metrics};
 #[allow(deprecated)]
 pub use pipeline::{Execute, Executor, RunReport};

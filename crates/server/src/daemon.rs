@@ -207,7 +207,11 @@ impl Daemon {
                 write_frame(writer, &w.finish())
             }
             Request::Stats => write_frame(writer, &self.stats_body()),
-            Request::Run { program, input } => {
+            Request::Run {
+                program,
+                input,
+                parallel,
+            } => {
                 let engine = match self.engine_for(&program) {
                     Ok(e) => e,
                     Err(e) => return write_frame(writer, &render_error(&e.stage, &e.message)),
@@ -217,9 +221,11 @@ impl Daemon {
                     Err(e) => return write_frame(writer, &render_error(&e.stage, &e.message)),
                 };
                 // Routed through the pool: pooled session, 2 GiB stack,
-                // per-input catch_unwind — even for a single run.
-                let mut results =
-                    engine.try_run_batch(vec![builder], &BatchOptions::with_workers(1));
+                // per-input catch_unwind — even for a single run. Requested
+                // intra-tree parallelism forks further pool jobs from there.
+                let mut opts = BatchOptions::with_workers(1);
+                opts.parallel = parallel;
+                let mut results = engine.try_run_batch(vec![builder], &opts);
                 let result = results.pop().expect("one input, one result");
                 let body = match result {
                     Ok(report) => {
@@ -238,6 +244,7 @@ impl Daemon {
                 program,
                 inputs,
                 window,
+                parallel,
             } => {
                 let engine = match self.engine_for(&program) {
                     Ok(e) => e,
@@ -251,7 +258,8 @@ impl Daemon {
                         Err(e) => return write_frame(writer, &render_error(&e.stage, &e.message)),
                     }
                 }
-                let opts = BatchOptions::with_workers(self.opts.workers.min(total.max(1)));
+                let mut opts = BatchOptions::with_workers(self.opts.workers.min(total.max(1)));
+                opts.parallel = parallel;
 
                 // Stream input-ordered chunks; TCP write stalls propagate
                 // through the sink into the batch window (backpressure).
@@ -317,6 +325,8 @@ impl Daemon {
         w.key("threads").num(pool.threads);
         w.key("spawned_total").num(pool.spawned_total);
         w.key("jobs_executed").num(pool.jobs_executed);
+        w.key("busy").num(pool.busy);
+        w.key("idle").num(pool.idle);
         w.end_obj();
         w.end_obj();
         w.finish()

@@ -10,12 +10,12 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use grafter_engine::{Backend, FusionOptions, OptLevel};
+use grafter_engine::{Backend, FusionOptions, OptLevel, ParallelOptions};
 use grafter_obs::json::{parse, Json};
 use grafter_runtime::Value;
 use grafter_server::proto::{
-    render_bare, render_run, render_run_batch, write_frame, FrameReader, Incoming, InputSpec,
-    ProgramSpec, TreeSpec, MAX_BODY,
+    render_bare, render_run, render_run_batch, render_run_with, write_frame, FrameReader, Incoming,
+    InputSpec, ProgramSpec, TreeSpec, MAX_BODY,
 };
 use grafter_server::{Daemon, DaemonOptions};
 
@@ -163,6 +163,18 @@ fn ping_run_and_batch_round_trip() {
         .and_then(Json::as_num)
         .expect("cache.misses");
     assert_eq!(misses as u64, 1, "run and batch share one cached engine");
+    let pool = stats.get("pool").expect("pool stats");
+    let busy = pool.get("busy").and_then(Json::as_num).expect("pool.busy");
+    let idle = pool.get("idle").and_then(Json::as_num).expect("pool.idle");
+    let threads = pool
+        .get("threads")
+        .and_then(Json::as_num)
+        .expect("pool.threads");
+    assert_eq!(
+        busy + idle,
+        threads,
+        "busy and idle gauges partition the pool"
+    );
 
     shutdown.store(true, Ordering::SeqCst);
     drop(client);
@@ -352,4 +364,58 @@ fn shutdown_waits_for_a_partially_received_request() {
     assert!(is_ok(&resp), "in-flight request answered during drain");
 
     handle.join().expect("daemon drains and exits");
+}
+
+/// A `run` with the `parallel` field must return the same report as a
+/// sequential run of the same input — parallelism is server-side wall
+/// time only, never a response change.
+#[test]
+fn parallel_run_matches_sequential_over_the_wire() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    // Use a generated kdtree input against the real case-study program:
+    // fetch its source from the workload crate so the daemon compiles
+    // the same engine the differential suite exercises.
+    let case = grafter_workloads::case_studies()
+        .into_iter()
+        .find(|c| c.name == "kdtree")
+        .expect("kdtree case");
+    let program = ProgramSpec {
+        source: case.source.to_string(),
+        root: case.root_class.to_string(),
+        passes: case.passes.iter().map(|s| (*s).to_string()).collect(),
+        backend: Backend::Vm,
+        opt_level: OptLevel::default(),
+        fusion: FusionOptions::default(),
+        args: case.args.clone(),
+    };
+    let input = InputSpec::Gen {
+        workload: "kdtree".to_string(),
+        size: 8,
+        seed: 42,
+    };
+
+    let seq = client.call(&render_run(&program, &input));
+    assert!(is_ok(&seq), "sequential run failed: {seq:?}");
+    let par_opts = ParallelOptions {
+        workers: 4,
+        fork_depth: 4,
+        seq_cutoff: 1,
+    };
+    let par = client.call(&render_run_with(&program, &input, Some(&par_opts)));
+    assert!(is_ok(&par), "parallel run failed: {par:?}");
+
+    // Bit-identical everywhere except wall time.
+    for key in ["metrics", "globals", "backend"] {
+        assert_eq!(
+            format!("{:?}", seq.get("report").and_then(|r| r.get(key))),
+            format!("{:?}", par.get("report").and_then(|r| r.get(key))),
+            "report.{key} diverged between sequential and parallel"
+        );
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
 }

@@ -13,7 +13,7 @@
 //! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
 //!          [--unfused] [--stats] [--backend interp|vm|jit|jit-release]
 //!          [-O0|-O1|-O2] [--emit cpp|bytecode|none] [--disasm-blocks]
-//!          [--run] [--json] [--profile] [--trace-out FILE]
+//!          [--run] [--parallel N] [--json] [--profile] [--trace-out FILE]
 //! ```
 //!
 //! `--backend` names the execution tier the artifact is being prepared
@@ -33,6 +33,10 @@
 //! execution that surfaces runtime failures. With `--run --json` the
 //! run's `Report` is additionally serialized as one JSON object on
 //! stdout (combine with `--emit none` for a pure-JSON stdout).
+//! `--parallel N` runs with N-worker intra-tree parallelism (forking
+//! statically certified independent sibling subtrees onto the worker
+//! pool); results are bit-identical to a sequential run, so the flag
+//! only changes wall time.
 //!
 //! `--profile` attaches a `grafter_obs::TraceProbe`: the build records
 //! per-stage compile spans, `--run` records the tier's runtime profile,
@@ -55,12 +59,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use grafter::{Diag, DiagnosticBag, Error, FuseOptions, Stage};
-use grafter_engine::{Backend, Engine, OptLevel, Probe, TraceProbe};
+use grafter_engine::{Backend, Engine, OptLevel, ParallelOptions, Probe, TraceProbe};
 
 const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
      [--unfused] [--stats] [--backend interp|vm|jit|jit-release] [-O0|-O1|-O2] \
-     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--json] [--profile] \
-     [--trace-out FILE]";
+     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--parallel N] [--json] \
+     [--profile] [--trace-out FILE]";
 
 const EXIT_IO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -175,6 +179,16 @@ fn main() -> ExitCode {
         FuseOptions::unfused()
     } else {
         FuseOptions::default()
+    };
+    let parallel = match arg_value(&args, "--parallel") {
+        None => None,
+        Some(n) => match n.parse::<usize>() {
+            Ok(workers) if workers >= 1 => Some(ParallelOptions::with_workers(workers)),
+            _ => {
+                eprintln!("error: --parallel expects a worker count of at least 1");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
     };
     let probe = args
         .iter()
@@ -297,6 +311,9 @@ fn main() -> ExitCode {
 
     if args.iter().any(|a| a == "--run") {
         let mut session = engine.session();
+        if let Some(par) = &parallel {
+            session = session.with_parallel(par.clone());
+        }
         let node = match session.alloc(&root) {
             Ok(node) => node,
             Err(err) => return report(&err, &pending, &source, &path, json),

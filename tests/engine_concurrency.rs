@@ -133,6 +133,7 @@ fn run_batch_is_deterministic_and_ordered_for_every_case_study() {
                 &BatchOptions {
                     workers: 1,
                     stack_bytes: STACK,
+                    ..BatchOptions::default()
                 },
             )
             .unwrap();
@@ -142,6 +143,7 @@ fn run_batch_is_deterministic_and_ordered_for_every_case_study() {
                 &BatchOptions {
                     workers: THREADS,
                     stack_bytes: STACK,
+                    ..BatchOptions::default()
                 },
             )
             .unwrap();
