@@ -12,13 +12,9 @@
 //! baseline), the VM artifacts lower once, and the timed region executes
 //! alone.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grafter::pipeline::Fused;
-use grafter_runtime::{Execute, Heap, NodeId, Value};
+use grafter::Fused;
+use grafter_runtime::{Heap, Interp, NodeId, Value};
 use grafter_vm::{lower, Module, Vm};
 use grafter_workloads::{case_studies, render, CaseStudy};
 
@@ -43,7 +39,7 @@ fn prepare(case: &CaseStudy) -> Prepared {
         .unwrap();
     let vm_fused = lower(fused.fused_program());
     let vm_unfused = lower(unfused.fused_program());
-    let mut heap = fused.new_heap();
+    let mut heap = Heap::new(fused.program());
     let root = case.build_bench(&mut heap);
     Prepared {
         fused,
@@ -69,10 +65,9 @@ fn bench_pair(c: &mut Criterion, group: &str, p: &Prepared) {
                     // measured region is the interpreter run alone.
                     || (p.heap.clone(), p.args.clone()),
                     |(mut heap, args)| {
-                        artifact
-                            .interpret_with_args(&mut heap, p.root, args)
-                            .unwrap()
-                            .visits
+                        let mut interp = Interp::new(artifact.fused_program());
+                        interp.run(&mut heap, p.root, &args).unwrap();
+                        interp.metrics.visits
                     },
                     criterion::BatchSize::LargeInput,
                 );

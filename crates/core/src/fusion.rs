@@ -30,6 +30,10 @@ use crate::access::ProgramAccesses;
 use crate::depgraph::{
     subtree_independence, DepGraph, FnParallelism, MergedStmt, SubtreeIndependence,
 };
+use crate::explain::{
+    BlockCause, CallSite, ConflictKind, EdgeEnd, FusionExplain, FusionVerdict, MissReason,
+    PairExplain,
+};
 
 /// Index of a fused function within a [`FusedProgram`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -220,6 +224,10 @@ pub struct FusedProgram {
     pub entry_slots: Vec<MethodId>,
     /// Static coverage accounting of the grouping stage.
     pub coverage: FusionCoverage,
+    /// Per-pair fusability verdicts behind [`FusedProgram::coverage`]: one
+    /// span-carrying record per candidate pair, with the reason it fused,
+    /// was missed, or was blocked. Category totals equal `coverage`.
+    pub explain: FusionExplain,
     /// Subtree-independence verdicts per fused function (indexed by
     /// [`FusedFnId`]): which runs of sibling dispatches are parallel-safe.
     /// Computed from the same dependence graphs that scheduled the bodies.
@@ -338,6 +346,7 @@ pub fn fuse_slots(
         stubs: Vec::new(),
         stub_keys: HashMap::new(),
         coverage: FusionCoverage::default(),
+        explain: FusionExplain::default(),
         par: Vec::new(),
     };
     let entries = if opts.grouping {
@@ -357,6 +366,7 @@ pub fn fuse_slots(
         entries,
         entry_slots: slots.to_vec(),
         coverage: fuser.coverage,
+        explain: fuser.explain,
         par: SubtreeIndependence { fns: fuser.par },
     }
 }
@@ -370,6 +380,8 @@ struct Fuser<'p> {
     stubs: Vec<Stub>,
     stub_keys: HashMap<(ClassId, Vec<MethodId>), StubId>,
     coverage: FusionCoverage,
+    /// Per-pair verdicts behind `coverage`, pushed in discovery order.
+    explain: FusionExplain,
     /// Parallelism facts per fused function, filled as bodies finish.
     par: Vec<FnParallelism>,
 }
@@ -555,47 +567,228 @@ impl Fuser<'_> {
             }
         }
 
-        // Coverage accounting: every same-receiver pair of traversing
-        // calls is a static fusion candidate. Pairs landing in the same
-        // group were fused; the rest are classified by whether merging
-        // just the two of them would have been legal (a common dispatch
-        // supertype exists and the condensed graph stays acyclic) —
-        // "missed" if so, "blocked" otherwise.
-        for (i, &u) in call_vertices.iter().enumerate() {
-            for &v in &call_vertices[i + 1..] {
-                if receiver_key(u) != receiver_key(v) {
-                    continue;
-                }
-                if self.opts.grouping && group_of[u] == group_of[v] {
-                    self.coverage.fused_pairs += 1;
-                    continue;
-                }
-                let legal = match (static_target(self, u), static_target(self, v)) {
-                    (Some(a), Some(b)) => {
-                        self.program.least_common_ancestor(&[a, b]).is_some() && {
-                            let mut pair: Vec<usize> = (0..n).collect();
-                            pair[v] = u;
-                            condensation_acyclic(graph, &pair)
-                        }
-                    }
-                    _ => false,
-                };
-                if legal {
-                    self.coverage.missed_pairs += 1;
-                } else {
-                    self.coverage.blocked_pairs += 1;
-                }
-            }
-        }
-
-        // Re-number groups densely.
+        // Re-number groups densely (before coverage, so fused verdicts can
+        // name the dense group id the scheduled body will use).
         let mut remap: HashMap<usize, usize> = HashMap::new();
         for g in group_of.iter_mut() {
             let next = remap.len();
             *g = *remap.entry(*g).or_insert(next);
         }
         let n_groups = remap.len();
+
+        // Coverage accounting + explain: every same-receiver pair of
+        // traversing calls is a static fusion candidate. Pairs landing in
+        // the same group were fused; the rest are classified by whether
+        // merging just the two of them would have been legal (a common
+        // dispatch supertype exists and the condensed graph stays acyclic)
+        // — "missed" if so, "blocked" otherwise — and each pair gets a
+        // span-carrying verdict recording the specific reason.
+        let fn_name = self
+            .functions
+            .last()
+            .expect("group_calls runs for the function just registered")
+            .name
+            .clone();
+        for (i, &u) in call_vertices.iter().enumerate() {
+            for &v in &call_vertices[i + 1..] {
+                if receiver_key(u) != receiver_key(v) {
+                    continue;
+                }
+                let verdict = if self.opts.grouping && group_of[u] == group_of[v] {
+                    self.coverage.fused_pairs += 1;
+                    FusionVerdict::Fused { group: group_of[u] }
+                } else {
+                    let targets = (static_target(self, u), static_target(self, v));
+                    let legal = match targets {
+                        (Some(a), Some(b)) => {
+                            self.program.least_common_ancestor(&[a, b]).is_some() && {
+                                let mut pair: Vec<usize> = (0..n).collect();
+                                pair[v] = u;
+                                condensation_acyclic(graph, &pair)
+                            }
+                        }
+                        _ => false,
+                    };
+                    if legal {
+                        self.coverage.missed_pairs += 1;
+                        let reason = if !self.opts.grouping {
+                            MissReason::GroupingDisabled
+                        } else {
+                            let size = |g: usize| {
+                                call_vertices.iter().filter(|&&w| group_of[w] == g).count()
+                            };
+                            let combined: Vec<usize> = call_vertices
+                                .iter()
+                                .copied()
+                                .filter(|&w| {
+                                    group_of[w] == group_of[u] || group_of[w] == group_of[v]
+                                })
+                                .collect();
+                            let repeats = combined.iter().any(|&w| {
+                                combined
+                                    .iter()
+                                    .filter(|&&x| slot_of(x) == slot_of(w))
+                                    .count()
+                                    > self.opts.max_occurrences
+                            });
+                            if size(group_of[u]) + size(group_of[v]) > self.opts.max_group_size {
+                                MissReason::GroupSizeCutoff {
+                                    limit: self.opts.max_group_size,
+                                }
+                            } else if repeats {
+                                MissReason::OccurrenceCutoff {
+                                    limit: self.opts.max_occurrences,
+                                }
+                            } else {
+                                MissReason::GreedyOrder
+                            }
+                        };
+                        FusionVerdict::Missed { reason }
+                    } else {
+                        self.coverage.blocked_pairs += 1;
+                        let method_name =
+                            |w: usize| self.program.methods[slot_of(w).index()].name.clone();
+                        let cause = match targets {
+                            (None, _) => BlockCause::CrossHierarchy {
+                                method: method_name(u),
+                            },
+                            (_, None) => BlockCause::CrossHierarchy {
+                                method: method_name(v),
+                            },
+                            (Some(a), Some(b)) => {
+                                if self.program.least_common_ancestor(&[a, b]).is_none() {
+                                    BlockCause::NoCommonSupertype {
+                                        left: self.program.classes[a.index()].name.clone(),
+                                        right: self.program.classes[b.index()].name.clone(),
+                                    }
+                                } else {
+                                    self.cycle_cause(seq, merged, graph, u, v)
+                                }
+                            }
+                        };
+                        FusionVerdict::Blocked { cause }
+                    }
+                };
+                self.explain.pairs.push(PairExplain {
+                    fused_fn: fn_name.clone(),
+                    receiver: render_receiver(self.program, u, merged),
+                    left: call_site(self.program, merged, u),
+                    right: call_site(self.program, merged, v),
+                    verdict,
+                });
+            }
+        }
+
         (group_of, n_groups)
+    }
+
+    /// Names the dependence edge that closes the condensation cycle when
+    /// the pair `(u, v)` is merged: the first edge of a shortest dependence
+    /// path `u → … → v` through vertices outside the pair (with forward-only
+    /// edges, such a path is exactly what makes the pair-merged condensation
+    /// cyclic), classified by re-running the access-automata intersections
+    /// that built the graph.
+    fn cycle_cause(
+        &mut self,
+        seq: &[MethodId],
+        merged: &[MergedStmt],
+        graph: &DepGraph,
+        u: usize,
+        v: usize,
+    ) -> BlockCause {
+        let n = merged.len();
+        // BFS from u towards v, never stepping *through* v (intermediate
+        // vertices must be outside the pair; the final hop lands on v).
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut found = false;
+        for &s in graph.succs(u) {
+            if s != v && parent[s].is_none() {
+                parent[s] = Some(u);
+                queue.push_back(s);
+            }
+        }
+        'bfs: while let Some(x) = queue.pop_front() {
+            for &s in graph.succs(x) {
+                if s == v {
+                    parent[v] = Some(x);
+                    found = true;
+                    break 'bfs;
+                }
+                if parent[s].is_none() {
+                    parent[s] = Some(x);
+                    queue.push_back(s);
+                }
+            }
+        }
+        let (from, to) = if found {
+            // Walk back from v to recover the first hop out of u.
+            let mut hop = v;
+            while let Some(p) = parent[hop] {
+                if p == u {
+                    break;
+                }
+                hop = p;
+            }
+            (u, hop)
+        } else {
+            // Defensive: with forward-only edges this should not happen;
+            // fall back to the direct pair edge.
+            (u, v)
+        };
+        let kind = self.classify_edge(seq, merged, from, to);
+        BlockCause::DependenceCycle {
+            kind,
+            from: edge_end(self.program, merged, from),
+            to: edge_end(self.program, merged, to),
+        }
+    }
+
+    /// Classifies the dependence edge `(a, b)` by re-running the individual
+    /// automata intersections of [`AccessSummary::conflicts_with`], data
+    /// conflicts first (more informative than the control fallback).
+    ///
+    /// [`AccessSummary::conflicts_with`]: crate::AccessSummary::conflicts_with
+    fn classify_edge(
+        &mut self,
+        seq: &[MethodId],
+        merged: &[MergedStmt],
+        a: usize,
+        b: usize,
+    ) -> ConflictKind {
+        let same_frame = merged[a].traversal == merged[b].traversal;
+        let sa = self
+            .accesses
+            .summary(seq[merged[a].traversal], merged[a].index)
+            .clone();
+        let sb = self
+            .accesses
+            .summary(seq[merged[b].traversal], merged[b].index)
+            .clone();
+        let locals_hit = |x: &[grafter_frontend::LocalId], y: &[grafter_frontend::LocalId]| {
+            x.iter().any(|l| y.contains(l))
+        };
+        if sa.tree_writes.intersects(&sb.tree_reads) {
+            ConflictKind::TreeWriteRead
+        } else if sa.tree_writes.intersects(&sb.tree_writes) {
+            ConflictKind::TreeWriteWrite
+        } else if sa.tree_reads.intersects(&sb.tree_writes) {
+            ConflictKind::TreeReadWrite
+        } else if sa.global_writes.intersects(&sb.global_reads) {
+            ConflictKind::GlobalWriteRead
+        } else if sa.global_writes.intersects(&sb.global_writes) {
+            ConflictKind::GlobalWriteWrite
+        } else if sa.global_reads.intersects(&sb.global_writes) {
+            ConflictKind::GlobalReadWrite
+        } else if same_frame
+            && (locals_hit(&sa.local_writes, &sb.local_reads)
+                || locals_hit(&sa.local_writes, &sb.local_writes)
+                || locals_hit(&sa.local_reads, &sb.local_writes))
+        {
+            ConflictKind::Local
+        } else {
+            ConflictKind::Control
+        }
     }
 
     /// Emits the scheduled body, turning each call group into a stub
@@ -666,6 +859,53 @@ impl Fuser<'_> {
             }
         }
         (body, item_members)
+    }
+}
+
+/// The explain record of one call site: the invoked slot's name plus the
+/// source span of the `receiver->method(...)` statement.
+fn call_site(program: &Program, merged: &[MergedStmt], v: usize) -> CallSite {
+    let Stmt::Traverse(call) = &merged[v].stmt else {
+        unreachable!("call sites are traverses");
+    };
+    CallSite {
+        method: program.methods[call.slot.index()].name.clone(),
+        span: call.span,
+    }
+}
+
+/// Renders the receiver path of call vertex `v` as source-like text,
+/// e.g. `this->left` or `(Inner*)this->kids`.
+fn render_receiver(program: &Program, v: usize, merged: &[MergedStmt]) -> String {
+    let Stmt::Traverse(call) = &merged[v].stmt else {
+        unreachable!("call sites are traverses");
+    };
+    let mut out = match call.receiver.base_cast {
+        Some(c) => format!("({}*)this", program.classes[c.index()].name),
+        None => "this".to_string(),
+    };
+    for f in call.receiver.fields() {
+        out.push_str("->");
+        out.push_str(&program.fields[f.index()].name);
+    }
+    out
+}
+
+/// Describes one endpoint of a named dependence edge.
+fn edge_end(program: &Program, merged: &[MergedStmt], v: usize) -> EdgeEnd {
+    let what = match &merged[v].stmt {
+        Stmt::Traverse(call) => {
+            format!("call `{}`", program.methods[call.slot.index()].name)
+        }
+        _ => format!(
+            "statement {} of traversal {}",
+            merged[v].index, merged[v].traversal
+        ),
+    };
+    EdgeEnd {
+        traversal: merged[v].traversal,
+        index: merged[v].index,
+        what,
     }
 }
 

@@ -50,6 +50,7 @@ pub mod access;
 pub mod cpp;
 pub mod depgraph;
 pub mod error;
+pub mod explain;
 pub mod fusion;
 pub mod pipeline;
 
@@ -58,11 +59,13 @@ pub use depgraph::{
     CallPairVerdict, DepGraph, FnParallelism, MergedStmt, ParBlock, SubtreeIndependence,
 };
 pub use error::Error;
+pub use explain::{
+    BlockCause, CallSite, ConflictKind, EdgeEnd, FusionExplain, FusionVerdict, MissReason,
+    PairExplain,
+};
 pub use fusion::{
     fuse, fuse_slots, CallPart, FuseError, FuseOptions, FusedFn, FusedFnId, FusedProgram,
     FusionCoverage, FusionOptions, ScheduledItem, Stub, StubId,
 };
 pub use grafter_frontend::{Diag, DiagnosticBag, Severity, Stage};
-#[allow(deprecated)]
-pub use pipeline::Pipeline;
 pub use pipeline::{Compiled, Fused, FusionMetrics};

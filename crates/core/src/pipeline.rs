@@ -1,17 +1,15 @@
-//! The staged compile→fuse→execute pipeline.
+//! The staged compile→fuse stages of the compiler.
 //!
-//! Every consumer of the Grafter reproduction goes through this module:
-//! [`Pipeline::compile`] turns DSL source into a [`Compiled`] program
+//! [`Compiled::compile`] turns DSL source into a [`Compiled`] program
 //! (running lexer, parser and sema, with all diagnostics accumulated in
 //! one [`DiagnosticBag`]); [`Compiled::fuse`] runs the fusion compiler and
-//! yields a [`Fused`] artifact that can render C++ ([`Fused::render_cpp`]),
-//! report compile-side fusion statistics ([`Fused::metrics`]) or execute —
-//! the `grafter-runtime` crate extends [`Fused`] with `.interpret(&mut
-//! heap, root)` via its `Execute` trait, keeping this crate free of a
-//! runtime dependency.
+//! yields a [`Fused`] artifact that can render C++ ([`Fused::render_cpp`])
+//! or report compile-side fusion statistics ([`Fused::metrics`]).
+//! Execution lives in `grafter_engine` — build an `Engine` from a
+//! [`Compiled`] (or straight from source) and open per-request sessions.
 //!
 //! ```
-//! use grafter::pipeline::Pipeline;
+//! use grafter::Compiled;
 //!
 //! let src = r#"
 //!     tree class Node {
@@ -26,10 +24,10 @@
 //!     }
 //!     tree class End : Node { }
 //! "#;
-//! let fused = Pipeline::compile(src)?.fuse_default("Node", &["incA", "incB"])?;
+//! let fused = Compiled::compile(src)?.fuse_default("Node", &["incA", "incB"])?;
 //! assert!(fused.metrics().fully_fused);
 //! assert!(fused.render_cpp().contains("__stub0"));
-//! # Ok::<(), grafter_frontend::DiagnosticBag>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use std::fmt;
@@ -49,36 +47,6 @@ impl From<FuseError> for Diag {
 impl From<FuseError> for DiagnosticBag {
     fn from(e: FuseError) -> DiagnosticBag {
         DiagnosticBag::from(Diag::from(e))
-    }
-}
-
-/// Entry point of the staged pipeline.
-///
-/// `Pipeline` is a namespace for the first stage; the value flow is
-/// `Pipeline::compile(src)? → Compiled → .fuse(..)? → Fused`.
-///
-/// Deprecated: the one-shot staged flow re-threads source → fused program
-/// → backend on every run and shares nothing across threads. Build an
-/// `Engine` once instead (`grafter_engine::Engine::builder()`), then open
-/// per-request sessions — see the README migration guide. `Pipeline`
-/// remains as a thin shim over the same machinery.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `grafter_engine::Engine` once and open per-request sessions; \
-            `Pipeline::compile` is `Compiled::compile` with a weaker error type"
-)]
-pub struct Pipeline;
-
-#[allow(deprecated)]
-impl Pipeline {
-    /// Compiles DSL source through lexing, parsing and semantic analysis.
-    ///
-    /// # Errors
-    ///
-    /// Returns the accumulated [`DiagnosticBag`] if any stage reports an
-    /// error; warnings ride along on success via [`Compiled::warnings`].
-    pub fn compile(src: impl Into<String>) -> Result<Compiled, DiagnosticBag> {
-        Compiled::compile(src).map_err(Error::into_bag)
     }
 }
 
@@ -219,8 +187,12 @@ pub struct FusionMetrics {
     /// Same-receiver call pairs merged into one dispatch (static count,
     /// see [`crate::FusionCoverage`]).
     pub fused_pairs: usize,
-    /// Statically fusable same-receiver pairs left unfused.
+    /// Statically fusable same-receiver pairs left unfused (legal but
+    /// ungrouped; run `--explain` for the per-pair reasons).
     pub missed_pairs: usize,
+    /// Same-receiver pairs no legal grouping could fuse (no common
+    /// supertype, cross-hierarchy receiver, or a dependence cycle).
+    pub blocked_pairs: usize,
 }
 
 impl fmt::Display for FusionMetrics {
@@ -228,13 +200,14 @@ impl fmt::Display for FusionMetrics {
         write!(
             f,
             "{} function(s), {} stub(s), {} pass(es), fully fused: {}, \
-             coverage: {} fused / {} missed pair(s)",
+             coverage: {} fused / {} missed / {} blocked pair(s)",
             self.functions,
             self.stubs,
             self.passes,
             self.fully_fused,
             self.fused_pairs,
-            self.missed_pairs
+            self.missed_pairs,
+            self.blocked_pairs
         )
     }
 }
@@ -263,7 +236,14 @@ impl Fused {
             fully_fused: self.fused.fully_fused(),
             fused_pairs: self.fused.coverage.fused_pairs,
             missed_pairs: self.fused.coverage.missed_pairs,
+            blocked_pairs: self.fused.coverage.blocked_pairs,
         }
+    }
+
+    /// The per-pair fusability verdicts of the fusion run (the `--explain`
+    /// report).
+    pub fn explain(&self) -> &crate::explain::FusionExplain {
+        &self.fused.explain
     }
 
     /// The source program shared by the fused code.
@@ -302,7 +282,6 @@ impl std::ops::Deref for Fused {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -322,7 +301,7 @@ mod tests {
 
     #[test]
     fn staged_flow_compiles_and_fuses() {
-        let compiled = Pipeline::compile(SRC).unwrap();
+        let compiled = Compiled::compile(SRC).unwrap();
         assert!(compiled.warnings().is_empty());
         let fused = compiled.fuse_default("Node", &["incA", "incB"]).unwrap();
         let m = fused.metrics();
@@ -334,14 +313,16 @@ mod tests {
 
     #[test]
     fn compile_errors_carry_stage() {
-        let bag = Pipeline::compile("tree class X { child Y* next; }").unwrap_err();
+        let bag = Compiled::compile("tree class X { child Y* next; }")
+            .unwrap_err()
+            .into_bag();
         assert!(bag.has_errors());
         assert!(bag.iter().all(|d| d.stage == Stage::Sema), "{bag}");
     }
 
     #[test]
     fn fuse_errors_carry_stage() {
-        let compiled = Pipeline::compile(SRC).unwrap();
+        let compiled = Compiled::compile(SRC).unwrap();
         let bag = compiled.fuse_default("Nope", &["incA"]).unwrap_err();
         assert_eq!(bag[0].stage, Stage::Fuse);
         assert!(bag[0].message.contains("unknown tree class"));
@@ -352,7 +333,7 @@ mod tests {
     #[test]
     fn frontend_warnings_ride_along() {
         let src = format!("pure int mystery(int x);\n{SRC}");
-        let compiled = Pipeline::compile(src).unwrap();
+        let compiled = Compiled::compile(src).unwrap();
         assert_eq!(compiled.warnings().len(), 1);
         assert!(compiled.warnings()[0].message.contains("never called"));
         let fused = compiled.fuse_default("Node", &["incA"]).unwrap();
@@ -361,7 +342,7 @@ mod tests {
 
     #[test]
     fn render_cpp_matches_direct_emit() {
-        let fused = Pipeline::compile(SRC)
+        let fused = Compiled::compile(SRC)
             .unwrap()
             .fuse_default("Node", &["incA", "incB"])
             .unwrap();

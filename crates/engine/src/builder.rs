@@ -205,6 +205,14 @@ impl EngineBuilder {
                     "missed_pairs".to_string(),
                     fused.coverage.missed_pairs.to_string(),
                 ),
+                (
+                    "blocked_pairs".to_string(),
+                    fused.coverage.blocked_pairs.to_string(),
+                ),
+                (
+                    "verdicts".to_string(),
+                    fused.explain.pairs.len().to_string(),
+                ),
             ],
         });
         let fusion = FusionMetrics {
@@ -214,6 +222,7 @@ impl EngineBuilder {
             fully_fused: fused.fully_fused(),
             fused_pairs: fused.coverage.fused_pairs,
             missed_pairs: fused.coverage.missed_pairs,
+            blocked_pairs: fused.coverage.blocked_pairs,
         };
         // The compile-once step of the compiled tiers: lowering (and
         // bytecode optimization) happens here and nowhere else in the

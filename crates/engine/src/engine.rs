@@ -131,6 +131,15 @@ impl Engine {
         &self.fused
     }
 
+    /// The per-pair fusability verdicts of the engine's fusion run: why
+    /// each same-receiver candidate pair fused, was missed, or was blocked
+    /// (render with [`grafter::FusionExplain::render_text`] over
+    /// [`Engine::source`], or as JSON with
+    /// [`grafter::FusionExplain::render_json`]).
+    pub fn explain(&self) -> &grafter::FusionExplain {
+        &self.fused.explain
+    }
+
     /// The lowered bytecode module — `Some` exactly when the engine was
     /// built with a compiled tier ([`Backend::Vm`] or [`Backend::Jit`]).
     pub fn module(&self) -> Option<&Module> {

@@ -100,6 +100,7 @@ impl Report {
         w.key("fully_fused").bool(f.fully_fused);
         w.key("fused_pairs").num(f.fused_pairs);
         w.key("missed_pairs").num(f.missed_pairs);
+        w.key("blocked_pairs").num(f.blocked_pairs);
         w.end_obj();
         let m = &self.metrics;
         w.key("metrics").begin_obj();

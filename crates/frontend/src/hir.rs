@@ -289,6 +289,9 @@ pub struct TraverseStmt {
     /// Dispatch slot (root-most declaration of the called virtual family).
     pub slot: MethodId,
     pub args: Vec<Expr>,
+    /// Source span of the call site, so fusion verdicts can point back at
+    /// the exact `receiver->method(...)` statement in diagnostics.
+    pub span: crate::diag::Span,
 }
 
 /// A resolved statement.

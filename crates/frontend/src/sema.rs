@@ -497,6 +497,7 @@ impl Checker {
                     receiver: path,
                     slot,
                     args: rargs,
+                    span: *span,
                 }))
             }
             SurfaceStmt::Assign {

@@ -62,8 +62,6 @@ mod pure;
 pub use heap::{default_literal, Heap, Layouts, NodeId, SnapValue, NODE_HEADER_BYTES, SLOT_BYTES};
 pub use interp::{ForkHost, ForkOutcome, ForkTask, Interp, NoFork, RuntimeError};
 pub use metrics::{cost, Metrics};
-#[allow(deprecated)]
-pub use pipeline::{Execute, Executor, RunReport};
 pub use pure::{NativeFn, PureRegistry};
 
 /// Runs `f` on a dedicated thread with `bytes` of stack.

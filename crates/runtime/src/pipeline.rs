@@ -1,54 +1,14 @@
-//! Execution stage of the `grafter::pipeline` API.
+//! Bridges runtime failures into the compiler's diagnostic machinery.
 //!
-//! The compile and fuse stages live in `grafter::pipeline` (the fusion
-//! compiler has no runtime dependency); this module closes the loop by
-//! extending [`grafter::pipeline::Fused`] with execution. Import the
-//! [`Execute`] trait and a fused artifact gains:
-//!
-//! - [`Execute::new_heap`] — a [`Heap`] laid out for the fused program,
-//! - [`Execute::interpret`] — run on a tree with default pures, returning
-//!   the run's [`Metrics`],
-//! - [`Execute::executor`] — an [`Executor`] builder for instrumented runs
-//!   (custom pure registries, cache simulation, per-traversal arguments).
-//!
-//! Runtime failures surface as the same [`DiagnosticBag`] the earlier
-//! stages use, tagged with [`Stage::Runtime`].
-//!
-//! ```
-//! use grafter::pipeline::Pipeline;
-//! use grafter_runtime::{Execute, Value};
-//!
-//! let src = r#"
-//!     tree class Node {
-//!         child Node* next;
-//!         int a = 0;
-//!         virtual traversal inc() {}
-//!     }
-//!     tree class Cons : Node {
-//!         traversal inc() { a = a + 1; this->next->inc(); }
-//!     }
-//!     tree class End : Node { }
-//! "#;
-//! let fused = Pipeline::compile(src)?.fuse_default("Node", &["inc"])?;
-//! let mut heap = fused.new_heap();
-//! let end = heap.alloc_by_name("End").unwrap();
-//! let cons = heap.alloc_by_name("Cons").unwrap();
-//! heap.set_child_by_name(cons, "next", Some(end)).unwrap();
-//! let metrics = fused.interpret(&mut heap, cons)?;
-//! assert_eq!(metrics.visits, 2);
-//! assert_eq!(heap.get_by_name(cons, "a").unwrap(), Value::Int(1));
-//! # Ok::<(), grafter::DiagnosticBag>(())
-//! ```
+//! Execution lives behind `grafter_engine::Engine` / `Session`; this
+//! module only converts a [`RuntimeError`] (null dereference, missing
+//! pure, unresolvable dispatch) into the same [`Diag`]/[`DiagnosticBag`]
+//! currency the compile-side stages speak, tagged [`Stage::Runtime`] so
+//! callers can tell a bad program from a bad run.
 
-use grafter::pipeline::Fused;
-use grafter::{Diag, DiagnosticBag, FusedProgram, Stage};
-use grafter_cachesim::{CacheHierarchy, HierarchyStats};
+use grafter::{Diag, DiagnosticBag, Stage};
 
-use crate::heap::{Heap, NodeId};
-use crate::interp::{Interp, RuntimeError};
-use crate::metrics::Metrics;
-use crate::pure::PureRegistry;
-use crate::Value;
+use crate::interp::RuntimeError;
 
 impl From<RuntimeError> for Diag {
     fn from(e: RuntimeError) -> Diag {
@@ -59,149 +19,5 @@ impl From<RuntimeError> for Diag {
 impl From<RuntimeError> for DiagnosticBag {
     fn from(e: RuntimeError) -> DiagnosticBag {
         DiagnosticBag::from(Diag::from(e))
-    }
-}
-
-/// What an instrumented [`Executor::run`] hands back.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the unified `grafter_engine::Report` (fusion metrics + runtime \
-            metrics + cache traffic + wall time in one struct)"
-)]
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// The interpreter's counters.
-    pub metrics: Metrics,
-    /// Cache statistics, when a hierarchy was attached.
-    pub cache: Option<HierarchyStats>,
-}
-
-#[allow(deprecated)]
-impl RunReport {
-    /// Modelled runtime in cycles (instructions + memory stalls when a
-    /// cache was attached, bare instructions otherwise).
-    pub fn cycles(&self) -> u64 {
-        match &self.cache {
-            Some(stats) => self.metrics.cycles(stats),
-            None => self.metrics.instructions,
-        }
-    }
-}
-
-/// Configurable single-run executor over a fused artifact; see [`Execute`].
-#[deprecated(
-    since = "0.2.0",
-    note = "configure pures/cache/args once on `grafter_engine::Engine::builder()` \
-            (or per `Session`) instead of per run"
-)]
-pub struct Executor<'a> {
-    fp: &'a FusedProgram,
-    pures: PureRegistry,
-    cache: Option<CacheHierarchy>,
-    args: Vec<Vec<Value>>,
-}
-
-#[allow(deprecated)]
-impl<'a> Executor<'a> {
-    /// Replaces the default math pure registry.
-    pub fn pures(mut self, pures: PureRegistry) -> Self {
-        self.pures = pures;
-        self
-    }
-
-    /// Attaches a cache hierarchy; every field access is simulated.
-    pub fn cache(mut self, cache: CacheHierarchy) -> Self {
-        self.cache = Some(cache);
-        self
-    }
-
-    /// Sets per-traversal entry arguments.
-    pub fn args(mut self, args: Vec<Vec<Value>>) -> Self {
-        self.args = args;
-        self
-    }
-
-    /// Runs the fused program on `root`, consuming the executor.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged [`Stage::Runtime`] on null
-    /// dereferences, missing pure implementations or unresolvable dispatch.
-    pub fn run(self, heap: &mut Heap, root: NodeId) -> Result<RunReport, DiagnosticBag> {
-        let mut interp = Interp::with_pures(self.fp, self.pures);
-        if let Some(cache) = self.cache {
-            interp = interp.with_cache(cache);
-        }
-        interp.run(heap, root, &self.args)?;
-        Ok(RunReport {
-            metrics: interp.metrics,
-            cache: interp.cache.as_ref().map(CacheHierarchy::stats),
-        })
-    }
-}
-
-/// Execution methods for [`Fused`] pipeline artifacts.
-///
-/// Deprecated: every call re-derives per-program state (frame layouts,
-/// pure resolution) and a `Fused` artifact cannot be shared across
-/// threads as one compiled unit. `grafter_engine::Engine` performs that
-/// work exactly once at build time; per-request `Session`s then own their
-/// heaps and run without re-compilation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `grafter_engine::Engine` once; `engine.session()` replaces \
-            `new_heap()` + `interpret(..)`"
-)]
-#[allow(deprecated)]
-pub trait Execute {
-    /// A fresh heap laid out for this artifact's program.
-    fn new_heap(&self) -> Heap;
-
-    /// An [`Executor`] builder for instrumented runs.
-    fn executor(&self) -> Executor<'_>;
-
-    /// Runs the artifact on `root` with default math pures and no
-    /// arguments, returning the run's metrics.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged [`Stage::Runtime`] when
-    /// execution fails.
-    fn interpret(&self, heap: &mut Heap, root: NodeId) -> Result<Metrics, DiagnosticBag> {
-        self.executor().run(heap, root).map(|r| r.metrics)
-    }
-
-    /// Like [`Execute::interpret`] with per-traversal entry arguments.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged [`Stage::Runtime`] when
-    /// execution fails.
-    fn interpret_with_args(
-        &self,
-        heap: &mut Heap,
-        root: NodeId,
-        args: Vec<Vec<Value>>,
-    ) -> Result<Metrics, DiagnosticBag> {
-        self.executor()
-            .args(args)
-            .run(heap, root)
-            .map(|r| r.metrics)
-    }
-}
-
-#[allow(deprecated)]
-impl Execute for Fused {
-    fn new_heap(&self) -> Heap {
-        Heap::new(self.program())
-    }
-
-    fn executor(&self) -> Executor<'_> {
-        Executor {
-            fp: self.fused_program(),
-            pures: PureRegistry::with_math(),
-            cache: None,
-            args: Vec::new(),
-        }
     }
 }

@@ -175,6 +175,18 @@ impl EngineCache {
         }
     }
 
+    /// Applies `f` to every resident ready engine (in no particular
+    /// order; in-flight builds are skipped). What the `stats` method's
+    /// `fusion` aggregate iterates.
+    pub fn for_each_ready(&self, mut f: impl FnMut(&Arc<Engine>)) {
+        let state = self.state.lock().expect("cache lock");
+        for slot in state.map.values() {
+            if let Slot::Ready { engine, .. } = slot {
+                f(engine);
+            }
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");

@@ -207,6 +207,19 @@ impl Daemon {
                 write_frame(writer, &w.finish())
             }
             Request::Stats => write_frame(writer, &self.stats_body()),
+            Request::Explain { program } => {
+                let engine = match self.engine_for(&program) {
+                    Ok(e) => e,
+                    Err(e) => return write_frame(writer, &render_error(&e.stage, &e.message)),
+                };
+                let mut w = JsonWriter::with_capacity(1024);
+                w.begin_obj();
+                w.key("ok").bool(true);
+                w.key("explain")
+                    .raw(&engine.explain().render_json(engine.source()));
+                w.end_obj();
+                write_frame(writer, &w.finish())
+            }
             Request::Run {
                 program,
                 input,
@@ -233,6 +246,11 @@ impl Daemon {
                         w.begin_obj();
                         w.key("ok").bool(true);
                         w.key("report").raw(&report.to_json());
+                        // Pair coverage of the engine this run executed on,
+                        // so clients see fusion quality without a separate
+                        // `explain` round trip.
+                        let c = &engine.fused_program().coverage;
+                        write_fusion(&mut w, c.fused_pairs, c.missed_pairs, c.blocked_pairs);
                         w.end_obj();
                         w.finish()
                     }
@@ -310,10 +328,20 @@ impl Daemon {
     fn stats_body(&self) -> String {
         let cache = self.cache.stats();
         let pool = pool_stats();
+        // Fusion pair coverage aggregated over the resident engines: how
+        // well the programs this daemon currently serves fused.
+        let (mut fused, mut missed, mut blocked) = (0usize, 0usize, 0usize);
+        self.cache.for_each_ready(|e| {
+            let c = &e.fused_program().coverage;
+            fused += c.fused_pairs;
+            missed += c.missed_pairs;
+            blocked += c.blocked_pairs;
+        });
         let mut w = JsonWriter::with_capacity(256);
         w.begin_obj();
         w.key("ok").bool(true);
         w.key("lowerings").num(lowering_count());
+        write_fusion(&mut w, fused, missed, blocked);
         w.key("cache").begin_obj();
         w.key("size").num(cache.size);
         w.key("hits").num(cache.hits);
@@ -471,4 +499,14 @@ fn gen_builders() -> &'static [(String, GenBuilder)] {
 
 fn engine_error_body(e: &Error) -> String {
     render_error(&e.stage().to_string(), &e.to_string())
+}
+
+/// Writes the protocol's `fusion` coverage object
+/// (`{"fused":..,"missed":..,"blocked":..}`) under the current key.
+fn write_fusion(w: &mut JsonWriter, fused: usize, missed: usize, blocked: usize) {
+    w.key("fusion").begin_obj();
+    w.key("fused").num(fused);
+    w.key("missed").num(missed);
+    w.key("blocked").num(blocked);
+    w.end_obj();
 }

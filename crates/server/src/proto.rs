@@ -20,7 +20,11 @@
 //! The body is one JSON object with a `"method"` key:
 //!
 //! - `{"method":"ping"}` — liveness check.
-//! - `{"method":"stats"}` — compile/cache/pool counters.
+//! - `{"method":"stats"}` — compile/cache/pool counters plus a `fusion`
+//!   object aggregating pair coverage over the resident engines.
+//! - `{"method":"explain","program":P}` — compiles (or reuses) the
+//!   program's engine and returns its per-pair fusability verdicts as
+//!   the `explain` document (`totals` + `pairs`).
 //! - `{"method":"run","program":P,"input":I}` — one traversal run.
 //! - `{"method":"run_batch","program":P,"inputs":[I...],"window":W}` —
 //!   a batch; responses stream back as input-ordered chunks.
@@ -249,6 +253,10 @@ pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
 pub enum Request {
     Ping,
     Stats,
+    /// Per-pair fusability verdicts of a program, without running it.
+    Explain {
+        program: ProgramSpec,
+    },
     Run {
         program: ProgramSpec,
         input: InputSpec,
@@ -397,6 +405,10 @@ pub fn parse_request(body: &str) -> Result<Request, AppError> {
     match method {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "explain" => {
+            let program = parse_program(&doc)?;
+            Ok(Request::Explain { program })
+        }
         "run" => {
             let program = parse_program(&doc)?;
             let input = parse_input(
@@ -759,6 +771,16 @@ pub fn render_run_batch_with(
     if let Some(p) = parallel {
         write_parallel(&mut w, p);
     }
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders an `explain` request body.
+pub fn render_explain(program: &ProgramSpec) -> String {
+    let mut w = JsonWriter::with_capacity(program.source.len() + 128);
+    w.begin_obj();
+    w.key("method").str("explain");
+    write_program(&mut w, program);
     w.end_obj();
     w.finish()
 }

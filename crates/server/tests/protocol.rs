@@ -14,8 +14,8 @@ use grafter_engine::{Backend, FusionOptions, OptLevel, ParallelOptions};
 use grafter_obs::json::{parse, Json};
 use grafter_runtime::Value;
 use grafter_server::proto::{
-    render_bare, render_run, render_run_batch, render_run_with, write_frame, FrameReader, Incoming,
-    InputSpec, ProgramSpec, TreeSpec, MAX_BODY,
+    render_bare, render_explain, render_run, render_run_batch, render_run_with, write_frame,
+    FrameReader, Incoming, InputSpec, ProgramSpec, TreeSpec, MAX_BODY,
 };
 use grafter_server::{Daemon, DaemonOptions};
 
@@ -106,6 +106,14 @@ fn error_stage(doc: &Json) -> &str {
         .expect("error stage")
 }
 
+/// Extracts a response's `fusion` coverage object as (fused, missed,
+/// blocked), asserting all three keys are present numbers.
+fn fusion_counts(doc: &Json) -> (u64, u64, u64) {
+    let f = doc.get("fusion").expect("fusion object");
+    let n = |key: &str| f.get(key).and_then(Json::as_num).expect(key) as u64;
+    (n("fused"), n("missed"), n("blocked"))
+}
+
 #[test]
 fn ping_run_and_batch_round_trip() {
     let (addr, shutdown, handle) = spawn_daemon();
@@ -123,6 +131,9 @@ fn ping_run_and_batch_round_trip() {
         .and_then(Json::as_num)
         .expect("report.metrics.visits");
     assert_eq!(visits as u64, 1, "one leaf, one visit");
+    // Single-pass program: the run's fusion coverage object is present
+    // with all-zero pair counts.
+    assert_eq!(fusion_counts(&report), (0, 0, 0));
 
     // A batch streams back ordered chunks then a done frame.
     let inputs: Vec<InputSpec> = (0..5).map(|_| leaf()).collect();
@@ -157,6 +168,9 @@ fn ping_run_and_batch_round_trip() {
 
     let stats = client.call(&render_bare("stats"));
     assert!(is_ok(&stats));
+    // Stats aggregate coverage over resident engines; only the one
+    // zero-pair engine is cached here.
+    assert_eq!(fusion_counts(&stats), (0, 0, 0));
     let misses = stats
         .get("cache")
         .and_then(|c| c.get("misses"))
@@ -364,6 +378,75 @@ fn shutdown_waits_for_a_partially_received_request() {
     assert!(is_ok(&resp), "in-flight request answered during drain");
 
     handle.join().expect("daemon drains and exits");
+}
+
+/// The `explain` method compiles (or reuses) the program's engine and
+/// returns its per-pair verdicts; a subsequent `run` and `stats` report
+/// matching coverage counts.
+#[test]
+fn explain_round_trips_verdicts_and_matches_run_coverage() {
+    let (addr, shutdown, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+
+    // Two independent same-receiver calls: one pair per recursion depth,
+    // all fused under default options.
+    let mut fusable = program();
+    fusable.source = "tree class Node { child Node* next; int a = 0; virtual traversal go() {} } \
+                      tree class Cons : Node { traversal go() { a = a + 1; this->next->go(); \
+                      this->next->go(); } } \
+                      tree class End : Node { }"
+        .to_string();
+    fusable.root = "Node".to_string();
+    fusable.passes = vec!["go".to_string()];
+
+    let resp = client.call(&render_explain(&fusable));
+    assert!(is_ok(&resp), "explain failed: {resp:?}");
+    let explain = resp.get("explain").expect("explain document");
+    let totals = explain.get("totals").expect("totals");
+    let fused = totals.get("fused").and_then(Json::as_num).expect("fused") as u64;
+    assert!(fused >= 1, "the pair program fuses at least one pair");
+    let pairs = explain.get("pairs").and_then(Json::as_arr).expect("pairs");
+    assert!(!pairs.is_empty());
+    for p in pairs {
+        assert!(p.get("verdict").and_then(Json::as_str).is_some());
+        assert!(p.get("reason").and_then(Json::as_str).is_some());
+        assert!(p.get("left").and_then(|l| l.get("span")).is_some());
+    }
+
+    // A run on the same program reports the same coverage, and the
+    // explain-built engine is reused (same cache key).
+    let report = client.call(&render_run(
+        &fusable,
+        &InputSpec::Tree(TreeSpec {
+            class: "End".to_string(),
+            fields: Vec::new(),
+            children: Vec::new(),
+        }),
+    ));
+    assert!(is_ok(&report), "run failed: {report:?}");
+    let (run_fused, run_missed, run_blocked) = fusion_counts(&report);
+    assert_eq!(run_fused, fused);
+
+    let stats = client.call(&render_bare("stats"));
+    assert!(is_ok(&stats));
+    let misses = stats
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_num)
+        .expect("cache.misses");
+    assert_eq!(misses as u64, 1, "explain and run share one cached engine");
+    assert_eq!(fusion_counts(&stats), (run_fused, run_missed, run_blocked));
+
+    // Explain on a broken program is a typed compile error.
+    let mut bad = program();
+    bad.source = "tree class N { nonsense }".to_string();
+    let resp = client.call(&render_explain(&bad));
+    assert!(!is_ok(&resp));
+    assert_ne!(error_stage(&resp), "proto");
+
+    shutdown.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("daemon thread");
 }
 
 /// A `run` with the `parallel` field must return the same report as a

@@ -25,16 +25,16 @@
 //!    [`grafter_cachesim::CacheHierarchy`] as the interpreter —
 //!    bit-identical counters, measurably less wall-clock per visit.
 //!
-//! Backend choice is part of the staged pipeline: import
-//! [`ExecuteBackend`] and any [`grafter::pipeline::Fused`] artifact runs
-//! on either tier with one argument.
+//! Backend choice is one builder call away: [`Backend`] on
+//! `grafter_engine::Engine::builder().backend(..)` selects the tier, and
+//! the engine lowers (and jit-compiles) exactly once at build.
 //!
 //! # Example
 //!
 //! ```
-//! use grafter::pipeline::Pipeline;
-//! use grafter_runtime::Execute;
-//! use grafter_vm::{Backend, ExecuteBackend};
+//! use grafter::{fuse, Compiled, FuseOptions};
+//! use grafter_vm::{lower, Vm};
+//! use grafter_runtime::{Heap, Interp};
 //!
 //! let src = r#"
 //!     tree class Node {
@@ -49,27 +49,33 @@
 //!     }
 //!     tree class End : Node { }
 //! "#;
-//! let fused = Pipeline::compile(src)?.fuse_default("Node", &["incA", "incB"])?;
+//! let compiled = Compiled::compile(src)?;
+//! let fused = fuse(compiled.program(), "Node", &["incA", "incB"], &FuseOptions::default())?;
 //!
-//! // Same tree, one backend argument apart.
-//! let build = |fused: &grafter::pipeline::Fused| {
-//!     let mut heap = fused.new_heap();
+//! // Same tree, one tier apart.
+//! let build = |heap: &mut Heap| {
 //!     let end = heap.alloc_by_name("End").unwrap();
 //!     let cons = heap.alloc_by_name("Cons").unwrap();
 //!     heap.set_child_by_name(cons, "next", Some(end)).unwrap();
-//!     (heap, cons)
+//!     cons
 //! };
-//! let (mut h1, r1) = build(&fused);
-//! let (mut h2, r2) = build(&fused);
-//! let interp = fused.run(&mut h1, r1, Backend::Interp)?;
-//! let vm = fused.run(&mut h2, r2, Backend::Vm)?;
-//! assert_eq!(interp, vm); // identical metrics, bit for bit
+//! let mut h1 = Heap::new(compiled.program());
+//! let mut h2 = Heap::new(compiled.program());
+//! let (r1, r2) = (build(&mut h1), build(&mut h2));
+//!
+//! let mut interp = Interp::new(&fused);
+//! interp.run(&mut h1, r1, &[]).unwrap();
+//!
+//! let module = lower(&fused);
+//! let mut vm = Vm::new(&module);
+//! vm.run(&mut h2, r2, &[]).unwrap();
+//!
+//! assert_eq!(interp.metrics, vm.metrics); // identical metrics, bit for bit
 //! assert_eq!(h1.snapshot(r1), h2.snapshot(r2)); // identical trees
 //!
 //! // The lowered artifact is inspectable (grafterc --emit bytecode).
-//! let module = fused.lower_module();
 //! assert!(module.disassemble().contains("fn 0"));
-//! # Ok::<(), grafter::DiagnosticBag>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod exec;
@@ -85,5 +91,3 @@ pub use lower::{lower, lower_with, lowering_count};
 pub use module::{Co, Module, Op};
 pub use opt::{optimize, OptLevel, OptReport, PassStat, VmOptions};
 pub use pipeline::Backend;
-#[allow(deprecated)]
-pub use pipeline::{BackendExecutor, ExecuteBackend};

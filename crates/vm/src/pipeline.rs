@@ -1,36 +1,15 @@
-//! Backend selection for the staged pipeline.
+//! Execution-tier selection.
 //!
-//! `grafter-runtime` extends [`Fused`] with the `Execute` stage (the
-//! tree-walking interpreter); this module closes the second tier: import
-//! [`ExecuteBackend`] and a fused artifact additionally gains
-//!
-//! - [`ExecuteBackend::run`] — execute on either backend with one
-//!   argument: `fused.run(&mut heap, root, Backend::Vm)`
-//!   (`Execute::interpret` stays the thin alias for
-//!   `run(.., Backend::Interp)`);
-//! - [`ExecuteBackend::backend_executor`] — a builder mirroring the
-//!   runtime's `Executor` (pures, cache simulation, per-traversal
-//!   arguments) that pre-lowers the bytecode module so repeated runs pay
-//!   lowering once;
-//! - [`ExecuteBackend::lower_module`] — the bare lowered [`Module`] for
-//!   disassembly or direct [`Vm`] construction.
-//!
-//! Runtime failures surface through the same [`DiagnosticBag`]
-//! [`Stage::Runtime`] path as the interpreter, whichever backend runs.
+//! [`Backend`] names which tier runs a fused artifact; it is configured
+//! once on `grafter_engine::Engine::builder().backend(..)`, which lowers
+//! the bytecode module (and, on the jit tier, compiles the closure
+//! program) exactly once and shares the immutable artifact across every
+//! session and thread.
 
 use std::fmt;
 use std::str::FromStr;
 
-use grafter::pipeline::Fused;
-use grafter::DiagnosticBag;
-use grafter_cachesim::CacheHierarchy;
-#[allow(deprecated)]
-use grafter_runtime::{Execute, Heap, Metrics, NodeId, PureRegistry, RunReport, Value};
-
-use crate::exec::Vm;
-use crate::jit::{Jit, JitMode, JitProgram};
-use crate::lower::lower;
-use crate::module::Module;
+use crate::jit::JitMode;
 
 /// Which execution tier runs a fused artifact.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -69,203 +48,6 @@ impl FromStr for Backend {
             other => Err(format!(
                 "unknown backend `{other}` (expected interp|vm|jit|jit-release)"
             )),
-        }
-    }
-}
-
-/// Configurable single-run executor over a fused artifact with a backend
-/// choice; the two-tier counterpart of [`grafter_runtime::Executor`].
-#[deprecated(
-    since = "0.2.0",
-    note = "select the backend once on `grafter_engine::Engine::builder().backend(..)`; \
-            the engine caches the lowered module across all sessions"
-)]
-#[allow(deprecated)]
-pub struct BackendExecutor<'a> {
-    fused: &'a Fused,
-    backend: Backend,
-    /// Pre-lowered module (populated for the compiled tiers at
-    /// construction so the measured region of a run excludes compilation).
-    module: Option<Module>,
-    /// Pre-compiled closure program (populated for [`Backend::Jit`]).
-    jit: Option<JitProgram>,
-    pures: PureRegistry,
-    cache: Option<CacheHierarchy>,
-    args: Vec<Vec<Value>>,
-}
-
-#[allow(deprecated)]
-impl BackendExecutor<'_> {
-    /// Replaces the default math pure registry.
-    pub fn pures(mut self, pures: PureRegistry) -> Self {
-        self.pures = pures;
-        self
-    }
-
-    /// Attaches a cache hierarchy; every field access is simulated.
-    pub fn cache(mut self, cache: CacheHierarchy) -> Self {
-        self.cache = Some(cache);
-        self
-    }
-
-    /// Sets per-traversal entry arguments.
-    pub fn args(mut self, args: Vec<Vec<Value>>) -> Self {
-        self.args = args;
-        self
-    }
-
-    /// Runs the fused program on `root` on the chosen backend, consuming
-    /// the executor.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged `Stage::Runtime` on null
-    /// dereferences, missing pure implementations or unresolvable
-    /// dispatch — identically for both backends.
-    pub fn run(self, heap: &mut Heap, root: NodeId) -> Result<RunReport, DiagnosticBag> {
-        match self.backend {
-            Backend::Interp => {
-                let mut ex = self.fused.executor().pures(self.pures).args(self.args);
-                if let Some(cache) = self.cache {
-                    ex = ex.cache(cache);
-                }
-                ex.run(heap, root)
-            }
-            Backend::Vm => {
-                let module = self.module.expect("module lowered at construction");
-                let mut vm = Vm::with_pures(&module, self.pures);
-                if let Some(cache) = self.cache {
-                    vm = vm.with_cache(cache);
-                }
-                vm.run(heap, root, &self.args)?;
-                Ok(RunReport {
-                    metrics: vm.metrics,
-                    cache: vm.cache.as_ref().map(CacheHierarchy::stats),
-                })
-            }
-            Backend::Jit(_) => {
-                let program = self.jit.expect("jit program compiled at construction");
-                let mut jit = Jit::with_pures(&program, self.pures);
-                if let Some(cache) = self.cache {
-                    jit = jit.with_cache(cache);
-                }
-                jit.run(heap, root, &self.args)?;
-                Ok(RunReport {
-                    metrics: jit.metrics().clone(),
-                    cache: jit.cache().map(CacheHierarchy::stats),
-                })
-            }
-        }
-    }
-}
-
-/// Backend-selecting execution methods for [`Fused`] pipeline artifacts.
-///
-/// ```
-/// use grafter::pipeline::Pipeline;
-/// use grafter_runtime::{Execute, Value};
-/// use grafter_vm::{Backend, ExecuteBackend};
-///
-/// let src = r#"
-///     tree class Node {
-///         child Node* next;
-///         int a = 0;
-///         virtual traversal inc() {}
-///     }
-///     tree class Cons : Node {
-///         traversal inc() { a = a + 1; this->next->inc(); }
-///     }
-///     tree class End : Node { }
-/// "#;
-/// let fused = Pipeline::compile(src)?.fuse_default("Node", &["inc"])?;
-/// let mut heap = fused.new_heap();
-/// let end = heap.alloc_by_name("End").unwrap();
-/// let cons = heap.alloc_by_name("Cons").unwrap();
-/// heap.set_child_by_name(cons, "next", Some(end)).unwrap();
-/// let metrics = fused.run(&mut heap, cons, Backend::Vm)?;
-/// assert_eq!(metrics.visits, 2);
-/// assert_eq!(heap.get_by_name(cons, "a").unwrap(), Value::Int(1));
-/// # Ok::<(), grafter::DiagnosticBag>(())
-/// ```
-///
-/// Deprecated: `run`/`run_with_args` re-lower the bytecode module on
-/// every call. `grafter_engine::Engine` lowers exactly once at build and
-/// shares the immutable module across every session and thread.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `grafter_engine::Engine` with `.backend(Backend::Vm)`; it lowers \
-            the module once and shares it across sessions"
-)]
-#[allow(deprecated)]
-pub trait ExecuteBackend {
-    /// Lowers the artifact into a bytecode [`Module`].
-    fn lower_module(&self) -> Module;
-
-    /// A [`BackendExecutor`] builder for instrumented runs on `backend`.
-    fn backend_executor(&self, backend: Backend) -> BackendExecutor<'_>;
-
-    /// Runs the artifact on `root` with default math pures and no
-    /// arguments on the chosen backend, returning the run's metrics.
-    /// `Execute::interpret` is the [`Backend::Interp`] special case.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged `Stage::Runtime` when execution
-    /// fails.
-    fn run(
-        &self,
-        heap: &mut Heap,
-        root: NodeId,
-        backend: Backend,
-    ) -> Result<Metrics, DiagnosticBag> {
-        self.backend_executor(backend)
-            .run(heap, root)
-            .map(|r| r.metrics)
-    }
-
-    /// Like [`ExecuteBackend::run`] with per-traversal entry arguments.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DiagnosticBag`] tagged `Stage::Runtime` when execution
-    /// fails.
-    fn run_with_args(
-        &self,
-        heap: &mut Heap,
-        root: NodeId,
-        args: Vec<Vec<Value>>,
-        backend: Backend,
-    ) -> Result<Metrics, DiagnosticBag> {
-        self.backend_executor(backend)
-            .args(args)
-            .run(heap, root)
-            .map(|r| r.metrics)
-    }
-}
-
-#[allow(deprecated)]
-impl ExecuteBackend for Fused {
-    fn lower_module(&self) -> Module {
-        lower(self.fused_program())
-    }
-
-    fn backend_executor(&self, backend: Backend) -> BackendExecutor<'_> {
-        let module = match backend {
-            Backend::Interp => None,
-            Backend::Vm | Backend::Jit(_) => Some(self.lower_module()),
-        };
-        let jit = match backend {
-            Backend::Jit(mode) => module.as_ref().map(|m| crate::jit::compile(m, mode)),
-            _ => None,
-        };
-        BackendExecutor {
-            fused: self,
-            backend,
-            module,
-            jit,
-            pures: PureRegistry::with_math(),
-            cache: None,
-            args: Vec::new(),
         }
     }
 }

@@ -3,24 +3,28 @@
 //! interpreter — one test per variant, each asserting both backends
 //! produce the identical diagnostic.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::{Fused, Pipeline};
-use grafter::{DiagnosticBag, Stage};
-use grafter_runtime::{Execute, Heap, NodeId, Value};
-use grafter_vm::{Backend, ExecuteBackend};
+use grafter::{Compiled, DiagnosticBag, Stage};
+use grafter_engine::Engine;
+use grafter_runtime::{Heap, NodeId, Value};
+use grafter_vm::Backend;
 
 /// Runs both backends on identical fresh trees and returns the two
 /// diagnostic bags (both runs must fail).
-fn both_fail(fused: &Fused, build: &dyn Fn(&mut Heap) -> NodeId) -> (DiagnosticBag, DiagnosticBag) {
+fn both_fail(
+    compiled: &Compiled,
+    passes: &[&str],
+    build: &dyn Fn(&mut Heap) -> NodeId,
+) -> (DiagnosticBag, DiagnosticBag) {
     let run = |backend: Backend| {
-        let mut heap = fused.new_heap();
-        let root = build(&mut heap);
-        fused
-            .run(&mut heap, root, backend)
-            .expect_err("run must fail")
+        let engine = Engine::builder()
+            .compiled(compiled.clone())
+            .entry("Node", passes)
+            .backend(backend)
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let root = session.build_tree(build);
+        session.run(root).expect_err("run must fail").into_bag()
     };
     (run(Backend::Interp), run(Backend::Vm))
 }
@@ -52,12 +56,9 @@ fn null_deref_surfaces_identically() {
         }
         tree class End : Node { }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("Node", &["sum"])
-        .unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let build = |heap: &mut Heap| heap.alloc_by_name("Cons").unwrap();
-    let (interp, vm) = both_fail(&fused, &build);
+    let (interp, vm) = both_fail(&compiled, &["sum"], &build);
     assert_runtime_diag(&vm, "null child dereferenced");
     assert_eq!(interp[0].message, vm[0].message);
 }
@@ -76,17 +77,14 @@ fn missing_pure_surfaces_identically() {
         }
         tree class End : Node { }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("Node", &["go"])
-        .unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let build = |heap: &mut Heap| {
         let end = heap.alloc_by_name("End").unwrap();
         let c = heap.alloc_by_name("Cons").unwrap();
         heap.set_child_by_name(c, "next", Some(end)).unwrap();
         c
     };
-    let (interp, vm) = both_fail(&fused, &build);
+    let (interp, vm) = both_fail(&compiled, &["go"], &build);
     assert_runtime_diag(&vm, "pure function `mystery` has no native implementation");
     assert_eq!(interp[0].message, vm[0].message);
 }
@@ -110,12 +108,9 @@ fn missing_target_surfaces_identically() {
             virtual traversal other() {}
         }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("Node", &["go"])
-        .unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let build = |heap: &mut Heap| heap.alloc_by_name("Stray").unwrap();
-    let (interp, vm) = both_fail(&fused, &build);
+    let (interp, vm) = both_fail(&compiled, &["go"], &build);
     assert_runtime_diag(&vm, "no fused function for dynamic type `Stray`");
     assert_eq!(interp[0].message, vm[0].message);
 }
@@ -134,16 +129,13 @@ fn not_a_ref_surfaces_identically() {
         }
         tree class End : Node { }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("Node", &["go"])
-        .unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let build = |heap: &mut Heap| {
         let c = heap.alloc_by_name("Cons").unwrap();
         heap.set_by_name(c, "next", Value::Int(7)).unwrap();
         c
     };
-    let (interp, vm) = both_fail(&fused, &build);
+    let (interp, vm) = both_fail(&compiled, &["go"], &build);
     assert_runtime_diag(&vm, "child slot does not hold a reference");
     assert_eq!(interp[0].message, vm[0].message);
 }

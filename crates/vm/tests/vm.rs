@@ -2,16 +2,12 @@
 //! programs covering every statement/expression form, plus disassembly
 //! and API surface checks.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::{Fused, Pipeline};
-use grafter::{fuse, FuseOptions};
+use grafter::{fuse, Compiled, FuseOptions, Fused};
 use grafter_cachesim::CacheHierarchy;
+use grafter_engine::Engine;
 use grafter_frontend::compile;
-use grafter_runtime::{Execute, Heap, Interp, Metrics, NodeId, SnapValue, Value};
-use grafter_vm::{lower, Backend, ExecuteBackend, Vm};
+use grafter_runtime::{Heap, Interp, Metrics, NodeId, SnapValue, Value};
+use grafter_vm::{lower, Backend, Vm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,13 +90,13 @@ fn differential(
     build: &dyn Fn(&mut Heap) -> NodeId,
 ) -> ((Snapshot, Metrics), (Snapshot, Metrics)) {
     let fp = fused.fused_program();
-    let mut h1 = fused.new_heap();
+    let mut h1 = Heap::new(fused.program());
     let r1 = build(&mut h1);
     let mut interp = Interp::new(fp);
     interp.run(&mut h1, r1, args).expect("interp run succeeds");
 
     let module = lower(fp);
-    let mut h2 = fused.new_heap();
+    let mut h2 = Heap::new(fused.program());
     let r2 = build(&mut h2);
     let mut vm = Vm::new(&module);
     vm.run(&mut h2, r2, args).expect("vm run succeeds");
@@ -113,7 +109,7 @@ fn differential(
 
 #[test]
 fn fig2_fused_and_unfused_match_interp_bit_for_bit() {
-    let compiled = Pipeline::compile(FIG2).unwrap();
+    let compiled = Compiled::compile(FIG2).unwrap();
     let traversals = ["computeWidth", "computeHeight"];
     for artifact in [
         compiled.fuse_default("Element", &traversals).unwrap(),
@@ -154,7 +150,7 @@ fn truncation_via_return_matches_interp() {
         }
         tree class End : Node { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let fused = compiled.fuse_default("Node", &["markA", "markB"]).unwrap();
     for seed in 0..10u64 {
         let build = move |heap: &mut Heap| {
@@ -204,7 +200,7 @@ fn tree_mutation_new_delete_matches_interp() {
         tree class Leaf : Node { int v = 0; }
         tree class End : Node { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let fused = compiled
         .fuse_default("Node", &["desugar", "tally"])
         .unwrap();
@@ -251,7 +247,7 @@ fn traversal_parameters_match_interp() {
         }
         tree class End : Node { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let fused = compiled.fuse_default("Node", &["addA", "addB"]).unwrap();
     let build = |heap: &mut Heap| {
         let end = heap.alloc_by_name("End").unwrap();
@@ -335,39 +331,39 @@ fn globals_are_readable_and_settable_on_the_vm() {
 }
 
 #[test]
-fn backend_selection_through_the_pipeline() {
-    let compiled = Pipeline::compile(FIG2).unwrap();
-    let fused = compiled
-        .fuse_default("Element", &["computeWidth", "computeHeight"])
-        .unwrap();
-    let build = |fused: &Fused| {
-        let mut heap = fused.new_heap();
-        let end = heap.alloc_by_name("End").unwrap();
-        let t = heap.alloc_by_name("TextBox").unwrap();
-        heap.set_by_name(t, "Text.Length", Value::Int(16)).unwrap();
-        heap.set_child_by_name(t, "Next", Some(end)).unwrap();
-        (heap, t)
+fn backend_selection_through_the_engine() {
+    let compiled = Compiled::compile(FIG2).unwrap();
+    let run = |backend: Backend| {
+        let engine = Engine::builder()
+            .compiled(compiled.clone())
+            .entry("Element", &["computeWidth", "computeHeight"])
+            .backend(backend)
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let root = session.build_tree(|heap| {
+            let end = heap.alloc_by_name("End").unwrap();
+            let t = heap.alloc_by_name("TextBox").unwrap();
+            heap.set_by_name(t, "Text.Length", Value::Int(16)).unwrap();
+            heap.set_child_by_name(t, "Next", Some(end)).unwrap();
+            t
+        });
+        let report = session.run(root).unwrap();
+        (session.snapshot(root), report.metrics)
     };
-    let (mut h1, r1) = build(&fused);
-    let (mut h2, r2) = build(&fused);
-    let (mut h3, r3) = build(&fused);
-    let m_interp = fused.run(&mut h1, r1, Backend::Interp).unwrap();
-    let m_vm = fused.run(&mut h2, r2, Backend::Vm).unwrap();
-    // `interpret` stays the thin alias for the interpreter tier.
-    let m_alias = fused.interpret(&mut h3, r3).unwrap();
+    let (snap_i, m_interp) = run(Backend::Interp);
+    let (snap_v, m_vm) = run(Backend::Vm);
     assert_eq!(m_interp, m_vm);
-    assert_eq!(m_interp, m_alias);
-    assert_eq!(h1.snapshot(r1), h2.snapshot(r2));
-    assert_eq!(h1.snapshot(r1), h3.snapshot(r3));
+    assert_eq!(snap_i, snap_v);
 }
 
 #[test]
 fn disassembly_names_functions_stubs_and_tables() {
-    let compiled = Pipeline::compile(FIG2).unwrap();
+    let compiled = Compiled::compile(FIG2).unwrap();
     let fused = compiled
         .fuse_default("Element", &["computeWidth", "computeHeight"])
         .unwrap();
-    let module = fused.lower_module();
+    let module = lower(fused.fused_program());
     let asm = module.disassemble();
     assert!(asm.contains("grafter-vm module"), "{asm}");
     assert!(asm.contains("fn 0"), "{asm}");
@@ -394,7 +390,7 @@ fn pure_calls_flow_through_the_vm() {
         }
         tree class End : Node { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let fused = compiled.fuse_default("Node", &["root"]).unwrap();
     let build = |heap: &mut Heap| {
         let end = heap.alloc_by_name("End").unwrap();

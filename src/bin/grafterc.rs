@@ -9,9 +9,13 @@
 //! and (on the VM tier) lowers exactly once; `--run` then executes the
 //! artifact in a session.
 //!
+//! The whole CLI grammar lives in one declarative table ([`FLAGS`]):
+//! `--help` is generated from it, and any flag it does not name is a
+//! usage error (exit 2).
+//!
 //! ```text
 //! grafterc <file.gr | -> --root <Class> --passes <t1,t2,...>
-//!          [--unfused] [--stats] [--backend interp|vm|jit|jit-release]
+//!          [--unfused] [--explain] [--stats] [--backend interp|vm|jit|jit-release]
 //!          [-O0|-O1|-O2] [--emit cpp|bytecode|none] [--disasm-blocks]
 //!          [--run] [--parallel N] [--json] [--profile] [--trace-out FILE]
 //! ```
@@ -38,6 +42,14 @@
 //! pool); results are bit-identical to a sequential run, so the flag
 //! only changes wall time.
 //!
+//! `--explain` prints the fusability report on stdout: one verdict per
+//! same-receiver candidate pair — fused, missed (with the grouping
+//! reason) or blocked (with the specific cause and the dependence edge
+//! that closes the cycle) — as caret-snippet text, or as one JSON
+//! object with `--json`. Unless `--emit` is given explicitly,
+//! `--explain` implies `--emit none` so stdout carries the report
+//! alone.
+//!
 //! `--profile` attaches a `grafter_obs::TraceProbe`: the build records
 //! per-stage compile spans, `--run` records the tier's runtime profile,
 //! and a ranked text summary lands on stderr. `--trace-out FILE`
@@ -61,20 +73,194 @@ use std::sync::Arc;
 use grafter::{Diag, DiagnosticBag, Error, FuseOptions, Stage};
 use grafter_engine::{Backend, Engine, OptLevel, ParallelOptions, Probe, TraceProbe};
 
-const USAGE: &str = "usage: grafterc <file.gr | -> --root <Class> --passes <t1,t2,...> \
-     [--unfused] [--stats] [--backend interp|vm|jit|jit-release] [-O0|-O1|-O2] \
-     [--emit cpp|bytecode|none] [--disasm-blocks] [--run] [--parallel N] [--json] \
-     [--profile] [--trace-out FILE]";
-
 const EXIT_IO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_COMPILE: u8 = 3;
 const EXIT_RUNTIME: u8 = 4;
 
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
+/// One entry of the CLI grammar: the flag, its value placeholder (`None`
+/// for boolean switches) and the `--help` line.
+struct FlagSpec {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+/// The whole flag table. Parsing, `--help` and the usage line are all
+/// generated from this one list; a `--flag` not named here is a usage
+/// error.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--root",
+        value: Some("<Class>"),
+        help: "root class of the entry sequence (required)",
+    },
+    FlagSpec {
+        name: "--passes",
+        value: Some("<t1,t2,...>"),
+        help: "entry traversal names in invocation order, comma-separated (required)",
+    },
+    FlagSpec {
+        name: "--unfused",
+        value: None,
+        help: "build the unfused baseline (one pass over the tree per traversal)",
+    },
+    FlagSpec {
+        name: "--explain",
+        value: None,
+        help: "print per-pair fusability verdicts on stdout (JSON with --json)",
+    },
+    FlagSpec {
+        name: "--stats",
+        value: None,
+        help: "print fusion metrics (and optimizer per-pass deltas) on stderr",
+    },
+    FlagSpec {
+        name: "--backend",
+        value: Some("interp|vm|jit|jit-release"),
+        help: "execution tier the artifact targets (default interp)",
+    },
+    FlagSpec {
+        name: "--emit",
+        value: Some("cpp|bytecode|none"),
+        help: "artifact on stdout (default cpp on interp, bytecode on vm/jit)",
+    },
+    FlagSpec {
+        name: "--disasm-blocks",
+        value: None,
+        help: "per-basic-block bytecode view with CFG edges (requires --emit bytecode)",
+    },
+    FlagSpec {
+        name: "--run",
+        value: None,
+        help: "execute once on a fresh root-class node; report on stderr (stdout with --json)",
+    },
+    FlagSpec {
+        name: "--parallel",
+        value: Some("N"),
+        help: "run with N-worker intra-tree parallelism (bit-identical results)",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "machine-readable output: JSON diagnostics, report and explain documents",
+    },
+    FlagSpec {
+        name: "--profile",
+        value: None,
+        help: "attach a trace probe; ranked compile/run summary on stderr",
+    },
+    FlagSpec {
+        name: "--trace-out",
+        value: Some("FILE"),
+        help: "write the probe's Chrome trace-event JSON to FILE (requires --profile)",
+    },
+    FlagSpec {
+        name: "--help",
+        value: None,
+        help: "print this help and exit",
+    },
+];
+
+/// The one-line usage string, generated from [`FLAGS`].
+fn usage() -> String {
+    let mut line = String::from("usage: grafterc <file.gr | -> [-O0|-O1|-O2]");
+    for f in FLAGS {
+        if f.name == "--help" {
+            continue;
+        }
+        match f.value {
+            Some(v) => {
+                line.push_str(&format!(" [{} {v}]", f.name));
+            }
+            None => line.push_str(&format!(" [{}]", f.name)),
+        }
+    }
+    line
+}
+
+/// The full `--help` text: usage line plus one aligned row per flag.
+fn help() -> String {
+    let mut out = usage();
+    out.push_str("\n\noptions:\n");
+    let width = FLAGS
+        .iter()
+        .map(|f| f.name.len() + f.value.map_or(0, |v| v.len() + 1))
+        .max()
+        .unwrap_or(0);
+    for f in FLAGS {
+        let left = match f.value {
+            Some(v) => format!("{} {v}", f.name),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<width$}  {}\n", f.help));
+    }
+    out.push_str("  -O0|-O1|-O2");
+    out.push_str(&" ".repeat(width.saturating_sub(9)));
+    out.push_str("bytecode optimization level (default -O2)\n");
+    out
+}
+
+/// Arguments parsed against [`FLAGS`]: the positional input path, the
+/// `-O` level, and each recognised flag with its value (switches map to
+/// `None`).
+struct Cli {
+    path: Option<String>,
+    opt_level: Option<String>,
+    seen: Vec<(&'static str, Option<String>)>,
+}
+
+impl Cli {
+    /// Whether `name` was given.
+    fn has(&self, name: &str) -> bool {
+        self.seen.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The value of `name`, when given (last occurrence wins).
+    fn value(&self, name: &str) -> Option<&str> {
+        self.seen
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// Parses `args` against the flag table. `Err` carries the usage
+/// message to print before exiting with code 2.
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        path: None,
+        opt_level: None,
+        seen: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(lvl) = a.strip_prefix("-O") {
+            cli.opt_level = Some(lvl.to_string());
+            continue;
+        }
+        if a == "-" || !a.starts_with('-') {
+            if cli.path.is_some() {
+                return Err(format!("unexpected extra input `{a}`"));
+            }
+            cli.path = Some(a.clone());
+            continue;
+        }
+        let Some(spec) = FLAGS.iter().find(|f| f.name == a.as_str()) else {
+            return Err(format!("unknown flag `{a}`"));
+        };
+        match spec.value {
+            None => cli.seen.push((spec.name, None)),
+            Some(placeholder) => match it.next() {
+                Some(v) => cli.seen.push((spec.name, Some(v.clone()))),
+                None => {
+                    return Err(format!("{} expects a value {placeholder}", spec.name));
+                }
+            },
+        }
+    }
+    Ok(cli)
 }
 
 /// Prints an [`Error`]'s diagnostics to stderr — rendered caret snippets
@@ -101,12 +287,20 @@ fn report(err: &Error, pending: &DiagnosticBag, source: &str, path: &str, json: 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args
-        .first()
-        .filter(|a| a.as_str() == "-" || !a.starts_with("--"))
-        .cloned()
-    else {
-        eprintln!("{USAGE}");
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if cli.has("--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = cli.path.clone() else {
+        eprintln!("{}", usage());
         return ExitCode::from(EXIT_USAGE);
     };
     let source = if path == "-" {
@@ -127,16 +321,16 @@ fn main() -> ExitCode {
             }
         }
     };
-    let json = args.iter().any(|a| a == "--json");
-    let Some(root) = arg_value(&args, "--root") else {
+    let json = cli.has("--json");
+    let Some(root) = cli.value("--root").map(str::to_string) else {
         eprintln!("error: missing --root <Class>");
         return ExitCode::from(EXIT_USAGE);
     };
-    let Some(passes) = arg_value(&args, "--passes") else {
+    let Some(passes) = cli.value("--passes").map(str::to_string) else {
         eprintln!("error: missing --passes <t1,t2,...>");
         return ExitCode::from(EXIT_USAGE);
     };
-    let backend = match arg_value(&args, "--backend").as_deref() {
+    let backend = match cli.value("--backend") {
         None => Backend::Interp,
         Some(s) => match s.parse::<Backend>() {
             Ok(b) => b,
@@ -146,41 +340,45 @@ fn main() -> ExitCode {
             }
         },
     };
-    let mut opt_level = OptLevel::O2;
-    for a in &args {
-        if let Some(lvl) = a.strip_prefix("-O") {
-            match lvl.parse::<OptLevel>() {
-                Ok(l) => opt_level = l,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(EXIT_USAGE);
-                }
+    let opt_level = match cli.opt_level.as_deref() {
+        None => OptLevel::O2,
+        Some(lvl) => match lvl.parse::<OptLevel>() {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_USAGE);
             }
-        }
-    }
-    // The compiled tiers' natural artifact is their bytecode; the
-    // interpreter walks the rendered (C++-style) program shape.
-    let default_emit = match backend {
-        Backend::Interp => "cpp",
-        Backend::Vm | Backend::Jit(_) => "bytecode",
+        },
     };
-    let emit = arg_value(&args, "--emit").unwrap_or_else(|| default_emit.to_string());
+    let explain = cli.has("--explain");
+    // The compiled tiers' natural artifact is their bytecode; the
+    // interpreter walks the rendered (C++-style) program shape. With
+    // --explain the report is the artifact unless --emit insists.
+    let default_emit = if explain {
+        "none"
+    } else {
+        match backend {
+            Backend::Interp => "cpp",
+            Backend::Vm | Backend::Jit(_) => "bytecode",
+        }
+    };
+    let emit = cli.value("--emit").unwrap_or(default_emit).to_string();
     if emit != "cpp" && emit != "bytecode" && emit != "none" {
         eprintln!("error: unknown --emit `{emit}` (expected cpp|bytecode|none)");
         return ExitCode::from(EXIT_USAGE);
     }
-    let disasm_blocks = args.iter().any(|a| a == "--disasm-blocks");
+    let disasm_blocks = cli.has("--disasm-blocks");
     if disasm_blocks && emit != "bytecode" {
         eprintln!("error: --disasm-blocks requires `--emit bytecode` (the default on vm/jit)");
         return ExitCode::from(EXIT_USAGE);
     }
     let pass_list: Vec<&str> = passes.split(',').map(str::trim).collect();
-    let opts = if args.iter().any(|a| a == "--unfused") {
+    let opts = if cli.has("--unfused") {
         FuseOptions::unfused()
     } else {
         FuseOptions::default()
     };
-    let parallel = match arg_value(&args, "--parallel") {
+    let parallel = match cli.value("--parallel") {
         None => None,
         Some(n) => match n.parse::<usize>() {
             Ok(workers) if workers >= 1 => Some(ParallelOptions::with_workers(workers)),
@@ -190,11 +388,8 @@ fn main() -> ExitCode {
             }
         },
     };
-    let probe = args
-        .iter()
-        .any(|a| a == "--profile")
-        .then(|| Arc::new(TraceProbe::new()));
-    let trace_out = arg_value(&args, "--trace-out");
+    let probe = cli.has("--profile").then(|| Arc::new(TraceProbe::new()));
+    let trace_out = cli.value("--trace-out").map(str::to_string);
     if trace_out.is_some() && probe.is_none() {
         eprintln!("error: --trace-out requires --profile");
         return ExitCode::from(EXIT_USAGE);
@@ -262,7 +457,17 @@ fn main() -> ExitCode {
         _ => {}
     }
 
-    if args.iter().any(|a| a == "--stats") {
+    if explain {
+        // The fusability report is stdout content: text by default, one
+        // JSON object with --json (parseable by grafter_obs::json).
+        if json {
+            println!("{}", engine.explain().render_json(&source));
+        } else {
+            print!("{}", engine.explain().render_text(&source));
+        }
+    }
+
+    if cli.has("--stats") {
         let m = engine.fusion_metrics();
         // Stats go to stderr so they survive a piped/discarded stdout
         // (the emitted artifact): the fusion summary line, then —
@@ -309,7 +514,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.iter().any(|a| a == "--run") {
+    if cli.has("--run") {
         let mut session = engine.session();
         if let Some(par) = &parallel {
             session = session.with_parallel(par.clone());

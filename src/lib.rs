@@ -11,8 +11,8 @@
 //! - [`grafter_engine`] — **the front door**: immutable, `Arc`-shareable
 //!   [`Engine`]s, per-request [`Session`]s, unified [`Report`]s and
 //!   deterministic batch fan-out
-//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen), the
-//!   typed [`Error`], and the deprecated staged `pipeline` shim
+//! - [`grafter`] — the fusion compiler (analysis, fusion, codegen,
+//!   per-pair `--explain` verdicts) and the typed [`Error`]
 //! - [`grafter_frontend`] — the traversal language frontend
 //! - [`grafter_automata`] — access automata
 //! - [`grafter_runtime`] — tree runtime and the IR interpreter backend

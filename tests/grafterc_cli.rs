@@ -28,12 +28,8 @@ fn grafterc(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
         .stderr(std::process::Stdio::piped())
         .spawn()
         .expect("grafterc spawns");
-    child
-        .stdin
-        .take()
-        .unwrap()
-        .write_all(stdin.as_bytes())
-        .unwrap();
+    // A usage error exits before stdin is read; ignore the broken pipe.
+    let _ = child.stdin.take().unwrap().write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("grafterc exits");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -81,6 +77,175 @@ fn opt_level_flags_select_the_level() {
     let (_, stderr, code) = grafterc(&["-", "--root", "Node", "--passes", "inc", "-O9"], LIST);
     assert_eq!(code, Some(2), "unknown level is a usage error");
     assert!(stderr.contains("unknown opt level"));
+}
+
+/// Two independent passes over the same list: one fused pair under the
+/// default options, so `--explain` always has a verdict to show.
+const TWO_PASS: &str = r#"
+    tree class Node {
+        child Node* next;
+        int a = 0; int b = 0;
+        virtual traversal incA() {}
+        virtual traversal incB() {}
+    }
+    tree class Cons : Node {
+        traversal incA() { a = a + 1; this->next->incA(); }
+        traversal incB() { b = b + 1; this->next->incB(); }
+    }
+    tree class End : Node { }
+"#;
+
+#[test]
+fn help_lists_every_flag_and_exits_zero() {
+    let (stdout, stderr, code) = grafterc(&["--help"], "");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    for flag in [
+        "--root",
+        "--passes",
+        "--unfused",
+        "--explain",
+        "--stats",
+        "--backend",
+        "--emit",
+        "--disasm-blocks",
+        "--run",
+        "--parallel",
+        "--json",
+        "--profile",
+        "--trace-out",
+        "--help",
+        "-O0|-O1|-O2",
+    ] {
+        assert!(stdout.contains(flag), "help misses `{flag}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_usage_errors_that_name_the_flag() {
+    let (_, stderr, code) = grafterc(
+        &["-", "--root", "Node", "--passes", "inc", "--explian"],
+        LIST,
+    );
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--explian"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+/// `f` reads through `next` after its recursive call while `g` writes the
+/// same field: merging the calls would close a dependence cycle, so the
+/// pair is blocked and `--explain` renders caret snippets for it.
+const DEP_CYCLE: &str = r#"
+    tree class Node {
+        child Node* next;
+        int a = 0;
+        int b = 0;
+        virtual traversal f() {}
+        virtual traversal g() {}
+    }
+    tree class Cons : Node {
+        traversal f() {
+            a = a + 1;
+            this->next->f();
+            b = this->next->a;
+        }
+        traversal g() {
+            a = a * 2;
+            this->next->g();
+        }
+    }
+    tree class End : Node { }
+"#;
+
+#[test]
+fn explain_prints_verdicts_and_suppresses_the_artifact() {
+    let (stdout, stderr, code) = grafterc(
+        &["-", "--root", "Node", "--passes", "f,g", "--explain"],
+        DEP_CYCLE,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.starts_with("fusion explain:"),
+        "--explain implies --emit none, so the report leads:\n{stdout}"
+    );
+    assert!(stdout.contains("[blocked]"), "{stdout}");
+    assert!(stdout.contains("dependence"), "{stdout}");
+    assert!(
+        stdout.contains('^'),
+        "caret snippets point at call sites:\n{stdout}"
+    );
+    // An explicit --emit still wins over the implied suppression.
+    let (stdout, _, code) = grafterc(
+        &[
+            "-",
+            "--root",
+            "Node",
+            "--passes",
+            "incA,incB",
+            "--explain",
+            "--emit",
+            "cpp",
+        ],
+        TWO_PASS,
+    );
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("__stub"), "cpp artifact emitted:\n{stdout}");
+    assert!(stdout.contains("fusion explain:"), "{stdout}");
+}
+
+#[test]
+fn explain_json_is_machine_parseable() {
+    let (stdout, stderr, code) = grafterc(
+        &[
+            "-",
+            "--root",
+            "Node",
+            "--passes",
+            "incA,incB",
+            "--explain",
+            "--json",
+        ],
+        TWO_PASS,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let doc = grafter_obs::json::parse(&stdout).expect("explain --json emits one JSON document");
+    let fused = doc
+        .get("totals")
+        .and_then(|t| t.get("fused"))
+        .and_then(|n| n.as_num())
+        .unwrap();
+    assert!(fused >= 1.0, "{stdout}");
+    let pairs = doc.get("pairs").and_then(|p| p.as_arr()).unwrap();
+    assert!(!pairs.is_empty());
+    assert!(pairs[0].get("verdict").and_then(|v| v.as_str()).is_some());
+}
+
+#[test]
+fn explain_json_names_blocking_reasons_on_the_ast_workload() {
+    // The CI `explain-smoke` contract: on a real case study the JSON
+    // report must parse with the obs parser and contain at least one
+    // blocked verdict naming its blocking reason.
+    let (stdout, stderr, code) = grafterc(
+        &[
+            "-",
+            "--root",
+            grafter_workloads::ast::ROOT_CLASS,
+            "--passes",
+            &grafter_workloads::ast::PASSES.join(","),
+            "--explain",
+            "--json",
+        ],
+        grafter_workloads::ast::SOURCE,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let doc = grafter_obs::json::parse(&stdout).expect("one parseable JSON document");
+    let pairs = doc.get("pairs").and_then(|p| p.as_arr()).unwrap();
+    let blocked: Vec<_> = pairs
+        .iter()
+        .filter(|p| p.get("verdict").and_then(|v| v.as_str()) == Some("blocked"))
+        .collect();
+    assert!(!blocked.is_empty(), "ast workload has blocked pairs");
+    let reason = blocked[0].get("reason").and_then(|r| r.as_str()).unwrap();
+    assert!(!reason.is_empty(), "blocked verdicts name their cause");
 }
 
 #[test]

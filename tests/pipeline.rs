@@ -1,16 +1,12 @@
 //! Workspace-level integration tests: the full staged pipeline from DSL
 //! source through fusion to instrumented execution, spanning every crate.
-//! All flows go through `grafter::pipeline::Pipeline` — the single
-//! compile→fuse→execute entry point — plus the runtime's `Execute` stage.
+//! Compile-side flows go through `grafter::Compiled` / `Fused`; execution
+//! goes through the `grafter_engine::Engine` / `Session` API.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::Pipeline;
-use grafter::{FuseOptions, Stage};
+use grafter::{Compiled, FuseOptions, Stage};
 use grafter_cachesim::CacheHierarchy;
-use grafter_runtime::{Execute, Heap, Value};
+use grafter_engine::Engine;
+use grafter_runtime::{Heap, Value};
 
 #[test]
 fn frontend_core_runtime_roundtrip() {
@@ -40,13 +36,14 @@ fn frontend_core_runtime_roundtrip() {
             traversal tally() { count = 1; }
         }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("T", &["mark", "tally"])
+    let engine = Engine::builder()
+        .source(src)
+        .entry("T", &["mark", "tally"])
+        .args(vec![vec![Value::Int(0)], vec![]])
+        .build()
         .unwrap();
-    assert!(fused.metrics().fully_fused);
+    assert!(engine.fusion_metrics().fully_fused);
 
-    let mut heap = fused.new_heap();
     // Perfect binary tree of depth 4.
     fn build(heap: &mut Heap, d: usize) -> grafter_runtime::NodeId {
         if d == 0 {
@@ -59,25 +56,28 @@ fn frontend_core_runtime_roundtrip() {
         heap.set_child_by_name(n, "right", Some(r)).unwrap();
         n
     }
-    let root = build(&mut heap, 4);
-    let metrics = fused
-        .interpret_with_args(&mut heap, root, vec![vec![Value::Int(0)], vec![]])
-        .unwrap();
-    assert_eq!(heap.get_by_name(root, "count").unwrap(), Value::Int(31));
-    assert_eq!(heap.get_by_name(root, "depth").unwrap(), Value::Int(0));
+    let mut session = engine.session();
+    let root = session.build_tree(|heap| build(heap, 4));
+    let report = session.run(root).unwrap();
+    assert_eq!(session.get_field(root, "count").unwrap(), Value::Int(31));
+    assert_eq!(session.get_field(root, "depth").unwrap(), Value::Int(0));
     // One fused pass over 31 nodes.
-    assert_eq!(metrics.visits, 31);
+    assert_eq!(report.metrics.visits, 31);
 }
 
 #[test]
 fn diagnostics_accumulate_across_stages() {
     // Errors from different pipeline stages arrive in one DiagnosticBag,
     // each tagged with the stage that produced it.
-    let bag = Pipeline::compile("tree class X { child }").unwrap_err();
+    let bag = Compiled::compile("tree class X { child }")
+        .unwrap_err()
+        .into_bag();
     assert!(bag.has_errors());
     assert!(bag.iter().all(|d| d.stage == Stage::Parse), "{bag}");
 
-    let bag = Pipeline::compile("tree class X { child Missing* c; }").unwrap_err();
+    let bag = Compiled::compile("tree class X { child Missing* c; }")
+        .unwrap_err()
+        .into_bag();
     assert!(bag.iter().all(|d| d.stage == Stage::Sema), "{bag}");
 
     let src = r#"
@@ -91,16 +91,20 @@ fn diagnostics_accumulate_across_stages() {
         }
         tree class E : N { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     let bag = compiled.fuse_default("N", &["missing"]).unwrap_err();
     assert_eq!(bag[0].stage, Stage::Fuse);
 
     // Runtime failures surface through the same type: `C` reads through
     // `next`, which we leave null.
-    let fused = compiled.fuse_default("N", &["t"]).unwrap();
-    let mut heap = fused.new_heap();
-    let root = heap.alloc_by_name("C").unwrap();
-    let bag = fused.interpret(&mut heap, root).unwrap_err();
+    let engine = Engine::builder()
+        .compiled(compiled)
+        .entry("N", &["t"])
+        .build()
+        .unwrap();
+    let mut session = engine.session();
+    let root = session.alloc("C").unwrap();
+    let bag = session.run(root).unwrap_err().into_bag();
     assert_eq!(bag[0].stage, Stage::Runtime);
     assert!(bag[0].message.contains("null"), "{bag}");
 }
@@ -117,7 +121,7 @@ fn warnings_flow_through_the_pipeline() {
         tree class C : N { traversal t() { a = a + 1; this->next->t(); } }
         tree class E : N { }
     "#;
-    let compiled = Pipeline::compile(src).unwrap();
+    let compiled = Compiled::compile(src).unwrap();
     assert_eq!(compiled.warnings().len(), 1);
     assert!(compiled.warnings()[0].message.contains("unused_helper"));
     let fused = compiled.fuse_default("N", &["t"]).unwrap();
@@ -156,7 +160,7 @@ fn emitted_code_matches_figure6_structure() {
         }
         tree class End : Element { }
     "#;
-    let fused = Pipeline::compile(src)
+    let fused = Compiled::compile(src)
         .unwrap()
         .fuse_default("Element", &["computeWidth", "computeHeight"])
         .unwrap();
@@ -188,22 +192,23 @@ fn cache_simulator_integrates_with_interpreter() {
         }
         tree class E : L { }
     "#;
-    let fused = Pipeline::compile(src)
-        .unwrap()
-        .fuse_default("L", &["touch"])
-        .unwrap();
-    let mut heap = fused.new_heap();
-    let mut cur = heap.alloc_by_name("E").unwrap();
-    for _ in 0..100 {
-        let c = heap.alloc_by_name("C").unwrap();
-        heap.set_child_by_name(c, "next", Some(cur)).unwrap();
-        cur = c;
-    }
-    let report = fused
-        .executor()
+    let engine = Engine::builder()
+        .source(src)
+        .entry("L", &["touch"])
         .cache(CacheHierarchy::xeon())
-        .run(&mut heap, cur)
+        .build()
         .unwrap();
+    let mut session = engine.session();
+    let root = session.build_tree(|heap| {
+        let mut cur = heap.alloc_by_name("E").unwrap();
+        for _ in 0..100 {
+            let c = heap.alloc_by_name("C").unwrap();
+            heap.set_child_by_name(c, "next", Some(cur)).unwrap();
+            cur = c;
+        }
+        cur
+    });
+    let report = session.run(root).unwrap();
     let stats = report.cache.as_ref().unwrap();
     assert!(stats.accesses > 0);
     assert_eq!(
@@ -232,24 +237,25 @@ fn treefuser_baseline_is_slower_than_grafter_baseline() {
                 grafter_treefuser::PASSES.to_vec(),
             )
         };
-        let unfused = compiled
-            .fuse(root_class, &passes, &FuseOptions::unfused())
-            .unwrap();
-        let mut heap = unfused.new_heap();
-        let root = if hetero {
-            render::build_document(&mut heap, 20, 5)
-        } else {
-            let het = render::compiled();
-            let mut src = Heap::new(het.program());
-            let hroot = render::build_document(&mut src, 20, 5);
-            grafter_treefuser::convert_document(&src, hroot, &mut heap)
-        };
-        let report = unfused
-            .executor()
+        let engine = Engine::builder()
+            .compiled(compiled)
+            .entry(root_class, &passes)
+            .fusion(FuseOptions::unfused())
             .cache(CacheHierarchy::xeon())
-            .run(&mut heap, root)
+            .build()
             .unwrap();
-        report.cycles()
+        let mut session = engine.session();
+        let root = session.build_tree(|heap| {
+            if hetero {
+                render::build_document(heap, 20, 5)
+            } else {
+                let het = render::compiled();
+                let mut src = Heap::new(het.program());
+                let hroot = render::build_document(&mut src, 20, 5);
+                grafter_treefuser::convert_document(&src, hroot, heap)
+            }
+        });
+        session.run(root).unwrap().cycles()
     };
     let grafter_cycles = run(true);
     let treefuser_cycles = run(false);

@@ -13,14 +13,11 @@
 //! Originally written against proptest; the build environment is offline,
 //! so cases are drawn from the vendored deterministic `rand` shim with
 //! fixed seeds, and every run is identical. The whole flow goes through
-//! the staged `grafter::pipeline` API.
+//! `grafter::Compiled` and the `grafter_engine::Engine` API.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::{Fused, Pipeline};
-use grafter_runtime::{Execute, Value};
+use grafter::{Compiled, FuseOptions};
+use grafter_engine::Engine;
+use grafter_runtime::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,27 +171,38 @@ fn fused_equals_unfused_on_random_programs() {
         let list = random_list(&mut rng);
 
         let src = render_program(&traversals);
-        let compiled = Pipeline::compile(src.as_str()).expect("generated programs are valid");
+        let compiled = Compiled::compile(src.as_str()).expect("generated programs are valid");
         let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
 
-        let fused = compiled.fuse_default("Node", &name_refs).unwrap();
-        let unfused = compiled.fuse_unfused("Node", &name_refs).unwrap();
+        let engine_with = |opts: FuseOptions| {
+            Engine::builder()
+                .compiled(compiled.clone())
+                .entry("Node", &name_refs)
+                .fusion(opts)
+                .build()
+                .unwrap()
+        };
+        let fused = engine_with(FuseOptions::default());
+        let unfused = engine_with(FuseOptions::unfused());
 
-        let snapshot = |artifact: &Fused| {
-            let mut heap = artifact.new_heap();
-            let mut cur = heap.alloc_by_name("End").unwrap();
-            for &(a, b, c, stop) in list.iter().rev() {
-                let n = heap.alloc_by_name("Cons").unwrap();
-                heap.set_by_name(n, "a", Value::Int(a)).unwrap();
-                heap.set_by_name(n, "b", Value::Int(b)).unwrap();
-                heap.set_by_name(n, "c", Value::Int(c)).unwrap();
-                heap.set_by_name(n, "stop", Value::Bool(stop)).unwrap();
-                heap.set_child_by_name(n, "next", Some(cur)).unwrap();
-                cur = n;
-            }
-            let metrics = artifact.interpret(&mut heap, cur).unwrap();
-            (heap.snapshot(cur), metrics.visits)
+        let snapshot = |engine: &Engine| {
+            let mut session = engine.session();
+            let root = session.build_tree(|heap| {
+                let mut cur = heap.alloc_by_name("End").unwrap();
+                for &(a, b, c, stop) in list.iter().rev() {
+                    let n = heap.alloc_by_name("Cons").unwrap();
+                    heap.set_by_name(n, "a", Value::Int(a)).unwrap();
+                    heap.set_by_name(n, "b", Value::Int(b)).unwrap();
+                    heap.set_by_name(n, "c", Value::Int(c)).unwrap();
+                    heap.set_by_name(n, "stop", Value::Bool(stop)).unwrap();
+                    heap.set_child_by_name(n, "next", Some(cur)).unwrap();
+                    cur = n;
+                }
+                cur
+            });
+            let report = session.run(root).unwrap();
+            (session.snapshot(root), report.metrics.visits)
         };
 
         let (snap_f, visits_f) = snapshot(&fused);
@@ -215,7 +223,7 @@ fn fusion_terminates_on_recursive_schedules() {
     for case in 0..48 {
         let traversals = random_traversals(&mut rng, 3);
         let src = render_program(&traversals);
-        let compiled = Pipeline::compile(src.as_str()).expect("generated programs are valid");
+        let compiled = Compiled::compile(src.as_str()).expect("generated programs are valid");
         let names: Vec<String> = (0..traversals.len()).map(|i| format!("t{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let fused = compiled.fuse_default("Node", &name_refs).unwrap();

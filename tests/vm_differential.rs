@@ -9,28 +9,21 @@
 //! `grafter_workloads::case_studies()` descriptor, so these tests always
 //! cover exactly the configurations the benches measure.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::{Compiled, Fused};
-use grafter_runtime::{with_stack, Execute, Heap, Metrics, NodeId, SnapValue, Value};
-use grafter_vm::{Backend, ExecuteBackend};
+use grafter::{Compiled, FuseOptions};
+use grafter_engine::Engine;
+use grafter_runtime::{with_stack, Heap, Metrics, NodeId, SnapValue, Value};
+use grafter_vm::Backend;
 use grafter_workloads::{case_studies, kdtree};
 
-/// Runs one artifact on one backend on a freshly built tree.
+/// Runs one engine on a freshly built tree.
 fn run(
-    artifact: &Fused,
-    backend: Backend,
-    args: &[Vec<Value>],
+    engine: &Engine,
     build: &dyn Fn(&mut Heap) -> NodeId,
 ) -> (Vec<(String, Vec<SnapValue>)>, Metrics) {
-    let mut heap = artifact.new_heap();
-    let root = build(&mut heap);
-    let metrics = artifact
-        .run_with_args(&mut heap, root, args.to_vec(), backend)
-        .unwrap();
-    (heap.snapshot(root), metrics)
+    let mut session = engine.session();
+    let root = session.build_tree(build);
+    let report = session.run(root).unwrap();
+    (session.snapshot(root), report.metrics)
 }
 
 /// Fuses `passes` both ways; for each artifact the two backends must
@@ -43,16 +36,22 @@ fn check_workload(
     args: &[Vec<Value>],
     build: &dyn Fn(&mut Heap) -> NodeId,
 ) {
-    let artifacts = [
-        ("fused", compiled.fuse_default(root_class, passes).unwrap()),
-        (
-            "unfused",
-            compiled.fuse_unfused(root_class, passes).unwrap(),
-        ),
-    ];
-    for (kind, artifact) in &artifacts {
-        let (snap_i, m_i) = run(artifact, Backend::Interp, args, build);
-        let (snap_v, m_v) = run(artifact, Backend::Vm, args, build);
+    let engine_with = |opts: &FuseOptions, backend: Backend| {
+        Engine::builder()
+            .compiled(compiled.clone())
+            .entry(root_class, passes)
+            .fusion(opts.clone())
+            .backend(backend)
+            .args(args.to_vec())
+            .build()
+            .unwrap()
+    };
+    for (kind, opts) in [
+        ("fused", FuseOptions::default()),
+        ("unfused", FuseOptions::unfused()),
+    ] {
+        let (snap_i, m_i) = run(&engine_with(&opts, Backend::Interp), build);
+        let (snap_v, m_v) = run(&engine_with(&opts, Backend::Vm), build);
         assert_eq!(
             snap_i, snap_v,
             "{name}/{kind}: interp and vm heap states diverge"
@@ -140,8 +139,12 @@ fn nan_fields_stay_differentially_comparable() {
     };
     check_workload("nan", &compiled, "N", &["divide", "scale"], &[], build);
     // The trees really do carry NaN: snapshots must still self-compare.
-    let artifact = compiled.fuse_default("N", &["divide", "scale"]).unwrap();
-    let (snap, _) = run(&artifact, Backend::Interp, &[], build);
+    let engine = Engine::builder()
+        .compiled(compiled)
+        .entry("N", &["divide", "scale"])
+        .build()
+        .unwrap();
+    let (snap, _) = run(&engine, build);
     let q = &snap[0].1[3];
     assert!(
         matches!(q, SnapValue::Float(f) if f.is_nan()),

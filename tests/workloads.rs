@@ -1,29 +1,23 @@
-//! Pipeline API coverage over the paper's four case studies: for each
+//! Engine API coverage over the paper's four case studies: for each
 //! workload, the fused execution must produce exactly the tree (and
 //! fewer node visits) of the unfused execution, end to end through
-//! `grafter::pipeline::Pipeline` and the runtime's `Execute` stage.
+//! `grafter_engine::Engine` and per-run `Session`s.
 
-// This suite predates the Engine API and intentionally keeps exercising
-// the deprecated `Pipeline`/`Execute` shim, which must stay working.
-#![allow(deprecated)]
-
-use grafter::pipeline::{Compiled, Fused};
-use grafter_runtime::{with_stack, Execute, Heap, NodeId, SnapValue, Value};
+use grafter::{Compiled, FuseOptions};
+use grafter_engine::Engine;
+use grafter_runtime::{with_stack, Heap, NodeId, SnapValue, Value};
 use grafter_workloads::{ast, fmm, kdtree, render};
 
-/// Runs one artifact on a freshly built tree; returns the final tree
+/// Runs one engine on a freshly built tree; returns the final tree
 /// snapshot and the visit count.
 fn run(
-    artifact: &Fused,
-    args: &[Vec<Value>],
+    engine: &Engine,
     build: &dyn Fn(&mut Heap) -> NodeId,
 ) -> (Vec<(String, Vec<SnapValue>)>, u64) {
-    let mut heap = artifact.new_heap();
-    let root = build(&mut heap);
-    let metrics = artifact
-        .interpret_with_args(&mut heap, root, args.to_vec())
-        .unwrap();
-    (heap.snapshot(root), metrics.visits)
+    let mut session = engine.session();
+    let root = session.build_tree(build);
+    let report = session.run(root).unwrap();
+    (session.snapshot(root), report.metrics.visits)
 }
 
 /// Fuses `passes` both ways and checks the soundness + profitability pair.
@@ -35,10 +29,19 @@ fn check_workload(
     args: &[Vec<Value>],
     build: &dyn Fn(&mut Heap) -> NodeId,
 ) {
-    let fused = compiled.fuse_default(root_class, passes).unwrap();
-    let unfused = compiled.fuse_unfused(root_class, passes).unwrap();
-    let (snap_f, visits_f) = run(&fused, args, build);
-    let (snap_u, visits_u) = run(&unfused, args, build);
+    let engine_with = |opts: FuseOptions| {
+        Engine::builder()
+            .compiled(compiled.clone())
+            .entry(root_class, passes)
+            .fusion(opts)
+            .args(args.to_vec())
+            .build()
+            .unwrap()
+    };
+    let fused = engine_with(FuseOptions::default());
+    let unfused = engine_with(FuseOptions::unfused());
+    let (snap_f, visits_f) = run(&fused, build);
+    let (snap_u, visits_u) = run(&unfused, build);
     assert_eq!(snap_f, snap_u, "{name}: fused and unfused trees diverge");
     assert!(
         visits_f < visits_u,
